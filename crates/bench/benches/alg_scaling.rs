@@ -1,0 +1,30 @@
+//! Criterion bench: FastCap `decide()` latency vs. core count.
+//!
+//! Reproduces the overhead numbers of Sec. IV-B (33.5 / 64.9 / 133.5 µs at
+//! 16 / 32 / 64 cores on the authors' host) and the `O(N log M)` claim of
+//! Table I: latency should grow linearly in N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastcap_bench::harness::{synthetic_controller_config, synthetic_observation};
+use fastcap_core::capper::FastCapController;
+
+fn bench_decide_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fastcap_decide");
+    for n in [4usize, 16, 32, 64, 128, 256] {
+        group.throughput(Throughput::Elements(n as u64));
+        let cfg = synthetic_controller_config(n, 0.6).expect("valid config");
+        let mut ctl = FastCapController::new(cfg).expect("valid controller");
+        let obs = synthetic_observation(n);
+        // Warm the fitters so steady-state cost is measured.
+        for _ in 0..5 {
+            let _ = ctl.decide(&obs);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ctl.decide(&obs).expect("decide succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decide_scaling);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: per-epoch decision cost of every capping policy.
+//!
+//! The qualitative expectation from Table I: FastCap ≈ CPU-only ≪ Eql-Pwr ≈
+//! Eql-Freq (grid searches) ≪ MaxBIPS (exhaustive, benched at 4 cores only
+//! — at 16 it would not finish).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastcap_bench::harness::{synthetic_controller_config, synthetic_observation, PolicyKind};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_decide_16c");
+    for kind in [
+        PolicyKind::FastCap,
+        PolicyKind::CpuOnly,
+        PolicyKind::FreqPar,
+        PolicyKind::EqlPwr,
+        PolicyKind::EqlFreq,
+    ] {
+        let cfg = synthetic_controller_config(16, 0.6).expect("valid config");
+        let mut policy = kind.build(cfg).expect("policy builds");
+        let obs = synthetic_observation(16);
+        for _ in 0..5 {
+            let _ = policy.decide(&obs);
+        }
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| policy.decide(&obs).expect("decide succeeds"));
+        });
+    }
+    group.finish();
+
+    let mut group4 = c.benchmark_group("policy_decide_4c");
+    group4.sample_size(10);
+    for kind in [PolicyKind::FastCap, PolicyKind::MaxBips] {
+        let cfg = synthetic_controller_config(4, 0.6).expect("valid config");
+        let mut policy = kind.build(cfg).expect("policy builds");
+        let obs = synthetic_observation(4);
+        for _ in 0..2 {
+            let _ = policy.decide(&obs);
+        }
+        group4.bench_function(kind.name(), |b| {
+            b.iter(|| policy.decide(&obs).expect("decide succeeds"));
+        });
+    }
+    group4.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench: simulator throughput — how fast one epoch of the
+//! closed-network simulation runs for light (ILP) and heavy (MEM) traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastcap_sim::{Server, SimConfig};
+use fastcap_workloads::mixes;
+
+fn bench_epochs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_epoch");
+    group.sample_size(10);
+    for (mix_name, n_cores) in [("ILP1", 16usize), ("MEM1", 16), ("MEM1", 64)] {
+        let id = format!("{mix_name}_{n_cores}c");
+        let cfg = SimConfig::ispass(n_cores)
+            .expect("valid config")
+            .with_time_dilation(100.0)
+            .with_meter_noise(0.0);
+        let mix = mixes::by_name(mix_name).expect("mix exists");
+        let mut server = Server::for_workload(cfg, &mix, 7).expect("server builds");
+        // Warm up the network into steady state.
+        server.run(2, |_| None);
+        group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, ()| {
+            b.iter(|| server.run_epoch(None));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epochs);
+criterion_main!(benches);

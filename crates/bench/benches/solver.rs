@@ -1,0 +1,62 @@
+//! Criterion bench: the optimization core — Algorithm 1's binary search
+//! versus the exhaustive oracle, and the inner fixed-`s_b` solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastcap_core::freq::FreqLadder;
+use fastcap_core::model::{CapModel, CoreModel, MemoryModel, ResponseModel};
+use fastcap_core::optimizer::{algorithm1, bus_candidates, exhaustive, solve_for_bus_time};
+use fastcap_core::power::PowerLaw;
+use fastcap_core::queueing::ResponseTimeModel;
+use fastcap_core::units::{Secs, Watts};
+
+fn model(n: usize) -> CapModel {
+    let cores = (0..n)
+        .map(|i| CoreModel {
+            min_think_time: Secs::from_nanos(if i % 2 == 0 { 400.0 } else { 15.0 }),
+            cache_time: Secs::from_nanos(7.5),
+            power: PowerLaw::new(Watts(3.5), 2.2 + 0.1 * (i % 8) as f64).expect("valid law"),
+        })
+        .collect();
+    CapModel {
+        cores,
+        memory: MemoryModel {
+            min_bus_transfer_time: Secs::from_nanos(5.0),
+            response: ResponseModel::Single(
+                ResponseTimeModel::new(1.6, 1.3, Secs::from_nanos(30.0)).expect("valid model"),
+            ),
+            power: PowerLaw::new(Watts(24.0), 1.0).expect("valid law"),
+        },
+        static_power: Watts(2.2 * n as f64 + 22.0),
+        budget: Watts(4.5 * n as f64 * 0.6 + 28.0),
+    }
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let ladder = FreqLadder::ispass_memory_bus();
+
+    let mut group = c.benchmark_group("algorithm1_vs_exhaustive");
+    for n in [16usize, 64, 256] {
+        let m = model(n);
+        let cands = bus_candidates(m.memory.min_bus_transfer_time, ladder.levels());
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |b, _| {
+            b.iter(|| algorithm1(&m, &cands).expect("solves"));
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
+            b.iter(|| exhaustive(&m, &cands).expect("solves"));
+        });
+    }
+    group.finish();
+
+    let mut inner = c.benchmark_group("inner_solve");
+    for n in [16usize, 256] {
+        let m = model(n);
+        let cands = bus_candidates(m.memory.min_bus_transfer_time, ladder.levels());
+        inner.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| solve_for_bus_time(&m, cands[4]).expect("solves"));
+        });
+    }
+    inner.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! `repro` — regenerate the FastCap paper's tables and figures.
+//!
+//! ```text
+//! repro <artifact>... [--quick] [--seed N] [--out DIR]
+//! repro all [--quick]
+//! repro --list
+//! ```
+//!
+//! Artifacts: tab1 tab3 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+//! fig12 fig13 overhead. Results print as markdown and are written as
+//! CSV/JSON under `--out` (default `results/`).
+
+use fastcap_bench::experiments;
+use fastcap_bench::harness::Opts;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> &'static str {
+    "usage: repro <artifact|all>... [--quick] [--seed N] [--out DIR] [--list]\n\
+     artifacts: tab1 tab3 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 overhead"
+}
+
+fn main() -> ExitCode {
+    let mut opts = Opts::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => opts.seed = s,
+                None => {
+                    eprintln!("--seed needs an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(d) => opts.out_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                for id in experiments::ALL {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if targets.iter().any(|t| t == "all") {
+        // fig7/fig8 and fig12/fig13 share runners; dedupe by runner.
+        targets = ["tab1", "tab3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
+            "fig11", "fig12", "overhead", "epochlen", "ablation", "scaling"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let mode = if opts.quick { "quick" } else { "full" };
+    println!(
+        "# FastCap reproduction — {} artifact(s), {mode} mode, seed {}",
+        targets.len(),
+        opts.seed
+    );
+    for id in &targets {
+        let start = Instant::now();
+        match experiments::run(id, &opts) {
+            Ok(tables) => {
+                for t in &tables {
+                    print!("{}", t.to_markdown());
+                    if let Err(e) = t.write_to(&opts.out_dir) {
+                        eprintln!("warning: could not write {} artifacts: {e}", t.id);
+                    }
+                }
+                println!(
+                    "\n[{id}: {} table(s) in {:.1}s]",
+                    tables.len(),
+                    start.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("error running {id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,150 @@
+//! Ablations of FastCap's design choices (DESIGN.md §4):
+//!
+//! 1. **Online model refitting** (Sec. III-C) — freeze the initial power
+//!    laws instead of recomputing `(P, α)` from the last three frequencies.
+//!    Expected: frozen models mis-predict power and either violate the cap
+//!    or waste budget.
+//! 2. **Binary search vs. exhaustive memory scan** (Algorithm 1) — both
+//!    must return the same `D` (convexity), the binary search touching
+//!    fewer candidates.
+//! 3. **Ladder quantization** — the paper's "closest frequency" rounding
+//!    versus conservative floor rounding. Expected: nearest tracks the
+//!    budget tightly with occasional small overshoots; floor never
+//!    overshoots but leaves budget unused.
+
+use crate::harness::{run_baseline, Opts};
+use crate::table::{f2, f3, pct, ResultTable};
+use fastcap_core::capper::{DvfsDecision, FastCapController};
+use fastcap_core::counters::EpochObservation;
+use fastcap_core::error::Result;
+use fastcap_core::optimizer::{algorithm1, bus_candidates, exhaustive};
+use fastcap_core::units::Hz;
+use fastcap_sim::Server;
+use fastcap_workloads::mixes;
+
+/// How the controller is ablated.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Variant {
+    /// The real thing.
+    Full,
+    /// No online refitting: initial power laws forever.
+    FrozenModels,
+    /// Floor quantization instead of nearest.
+    FloorQuantization,
+}
+
+impl Variant {
+    fn label(self) -> &'static str {
+        match self {
+            Variant::Full => "FastCap (full)",
+            Variant::FrozenModels => "frozen power models",
+            Variant::FloorQuantization => "floor quantization",
+        }
+    }
+}
+
+fn decide(ctl: &mut FastCapController, v: Variant, obs: &EpochObservation) -> Option<DvfsDecision> {
+    match v {
+        Variant::Full => ctl.decide(obs).ok(),
+        Variant::FrozenModels => {
+            // Skip `observe`: the fitters never see a sample.
+            let cands = ctl.candidates().to_vec();
+            ctl.solve_quantized(obs, &cands).ok()
+        }
+        Variant::FloorQuantization => {
+            ctl.observe(obs);
+            let model = ctl.build_model(obs).ok()?;
+            let cands = ctl.candidates().to_vec();
+            let sol = algorithm1(&model, &cands).ok()?;
+            let cfg = ctl.config();
+            let core_freqs = sol
+                .inner
+                .core_scales
+                .iter()
+                .map(|&s| cfg.core_ladder.floor(Hz(cfg.core_ladder.max().get() * s)))
+                .collect();
+            let mem_freq = cfg
+                .mem_ladder
+                .floor(Hz(cfg.mem_ladder.max().get() * sol.bus_scale));
+            Some(DvfsDecision {
+                core_freqs,
+                mem_freq,
+                predicted_power: sol.inner.predicted_power,
+                degradation: sol.inner.degradation,
+                budget_bound: sol.inner.budget_bound,
+                emergency: false,
+            })
+        }
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
+    let cfg = opts.sim_config(16)?;
+    let mix = mixes::by_name("MIX3").expect("mix exists");
+    let budget_frac = 0.6;
+    let ctl_cfg = cfg.controller_config(budget_frac)?;
+    let budget = ctl_cfg.budget();
+
+    // --- 1 & 3: closed-loop variants --------------------------------------
+    let mut t = ResultTable::new(
+        "ablation_controller",
+        "Controller ablations on MIX3 (16 cores, B = 60%)",
+        &[
+            "variant",
+            "avg power / budget",
+            "violations >2%",
+            "avg degr",
+            "worst degr",
+        ],
+    );
+    let baseline = run_baseline(&cfg, &mix, opts.epochs(), opts.seed)?;
+    for v in [Variant::Full, Variant::FrozenModels, Variant::FloorQuantization] {
+        let mut ctl = FastCapController::new(ctl_cfg.clone())?;
+        let mut server = Server::for_workload(cfg.clone(), &mix, opts.seed)?;
+        let run = server.run(opts.epochs(), |obs| decide(&mut ctl, v, obs));
+        let d = run.degradation_vs(&baseline, opts.skip())?;
+        let avg = d.iter().sum::<f64>() / d.len() as f64;
+        let worst = d.iter().cloned().fold(f64::MIN, f64::max);
+        t.push_row(vec![
+            v.label().to_string(),
+            pct(run.avg_power(opts.skip()) / budget),
+            run.violations(budget, 0.02, opts.skip()).to_string(),
+            f3(avg),
+            f3(worst),
+        ]);
+    }
+
+    // --- 2: search ablation (pure algorithm, no simulator) ----------------
+    let mut s = ResultTable::new(
+        "ablation_search",
+        "Algorithm 1 binary search vs exhaustive memory scan (same optimum, fewer evaluations)",
+        &["cores", "D (binary)", "D (exhaustive)", "points (binary)", "points (exhaustive)"],
+    );
+    for n in [16usize, 64, 256] {
+        let mut ctl =
+            FastCapController::new(crate::harness::synthetic_controller_config(n, 0.6)?)?;
+        let obs = crate::harness::synthetic_observation(n);
+        ctl.observe(&obs);
+        let model = ctl.build_model(&obs)?;
+        let cands = bus_candidates(
+            model.memory.min_bus_transfer_time,
+            ctl.config().mem_ladder.levels(),
+        );
+        let a = algorithm1(&model, &cands)?;
+        let e = exhaustive(&model, &cands)?;
+        s.push_row(vec![
+            n.to_string(),
+            f2(a.degradation()),
+            f2(e.degradation()),
+            a.points_evaluated.to_string(),
+            e.points_evaluated.to_string(),
+        ]);
+    }
+
+    Ok(vec![t, s])
+}

@@ -1,0 +1,38 @@
+//! Figure 10: FastCap vs. Eql-Freq on the MIX workloads, 64 cores, 60%
+//! budget — the global-frequency lock cannot harvest the budget on large
+//! heterogeneous systems, so Eql-Freq degrades more.
+
+use crate::harness::{avg_worst, run_baseline, run_capped_only, Opts, PolicyKind};
+use crate::table::{f3, ResultTable};
+use fastcap_core::error::Result;
+use fastcap_workloads::{mixes, WorkloadClass};
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
+    let cfg = opts.sim_config(64)?;
+    let mut t = ResultTable::new(
+        "fig10",
+        "FastCap vs Eql-Freq, MIX workloads, 64 cores, B = 60%",
+        &[
+            "workload",
+            "FastCap avg",
+            "FastCap worst",
+            "Eql-Freq avg",
+            "Eql-Freq worst",
+        ],
+    );
+    for (i, mix) in mixes::by_class(WorkloadClass::Mix).into_iter().enumerate() {
+        let seed = opts.seed + i as u64;
+        let baseline = run_baseline(&cfg, &mix, opts.epochs(), seed)?;
+        let fc = run_capped_only(&cfg, &mix, PolicyKind::FastCap, 0.6, opts.epochs(), seed)?;
+        let ef = run_capped_only(&cfg, &mix, PolicyKind::EqlFreq, 0.6, opts.epochs(), seed)?;
+        let (fa, fw) = avg_worst(&fc.degradation_vs(&baseline, opts.skip())?)?;
+        let (ea, ew) = avg_worst(&ef.degradation_vs(&baseline, opts.skip())?)?;
+        t.push_row(vec![mix.name.clone(), f3(fa), f3(fw), f3(ea), f3(ew)]);
+    }
+    Ok(vec![t])
+}

@@ -1,0 +1,79 @@
+//! Figures 12 and 13: FastCap across platform configurations — 16/32/64
+//! in-order cores, idealized out-of-order on 16 cores, and four skewed
+//! memory controllers on 16 cores; all at a 60% budget.
+//!
+//! * Fig. 12 — per class: average power of the workload with the highest
+//!   average, and the maximum single-epoch average power (both normalized
+//!   to peak). Expected: averages at/below 0.60 everywhere, epoch maxima
+//!   only slightly above.
+//! * Fig. 13 — per class: average and worst normalized application
+//!   performance. Expected: worst ≈ average in every configuration
+//!   (fairness holds for OoO and multi-controller too); MEM degrades more
+//!   under OoO than in-order.
+
+use crate::harness::{avg_worst, run_baseline, run_capped_only, Opts, PolicyKind};
+use crate::table::{f3, ResultTable};
+use fastcap_core::error::Result;
+use fastcap_sim::{Interleaving, SimConfig};
+use fastcap_workloads::{mixes, WorkloadClass};
+
+fn configs(opts: &Opts) -> Result<Vec<(String, SimConfig)>> {
+    Ok(vec![
+        ("16".into(), opts.sim_config(16)?),
+        ("32".into(), opts.sim_config(32)?),
+        ("64".into(), opts.sim_config(64)?),
+        ("OoO-16".into(), opts.sim_config(16)?.out_of_order()),
+        (
+            "4MC-skew-16".into(),
+            opts.sim_config(16)?
+                .with_controllers(4, Interleaving::Skewed { decay: 0.45 }),
+        ),
+    ])
+}
+
+/// Runs both figures (they share all simulations).
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
+    let mut fig12 = ResultTable::new(
+        "fig12",
+        "FastCap normalized avg and max-epoch power across configurations (B = 60%)",
+        &["config", "class", "max workload avg", "max epoch avg"],
+    );
+    let mut fig13 = ResultTable::new(
+        "fig13",
+        "FastCap normalized avg/worst performance across configurations (B = 60%)",
+        &["config", "class", "avg", "worst"],
+    );
+
+    for (label, cfg) in configs(opts)? {
+        for class in WorkloadClass::ALL {
+            let mut max_avg_norm: f64 = 0.0;
+            let mut max_epoch_norm: f64 = 0.0;
+            let mut pooled = Vec::new();
+            for (i, mix) in mixes::by_class(class).into_iter().enumerate() {
+                let seed = opts.seed + i as u64;
+                let baseline = run_baseline(&cfg, &mix, opts.epochs(), seed)?;
+                let capped =
+                    run_capped_only(&cfg, &mix, PolicyKind::FastCap, 0.6, opts.epochs(), seed)?;
+                let avg_norm = capped.avg_power(opts.skip()) / cfg.peak_power;
+                if avg_norm > max_avg_norm {
+                    max_avg_norm = avg_norm;
+                    max_epoch_norm = capped.max_epoch_power(opts.skip()) / cfg.peak_power;
+                }
+                pooled.extend(capped.degradation_vs(&baseline, opts.skip())?);
+            }
+            fig12.push_row(vec![
+                label.clone(),
+                class.to_string(),
+                f3(max_avg_norm),
+                f3(max_epoch_norm),
+            ]);
+            let (avg, worst) = avg_worst(&pooled)?;
+            fig13.push_row(vec![label.clone(), class.to_string(), f3(avg), f3(worst)]);
+        }
+    }
+    Ok(vec![fig12, fig13])
+}

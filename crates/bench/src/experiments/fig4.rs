@@ -1,0 +1,34 @@
+//! Figure 4: core vs. memory power over time for MIX3 under a 60% budget —
+//! FastCap repartitions the budget between cores and memory as the
+//! workload's phases move.
+
+use crate::harness::{run_capped_only, Opts, PolicyKind};
+use crate::table::{f3, ResultTable};
+use fastcap_core::error::Result;
+use fastcap_workloads::mixes;
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
+    let cfg = opts.sim_config(16)?;
+    let mix = mixes::by_name("MIX3").expect("MIX3 exists");
+    let capped = run_capped_only(&cfg, &mix, PolicyKind::FastCap, 0.6, opts.epochs(), opts.seed)?;
+
+    let mut t = ResultTable::new(
+        "fig4",
+        "Normalized core/memory power over time, MIX3, B = 60%",
+        &["epoch", "cores", "memory", "total"],
+    );
+    for (e, ((c, m), tot)) in capped
+        .breakdown_trace()
+        .into_iter()
+        .zip(capped.power_trace())
+        .enumerate()
+    {
+        t.push_row(vec![e.to_string(), f3(c), f3(m), f3(tot)]);
+    }
+    Ok(vec![t])
+}

@@ -1,0 +1,51 @@
+//! Figure 6: average and worst application performance (normalized to the
+//! uncapped baseline) per workload class, under 40 / 60 / 80% budgets.
+//!
+//! Expected shapes: worst ≈ average (fairness); MEM classes degrade less
+//! than ILP (they draw less power to begin with); tighter budgets degrade
+//! more.
+
+use crate::harness::{avg_worst, run_capped, Opts, PolicyKind};
+use crate::table::{f3, ResultTable};
+use fastcap_core::error::Result;
+use fastcap_workloads::{mixes, WorkloadClass};
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
+    let cfg = opts.sim_config(16)?;
+    let budgets = [0.4, 0.6, 0.8];
+    let mut t = ResultTable::new(
+        "fig6",
+        "Avg/worst normalized app performance per class (16 cores)",
+        &[
+            "class", "avg B=40%", "worst B=40%", "avg B=60%", "worst B=60%", "avg B=80%",
+            "worst B=80%",
+        ],
+    );
+    for class in WorkloadClass::ALL {
+        let mut cells = vec![class.to_string()];
+        for &b in &budgets {
+            let mut pooled = Vec::new();
+            for (i, mix) in mixes::by_class(class).into_iter().enumerate() {
+                let run = run_capped(
+                    &cfg,
+                    &mix,
+                    PolicyKind::FastCap,
+                    b,
+                    opts.epochs(),
+                    opts.seed + i as u64,
+                )?;
+                pooled.extend(run.capped.degradation_vs(&run.baseline, opts.skip())?);
+            }
+            let (avg, worst) = avg_worst(&pooled)?;
+            cells.push(f3(avg));
+            cells.push(f3(worst));
+        }
+        t.push_row(cells);
+    }
+    Ok(vec![t])
+}

@@ -1,0 +1,118 @@
+//! Figures 7 and 8: per-epoch frequencies selected by FastCap.
+//!
+//! * Fig. 7 — core frequency (GHz) for the core running `vortex` in ILP1,
+//!   `swim` in MEM1 and `swim` in MIX4; B = 80% as in the paper.
+//! * Fig. 8 — memory frequency (MHz) for ILP1, MEM1 and MIX4; B = 80%.
+//!
+//! Expected shapes: ILP runs cores fast / memory slow; MEM the reverse;
+//! MIX4's `swim` runs *faster* than MEM1's because MIX4's memory is less
+//! busy and can be slowed to feed the CPU-bound cores.
+//!
+//! **Reproduction note:** on our platform MEM1 draws slightly *less* than
+//! the 80% cap at maximum frequencies (its cores stall more than MEM3's,
+//! and the shared bus saturates), so at B = 80% MEM1 is simply uncapped and
+//! `swim` sits at 4 GHz. The supplementary B = 60% series — where MEM1 is
+//! genuinely power-limited — shows the paper's pattern (cores throttled,
+//! memory kept at maximum). See EXPERIMENTS.md.
+
+use crate::harness::{run_capped_only, Opts, PolicyKind};
+use crate::table::{f2, ResultTable};
+use fastcap_core::error::Result;
+use fastcap_core::freq::FreqLadder;
+use fastcap_sim::RunResult;
+use fastcap_workloads::mixes;
+
+const WORKLOADS: [&str; 3] = ["ILP1", "MEM1", "MIX4"];
+const TRACED_APPS: [&str; 3] = ["vortex@ILP1", "swim@MEM1", "swim@MIX4"];
+
+fn runs_at(opts: &Opts, budget: f64) -> Result<Vec<RunResult>> {
+    let cfg = opts.sim_config(16)?;
+    WORKLOADS
+        .iter()
+        .map(|name| {
+            let mix = mixes::by_name(name).expect("mix exists");
+            run_capped_only(&cfg, &mix, PolicyKind::FastCap, budget, opts.epochs(), opts.seed)
+        })
+        .collect()
+}
+
+/// Runs both figures (they share the simulations).
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
+    let core_ladder = FreqLadder::ispass_core();
+    let mem_ladder = FreqLadder::ispass_memory_bus();
+    let runs80 = runs_at(opts, 0.8)?;
+    let runs60 = runs_at(opts, 0.6)?;
+
+    // Core 0 runs the first-listed app of each mix: vortex in ILP1, swim in
+    // MEM1, swim in MIX4 (see mixes.rs ordering).
+    let mut fig7 = ResultTable::new(
+        "fig7",
+        "Core frequency (GHz) over time, B = 80%",
+        &["epoch", TRACED_APPS[0], TRACED_APPS[1], TRACED_APPS[2]],
+    );
+    let traces: Vec<Vec<usize>> = runs80.iter().map(|r| r.core_freq_trace(0)).collect();
+    for e in 0..traces[0].len() {
+        fig7.push_row(vec![
+            e.to_string(),
+            f2(core_ladder.at(traces[0][e]).ghz()),
+            f2(core_ladder.at(traces[1][e]).ghz()),
+            f2(core_ladder.at(traces[2][e]).ghz()),
+        ]);
+    }
+
+    let mut fig8 = ResultTable::new(
+        "fig8",
+        "Memory frequency (MHz) over time, B = 80%",
+        &["epoch", "ILP1", "MEM1", "MIX4"],
+    );
+    let mtraces: Vec<Vec<usize>> = runs80.iter().map(RunResult::mem_freq_trace).collect();
+    for e in 0..mtraces[0].len() {
+        fig8.push_row(vec![
+            e.to_string(),
+            f2(mem_ladder.at(mtraces[0][e]).mhz()),
+            f2(mem_ladder.at(mtraces[1][e]).mhz()),
+            f2(mem_ladder.at(mtraces[2][e]).mhz()),
+        ]);
+    }
+
+    // Shape summary at both budgets: mean selected frequencies.
+    let mut s = ResultTable::new(
+        "fig7_8_summary",
+        "Mean selected frequencies (post-warm-up)",
+        &[
+            "workload",
+            "traced app",
+            "core GHz (B=80%)",
+            "mem MHz (B=80%)",
+            "core GHz (B=60%)",
+            "mem MHz (B=60%)",
+        ],
+    );
+    let skip = opts.skip();
+    for (i, name) in WORKLOADS.iter().enumerate() {
+        let mean_core = |r: &RunResult| {
+            let t = r.core_freq_trace(0);
+            t[skip..].iter().map(|&idx| core_ladder.at(idx).ghz()).sum::<f64>()
+                / (t.len() - skip) as f64
+        };
+        let mean_mem = |r: &RunResult| {
+            let t = r.mem_freq_trace();
+            t[skip..].iter().map(|&idx| mem_ladder.at(idx).mhz()).sum::<f64>()
+                / (t.len() - skip) as f64
+        };
+        s.push_row(vec![
+            name.to_string(),
+            TRACED_APPS[i].to_string(),
+            f2(mean_core(&runs80[i])),
+            f2(mean_mem(&runs80[i])),
+            f2(mean_core(&runs60[i])),
+            f2(mean_mem(&runs60[i])),
+        ]);
+    }
+
+    Ok(vec![fig7, fig8, s])
+}

@@ -1,0 +1,62 @@
+//! Figure 9: FastCap vs. CPU-only*, Freq-Par* and Eql-Pwr on 16 cores under
+//! a 60% budget (`*` = memory pinned at maximum frequency).
+//!
+//! Expected shapes: FastCap ≥ CPU-only everywhere (memory DVFS helps, most
+//! for ILP); Freq-Par shows a large worst-vs-average gap (unfair,
+//! oscillating); Eql-Pwr's worst application is much slower than FastCap's
+//! on heterogeneous mixes.
+
+use crate::harness::{avg_worst, run_baseline, run_capped_only, Opts, PolicyKind};
+use crate::table::{f3, ResultTable};
+use fastcap_core::error::Result;
+use fastcap_workloads::{mixes, WorkloadClass};
+
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::FastCap,
+    PolicyKind::CpuOnly,
+    PolicyKind::FreqPar,
+    PolicyKind::EqlPwr,
+];
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
+    let cfg = opts.sim_config(16)?;
+    let mut columns = vec!["class".to_string()];
+    for p in POLICIES {
+        columns.push(format!("{} avg", p.name()));
+        columns.push(format!("{} worst", p.name()));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut t = ResultTable::new(
+        "fig9",
+        "Policy comparison: normalized avg/worst app performance (16 cores, B = 60%)",
+        &col_refs,
+    );
+
+    for class in WorkloadClass::ALL {
+        // Pool degradations per policy across the class's four mixes,
+        // reusing one baseline per mix.
+        let mut pooled: Vec<Vec<f64>> = vec![Vec::new(); POLICIES.len()];
+        for (i, mix) in mixes::by_class(class).into_iter().enumerate() {
+            let seed = opts.seed + i as u64;
+            let baseline = run_baseline(&cfg, &mix, opts.epochs(), seed)?;
+            for (pi, &kind) in POLICIES.iter().enumerate() {
+                let capped =
+                    run_capped_only(&cfg, &mix, kind, 0.6, opts.epochs(), seed)?;
+                pooled[pi].extend(capped.degradation_vs(&baseline, opts.skip())?);
+            }
+        }
+        let mut cells = vec![class.to_string()];
+        for d in &pooled {
+            let (avg, worst) = avg_worst(d)?;
+            cells.push(f3(avg));
+            cells.push(f3(worst));
+        }
+        t.push_row(cells);
+    }
+    Ok(vec![t])
+}

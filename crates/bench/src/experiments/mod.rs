@@ -1,0 +1,58 @@
+//! One module per paper artifact. Each exposes
+//! `run(&Opts) -> Result<Vec<ResultTable>>`; the `repro` binary dispatches
+//! on artifact id and prints/writes whatever comes back.
+
+pub mod ablation;
+pub mod epochlen;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12_13;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7_8;
+pub mod fig9;
+pub mod overhead;
+pub mod scaling;
+pub mod tab1;
+pub mod tab3;
+
+use crate::harness::Opts;
+use crate::table::ResultTable;
+use fastcap_core::error::Result;
+
+/// All artifact ids, in paper order.
+pub const ALL: &[&str] = &[
+    "tab1", "tab3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "overhead", "epochlen", "ablation", "scaling",
+];
+
+/// Dispatches one artifact id to its runner.
+///
+/// # Errors
+///
+/// Returns an error for unknown ids or failed runs.
+pub fn run(id: &str, opts: &Opts) -> Result<Vec<ResultTable>> {
+    match id {
+        "tab1" => tab1::run(opts),
+        "tab3" => tab3::run(opts),
+        "fig3" => fig3::run(opts),
+        "fig4" => fig4::run(opts),
+        "fig5" => fig5::run(opts),
+        "fig6" => fig6::run(opts),
+        "fig7" | "fig8" => fig7_8::run(opts),
+        "fig9" => fig9::run(opts),
+        "fig10" => fig10::run(opts),
+        "fig11" => fig11::run(opts),
+        "fig12" | "fig13" => fig12_13::run(opts),
+        "overhead" => overhead::run(opts),
+        "epochlen" => epochlen::run(opts),
+        "ablation" => ablation::run(opts),
+        "scaling" => scaling::run(opts),
+        other => Err(fastcap_core::error::Error::InvalidConfig {
+            what: "experiment",
+            why: format!("unknown artifact `{other}`; known: {ALL:?}"),
+        }),
+    }
+}

@@ -1,0 +1,97 @@
+//! Algorithm overhead (Sec. IV-B text): mean `decide()` latency for 16, 32
+//! and 64 cores, and the fraction of a 5 ms epoch it consumes.
+//!
+//! The paper measures 33.5 / 64.9 / 133.5 µs — i.e. overhead grows linearly
+//! with the core count (0.7% / 1.3% / 2.7% of the epoch). Absolute numbers
+//! depend on the host; the *linearity* is the claim to check.
+
+use crate::harness::{synthetic_controller_config, synthetic_observation, Opts};
+use crate::table::{f2, pct, ResultTable};
+use fastcap_core::capper::FastCapController;
+use fastcap_core::error::Result;
+use std::time::Instant;
+
+/// Measures the mean decide() latency over `iters` calls.
+///
+/// # Errors
+///
+/// Propagates controller construction failures.
+pub fn measure_decide_micros(n_cores: usize, iters: u32) -> Result<f64> {
+    let cfg = synthetic_controller_config(n_cores, 0.6)?;
+    let mut ctl = FastCapController::new(cfg)?;
+    let obs = synthetic_observation(n_cores);
+    // Warm up fitters and caches.
+    for _ in 0..10 {
+        ctl.decide(&obs)?;
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(ctl.decide(&obs)?);
+    }
+    Ok(start.elapsed().as_secs_f64() * 1e6 / iters as f64)
+}
+
+/// Number of candidate bus points Algorithm 1 touches for the synthetic
+/// observation at this core count (the binary search visits 3–7 of the `M`
+/// candidates depending on where the optimum sits, so raw latency does not
+/// scale as a clean 2× per core doubling — latency / (cores × points) is
+/// the flat quantity).
+///
+/// # Errors
+///
+/// Propagates controller construction failures.
+pub fn points_evaluated(n_cores: usize) -> Result<usize> {
+    use fastcap_core::optimizer::{algorithm1, bus_candidates};
+    let cfg = synthetic_controller_config(n_cores, 0.6)?;
+    let mut ctl = FastCapController::new(cfg)?;
+    let obs = synthetic_observation(n_cores);
+    ctl.observe(&obs);
+    let model = ctl.build_model(&obs)?;
+    let cands = bus_candidates(
+        model.memory.min_bus_transfer_time,
+        ctl.config().mem_ladder.levels(),
+    );
+    Ok(algorithm1(&model, &cands)?.points_evaluated)
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates measurement failures.
+pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
+    let iters = if opts.quick { 2_000 } else { 20_000 };
+    let mut t = ResultTable::new(
+        "overhead",
+        "FastCap decide() latency (paper: 33.5/64.9/133.5 µs at 16/32/64 cores)",
+        &[
+            "cores",
+            "mean latency (µs)",
+            "of 5 ms epoch",
+            "scaling vs 16 cores",
+            "bus points touched",
+            "µs / (core·point)",
+        ],
+    );
+    let mut base = None;
+    for n in [16usize, 32, 64] {
+        let us = measure_decide_micros(n, iters)?;
+        let points = points_evaluated(n)?;
+        let ratio = match base {
+            None => {
+                base = Some(us);
+                1.0
+            }
+            Some(b) => us / b,
+        };
+        t.push_row(vec![
+            n.to_string(),
+            f2(us),
+            pct(us / 5_000.0),
+            format!("{ratio:.2}x"),
+            points.to_string(),
+            format!("{:.3}", us / (n as f64 * points as f64)),
+        ]);
+    }
+    Ok(vec![t])
+}

@@ -1,0 +1,67 @@
+//! Scaling study (beyond the paper): closed-loop capping quality from 16
+//! to 256 cores, using the analytic backend (the DES would take hours at
+//! 256 cores; `tests/analytic_vs_des.rs` validates the backends against
+//! each other at 16).
+//!
+//! The paper argues FastCap's `O(N log M)` complexity is what makes
+//! many-core capping viable; this experiment shows the *quality* also
+//! holds: budget adherence and fairness are flat in `N`, and decide()
+//! latency stays far below the 5 ms epoch.
+
+use crate::harness::Opts;
+use crate::table::{f2, f3, pct, ResultTable};
+use fastcap_core::error::Result;
+use fastcap_core::fairness;
+use fastcap_policies::{CappingPolicy, FastCapPolicy};
+use fastcap_sim::{AnalyticServer, SimConfig};
+use fastcap_workloads::mixes;
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates simulator/policy construction failures.
+pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
+    let mut t = ResultTable::new(
+        "scaling",
+        "Closed-loop FastCap from 16 to 256 cores (analytic backend, MIX2, B = 60%)",
+        &[
+            "cores",
+            "avg power / budget",
+            "avg degr",
+            "worst degr",
+            "Jain",
+            "decide µs",
+        ],
+    );
+    let epochs = opts.epochs().min(60);
+    let mix = mixes::by_name("MIX2").expect("mix exists");
+    for n in [16usize, 32, 64, 128, 256] {
+        let cfg = SimConfig::ispass(n)?.with_meter_noise(0.0);
+        let ctl_cfg = cfg.controller_config(0.6)?;
+        let budget = ctl_cfg.budget();
+
+        let mut baseline = AnalyticServer::for_workload(cfg.clone(), &mix, opts.seed)?;
+        let base = baseline.run(epochs, |_| None);
+
+        let mut policy = FastCapPolicy::new(ctl_cfg)?;
+        let mut server = AnalyticServer::for_workload(cfg, &mix, opts.seed)?;
+        let run = server.run(epochs, |obs| policy.decide(obs).ok());
+
+        let d = run.degradation_vs(&base, opts.skip())?;
+        let rep = fairness::report(&d)?;
+        let us = crate::experiments::overhead::measure_decide_micros(
+            n,
+            if opts.quick { 200 } else { 2_000 },
+        )?;
+        t.push_row(vec![
+            n.to_string(),
+            pct(run.avg_power(opts.skip()) / budget),
+            f3(rep.average),
+            f3(rep.worst),
+            f3(rep.jain_index),
+            f2(us),
+        ]);
+    }
+    Ok(vec![t])
+}

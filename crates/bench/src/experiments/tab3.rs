@@ -1,0 +1,34 @@
+//! Table III: the sixteen workload mixes and their MPKI/WPKI — regenerated
+//! from `fastcap-workloads` (the means are locked to the paper's values by
+//! a unit test there).
+
+use crate::harness::Opts;
+use crate::table::{f2, ResultTable};
+use fastcap_core::error::Result;
+use fastcap_workloads::mixes;
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Never fails in practice; signature matches the other runners.
+pub fn run(_opts: &Opts) -> Result<Vec<ResultTable>> {
+    let mut t = ResultTable::new(
+        "tab3",
+        "Table III — workload mixes (MPKI/WPKI are per-mix means, N/4 copies of each app)",
+        &["name", "MPKI", "WPKI", "applications"],
+    );
+    for w in mixes::all() {
+        t.push_row(vec![
+            w.name.clone(),
+            f2(w.mean_mpki()),
+            f2(w.mean_wpki()),
+            w.apps
+                .iter()
+                .map(|a| a.name.as_str())
+                .collect::<Vec<_>>()
+                .join(" "),
+        ]);
+    }
+    Ok(vec![t])
+}

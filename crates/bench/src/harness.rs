@@ -1,0 +1,314 @@
+//! Shared experiment machinery: policy construction, baseline/capped run
+//! pairs, and observation synthesis for algorithm microbenchmarks.
+
+use fastcap_core::capper::FastCapConfig;
+use fastcap_core::counters::{CoreSample, EpochObservation, MemorySample};
+use fastcap_core::error::{Error, Result};
+use fastcap_core::units::{Hz, Secs, Watts};
+use fastcap_policies::{
+    CappingPolicy, CpuOnlyPolicy, EqlFreqPolicy, EqlPwrPolicy, FastCapPolicy, FreqParPolicy,
+    MaxBipsPolicy,
+};
+use fastcap_sim::{RunResult, Server, SimConfig};
+use fastcap_workloads::WorkloadSpec;
+use std::path::PathBuf;
+
+/// Global experiment options (CLI flags of the `repro` binary).
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Shrinks epochs and raises time dilation for fast turnarounds.
+    pub quick: bool,
+    /// Base RNG seed (each run derives its own).
+    pub seed: u64,
+    /// Output directory for CSV/JSON artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            seed: 42,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl Opts {
+    /// Epochs per run.
+    pub fn epochs(&self) -> usize {
+        if self.quick {
+            40
+        } else {
+            100
+        }
+    }
+
+    /// Warm-up epochs excluded from aggregates.
+    pub fn skip(&self) -> usize {
+        5
+    }
+
+    /// Simulator time dilation.
+    pub fn dilation(&self) -> f64 {
+        if self.quick {
+            100.0
+        } else {
+            25.0
+        }
+    }
+
+    /// The standard simulator config for this options set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimConfig::ispass`] validation.
+    pub fn sim_config(&self, n_cores: usize) -> Result<SimConfig> {
+        Ok(SimConfig::ispass(n_cores)?.with_time_dilation(self.dilation()))
+    }
+}
+
+/// Which capping policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's policy.
+    FastCap,
+    /// FastCap minus memory DVFS.
+    CpuOnly,
+    /// Linear feedback control (Ma et al.).
+    FreqPar,
+    /// Equal per-core power shares (Sharkey et al.).
+    EqlPwr,
+    /// One global core frequency (Herbert & Marculescu).
+    EqlFreq,
+    /// Exhaustive throughput maximization (Isci et al.).
+    MaxBips,
+}
+
+impl PolicyKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::FastCap => "FastCap",
+            PolicyKind::CpuOnly => "CPU-only",
+            PolicyKind::FreqPar => "Freq-Par",
+            PolicyKind::EqlPwr => "Eql-Pwr",
+            PolicyKind::EqlFreq => "Eql-Freq",
+            PolicyKind::MaxBips => "MaxBIPS",
+        }
+    }
+
+    /// Instantiates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy constructor failures (e.g. MaxBIPS on too many
+    /// cores).
+    pub fn build(self, cfg: FastCapConfig) -> Result<Box<dyn CappingPolicy>> {
+        Ok(match self {
+            PolicyKind::FastCap => Box::new(FastCapPolicy::new(cfg)?),
+            PolicyKind::CpuOnly => Box::new(CpuOnlyPolicy::new(cfg)?),
+            PolicyKind::FreqPar => Box::new(FreqParPolicy::new(cfg)?),
+            PolicyKind::EqlPwr => Box::new(EqlPwrPolicy::new(cfg)?),
+            PolicyKind::EqlFreq => Box::new(EqlFreqPolicy::new(cfg)?),
+            PolicyKind::MaxBips => Box::new(MaxBipsPolicy::new(cfg)?),
+        })
+    }
+}
+
+/// A baseline/capped run pair for one workload.
+#[derive(Debug, Clone)]
+pub struct CappedRun {
+    /// Uncapped (maximum frequencies) reference run.
+    pub baseline: RunResult,
+    /// The policy-controlled run.
+    pub capped: RunResult,
+    /// Absolute budget in force.
+    pub budget: Watts,
+}
+
+/// Runs the uncapped baseline for a workload.
+///
+/// # Errors
+///
+/// Propagates simulator construction failures.
+pub fn run_baseline(
+    sim_cfg: &SimConfig,
+    mix: &WorkloadSpec,
+    epochs: usize,
+    seed: u64,
+) -> Result<RunResult> {
+    let mut server = Server::for_workload(sim_cfg.clone(), mix, seed)?;
+    Ok(server.run(epochs, |_| None))
+}
+
+/// Runs `kind` under `budget_frac` on `mix`, including a matching baseline
+/// (same seed, same workload).
+///
+/// # Errors
+///
+/// Propagates simulator / policy construction failures.
+pub fn run_capped(
+    sim_cfg: &SimConfig,
+    mix: &WorkloadSpec,
+    kind: PolicyKind,
+    budget_frac: f64,
+    epochs: usize,
+    seed: u64,
+) -> Result<CappedRun> {
+    let baseline = run_baseline(sim_cfg, mix, epochs, seed)?;
+    let capped = run_capped_only(sim_cfg, mix, kind, budget_frac, epochs, seed)?;
+    let budget = sim_cfg.controller_config(budget_frac)?.budget();
+    Ok(CappedRun {
+        baseline,
+        capped,
+        budget,
+    })
+}
+
+/// Runs only the capped side (reuse a cached baseline when sweeping
+/// policies or budgets over the same workload).
+///
+/// # Errors
+///
+/// Propagates simulator / policy construction failures.
+pub fn run_capped_only(
+    sim_cfg: &SimConfig,
+    mix: &WorkloadSpec,
+    kind: PolicyKind,
+    budget_frac: f64,
+    epochs: usize,
+    seed: u64,
+) -> Result<RunResult> {
+    let ctl_cfg = sim_cfg.controller_config(budget_frac)?;
+    let mut policy = kind.build(ctl_cfg)?;
+    let mut server = Server::for_workload(sim_cfg.clone(), mix, seed)?;
+    Ok(server.run(epochs, |obs| policy.decide(obs).ok()))
+}
+
+/// Pools per-application degradations from several runs and returns
+/// `(average, worst)` — the two bars of Fig. 6/9/10/11/13.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidModel`] when no degradations are supplied.
+pub fn avg_worst(degradations: &[f64]) -> Result<(f64, f64)> {
+    if degradations.is_empty() {
+        return Err(Error::InvalidModel {
+            why: "no degradations to pool".into(),
+        });
+    }
+    let avg = degradations.iter().sum::<f64>() / degradations.len() as f64;
+    let worst = degradations.iter().cloned().fold(f64::MIN, f64::max);
+    Ok((avg, worst))
+}
+
+/// Synthesizes a plausible `N`-core observation for algorithm-only
+/// microbenchmarks (Table I scaling, overhead table, Criterion benches) —
+/// no simulator in the loop, mixed CPU/memory-bound cores.
+pub fn synthetic_observation(n_cores: usize) -> EpochObservation {
+    let cores = (0..n_cores)
+        .map(|i| CoreSample {
+            freq: Hz::from_ghz(4.0),
+            busy_time_per_instruction: Secs::from_nanos(0.25 + 0.01 * (i % 7) as f64),
+            instructions: 1_000_000,
+            last_level_misses: match i % 4 {
+                0 => 400,
+                1 => 2_000,
+                2 => 8_000,
+                _ => 20_000,
+            },
+            power: Watts(3.8 + 0.1 * (i % 5) as f64),
+        })
+        .collect();
+    EpochObservation::single(
+        cores,
+        MemorySample {
+            bus_freq: Hz::from_mhz(800.0),
+            bank_queue: 1.7,
+            bus_queue: 1.4,
+            bank_service_time: Secs::from_nanos(27.0),
+            power: Watts(30.0),
+        },
+        Watts(4.5 * n_cores as f64 + 40.0),
+    )
+}
+
+/// The controller configuration used for synthetic-observation benchmarks.
+///
+/// # Errors
+///
+/// Propagates builder validation (never fails for supported `n_cores`).
+pub fn synthetic_controller_config(n_cores: usize, budget_frac: f64) -> Result<FastCapConfig> {
+    FastCapConfig::builder(n_cores)
+        .budget_fraction(budget_frac)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastcap_workloads::mixes;
+
+    #[test]
+    fn opts_quick_vs_full() {
+        let q = Opts {
+            quick: true,
+            ..Opts::default()
+        };
+        let f = Opts::default();
+        assert!(q.epochs() < f.epochs());
+        assert!(q.dilation() > f.dilation());
+    }
+
+    #[test]
+    fn policy_kinds_build() {
+        for kind in [
+            PolicyKind::FastCap,
+            PolicyKind::CpuOnly,
+            PolicyKind::FreqPar,
+            PolicyKind::EqlPwr,
+            PolicyKind::EqlFreq,
+        ] {
+            let cfg = synthetic_controller_config(16, 0.6).unwrap();
+            assert!(kind.build(cfg).is_ok(), "{}", kind.name());
+        }
+        // MaxBIPS rejects 16 cores but accepts 4.
+        assert!(PolicyKind::MaxBips
+            .build(synthetic_controller_config(16, 0.6).unwrap())
+            .is_err());
+        assert!(PolicyKind::MaxBips
+            .build(synthetic_controller_config(4, 0.6).unwrap())
+            .is_ok());
+    }
+
+    #[test]
+    fn capped_run_end_to_end() {
+        let opts = Opts {
+            quick: true,
+            ..Opts::default()
+        };
+        let cfg = opts.sim_config(16).unwrap().with_time_dilation(200.0);
+        let mix = mixes::by_name("MID1").unwrap();
+        let run = run_capped(&cfg, &mix, PolicyKind::FastCap, 0.6, 12, 1).unwrap();
+        assert!(run.capped.avg_power(3) < run.baseline.avg_power(3));
+        assert!(run.capped.avg_power(3).get() <= run.budget.get() * 1.1);
+        let d = run.capped.degradation_vs(&run.baseline, 3).unwrap();
+        assert!(d.iter().all(|&x| x > 0.8));
+    }
+
+    #[test]
+    fn avg_worst_pools() {
+        let (a, w) = avg_worst(&[1.0, 1.2, 1.4]).unwrap();
+        assert!((a - 1.2).abs() < 1e-12);
+        assert!((w - 1.4).abs() < 1e-12);
+        assert!(avg_worst(&[]).is_err());
+    }
+
+    #[test]
+    fn synthetic_observation_shapes() {
+        let obs = synthetic_observation(32);
+        assert_eq!(obs.cores.len(), 32);
+        assert!(obs.total_power.get() > 100.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # fastcap-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! FastCap evaluation (ISPASS 2016, Sec. IV). See DESIGN.md §3 for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured shapes.
+//!
+//! Two entry points:
+//!
+//! * the `repro` binary — `cargo run -p fastcap-bench --release --bin repro
+//!   -- <artifact|all> [--quick] [--seed N] [--out DIR]`;
+//! * Criterion benches (`alg_scaling`, `policy_overhead`, `solver`,
+//!   `sim_engine`) for the latency/complexity claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{Opts, PolicyKind};
+pub use table::ResultTable;

@@ -1,0 +1,55 @@
+//! Smoke tests for the experiment harness: cheap runners execute and
+//! produce well-formed tables; the dispatcher knows every artifact id.
+
+use fastcap_bench::experiments;
+use fastcap_bench::harness::Opts;
+
+fn quick_opts() -> Opts {
+    Opts {
+        quick: true,
+        seed: 1,
+        out_dir: std::env::temp_dir().join("fastcap_bench_smoke"),
+    }
+}
+
+#[test]
+fn dispatcher_rejects_unknown_ids() {
+    assert!(experiments::run("fig99", &quick_opts()).is_err());
+    assert!(experiments::run("", &quick_opts()).is_err());
+}
+
+#[test]
+fn all_ids_are_known_to_the_dispatcher() {
+    // Every id in ALL must at least dispatch (we only *run* the cheap one
+    // here; the expensive ones are covered by the repro binary itself).
+    assert!(experiments::ALL.contains(&"fig3"));
+    assert!(experiments::ALL.contains(&"overhead"));
+    assert!(experiments::ALL.contains(&"scaling"));
+    assert_eq!(experiments::ALL.len(), 17);
+}
+
+#[test]
+fn tab3_regenerates_table_iii() {
+    let tables = experiments::run("tab3", &quick_opts()).unwrap();
+    assert_eq!(tables.len(), 1);
+    let t = &tables[0];
+    assert_eq!(t.rows.len(), 16, "sixteen mixes");
+    // Spot-check a Table III value straight out of the artifact.
+    let mem1 = t.rows.iter().find(|r| r[0] == "MEM1").unwrap();
+    assert_eq!(mem1[1], "18.22");
+    assert_eq!(mem1[3], "swim applu galgel equake");
+    // Artifacts are writable.
+    t.write_to(&quick_opts().out_dir).unwrap();
+    assert!(quick_opts().out_dir.join("tab3.csv").exists());
+}
+
+#[test]
+fn tab1_theory_rows_cover_the_paper() {
+    let tables = experiments::run("tab1", &quick_opts()).unwrap();
+    let theory = tables.iter().find(|t| t.id == "tab1_theory").unwrap();
+    assert!(theory.rows.iter().any(|r| r[0].contains("FastCap")));
+    assert!(theory.rows.iter().any(|r| r[1] == "O(F^N)"));
+    // The measured FastCap table shows per-core cost flattening out.
+    let fast = tables.iter().find(|t| t.id == "tab1_fastcap").unwrap();
+    assert!(fast.rows.len() >= 4);
+}

@@ -1,0 +1,659 @@
+//! The epoch-driven FastCap controller (Sec. III-C).
+//!
+//! [`FastCapController`] is what the OS would invoke once per time quantum:
+//! it consumes an [`EpochObservation`], refits the power models from the
+//! observed (frequency, power) pairs, assembles the optimization instance,
+//! runs Algorithm 1, and quantizes the continuous solution onto the DVFS
+//! ladders ("the closest frequency after normalization").
+
+use crate::counters::EpochObservation;
+use crate::error::{Error, Result};
+use crate::freq::FreqLadder;
+use crate::model::{CapModel, CoreModel, MemoryModel, ResponseModel};
+use crate::optimizer::{self, bus_candidates};
+use crate::power::{ExponentBounds, PowerLaw, PowerModelFitter, PowerSample};
+use crate::queueing::{MultiControllerModel, ResponseTimeModel};
+use crate::units::{Hz, Secs, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of the controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FastCapConfig {
+    /// Number of cores `N`.
+    pub n_cores: usize,
+    /// Core DVFS ladder (`F` levels).
+    pub core_ladder: FreqLadder,
+    /// Memory-bus DVFS ladder (`M` levels).
+    pub mem_ladder: FreqLadder,
+    /// Peak full-system power `P̄` (measured at maximum frequencies).
+    pub peak_power: Watts,
+    /// Budget fraction `B ∈ (0, 1]`; the cap is `B·P̄`.
+    pub budget_fraction: f64,
+    /// Per-core static (frequency-independent) power.
+    pub core_static_power: Watts,
+    /// Memory static power (DIMM background at lowest state, etc.).
+    pub mem_static_power: Watts,
+    /// Everything else (disks, NICs, L2, board) — the fixed 10 W of
+    /// Sec. IV-A plus any other frequency-independent draw.
+    pub other_static_power: Watts,
+    /// `s̄_b`: bus transfer time at the maximum memory frequency.
+    pub min_bus_transfer_time: Secs,
+    /// Average L2 time per access, `c_i` (frequency-independent).
+    pub cache_time: Secs,
+    /// Initial core power law used until the fitter has data.
+    pub initial_core_law: PowerLaw,
+    /// Initial memory power law used until the fitter has data.
+    pub initial_mem_law: PowerLaw,
+}
+
+impl FastCapConfig {
+    /// Starts a builder with the paper's defaults for an `n_cores` system.
+    pub fn builder(n_cores: usize) -> FastCapConfigBuilder {
+        FastCapConfigBuilder::new(n_cores)
+    }
+
+    /// The absolute power budget `B·P̄`.
+    #[inline]
+    pub fn budget(&self) -> Watts {
+        Watts(self.peak_power.get() * self.budget_fraction)
+    }
+
+    /// Total static power `P_s`.
+    #[inline]
+    pub fn total_static_power(&self) -> Watts {
+        self.core_static_power * self.n_cores as f64
+            + self.mem_static_power
+            + self.other_static_power
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.n_cores == 0 {
+            return Err(Error::InvalidConfig {
+                what: "n_cores",
+                why: "must be at least 1".into(),
+            });
+        }
+        if !(self.budget_fraction > 0.0 && self.budget_fraction <= 1.0) {
+            return Err(Error::InvalidConfig {
+                what: "budget_fraction",
+                why: format!("must be in (0, 1], got {}", self.budget_fraction),
+            });
+        }
+        if !(self.peak_power.get() > 0.0 && self.peak_power.is_finite()) {
+            return Err(Error::InvalidConfig {
+                what: "peak_power",
+                why: format!("must be positive, got {}", self.peak_power),
+            });
+        }
+        if !(self.min_bus_transfer_time.get() > 0.0) {
+            return Err(Error::InvalidConfig {
+                what: "min_bus_transfer_time",
+                why: "must be positive".into(),
+            });
+        }
+        for (name, w) in [
+            ("core_static_power", self.core_static_power),
+            ("mem_static_power", self.mem_static_power),
+            ("other_static_power", self.other_static_power),
+        ] {
+            if !(w.get() >= 0.0 && w.is_finite()) {
+                return Err(Error::InvalidConfig {
+                    what: "static power",
+                    why: format!("{name} must be >= 0 and finite, got {w}"),
+                });
+            }
+        }
+        if !(self.cache_time.get() >= 0.0) {
+            return Err(Error::InvalidConfig {
+                what: "cache_time",
+                why: "must be >= 0".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`FastCapConfig`] with paper-matching defaults.
+#[derive(Debug, Clone)]
+pub struct FastCapConfigBuilder {
+    cfg: FastCapConfig,
+}
+
+impl FastCapConfigBuilder {
+    fn new(n_cores: usize) -> Self {
+        // Defaults mirror the 16-core ISPASS platform, scaled to N:
+        // per-core 3.5 W dynamic + 1.0 W static, memory 24 W dynamic +
+        // 12 W static, 10 W other.
+        let peak = Watts(4.5 * n_cores as f64 + 36.0 + 10.0);
+        Self {
+            cfg: FastCapConfig {
+                n_cores,
+                core_ladder: FreqLadder::ispass_core(),
+                mem_ladder: FreqLadder::ispass_memory_bus(),
+                peak_power: peak,
+                budget_fraction: 0.6,
+                core_static_power: Watts(1.0),
+                mem_static_power: Watts(12.0),
+                other_static_power: Watts(10.0),
+                min_bus_transfer_time: Secs::from_nanos(5.0),
+                cache_time: Secs::from_nanos(7.5),
+                initial_core_law: PowerLaw {
+                    p_max: Watts(3.5),
+                    alpha: 2.5,
+                },
+                initial_mem_law: PowerLaw {
+                    p_max: Watts(24.0),
+                    alpha: 1.0,
+                },
+            },
+        }
+    }
+
+    /// Sets the budget fraction `B`.
+    #[must_use]
+    pub fn budget_fraction(mut self, b: f64) -> Self {
+        self.cfg.budget_fraction = b;
+        self
+    }
+
+    /// Sets the measured peak full-system power `P̄`.
+    #[must_use]
+    pub fn peak_power(mut self, p: Watts) -> Self {
+        self.cfg.peak_power = p;
+        self
+    }
+
+    /// Sets the core DVFS ladder.
+    #[must_use]
+    pub fn core_ladder(mut self, l: FreqLadder) -> Self {
+        self.cfg.core_ladder = l;
+        self
+    }
+
+    /// Sets the memory-bus DVFS ladder.
+    #[must_use]
+    pub fn mem_ladder(mut self, l: FreqLadder) -> Self {
+        self.cfg.mem_ladder = l;
+        self
+    }
+
+    /// Sets static powers (per-core, memory, other).
+    #[must_use]
+    pub fn static_powers(mut self, core: Watts, mem: Watts, other: Watts) -> Self {
+        self.cfg.core_static_power = core;
+        self.cfg.mem_static_power = mem;
+        self.cfg.other_static_power = other;
+        self
+    }
+
+    /// Sets the minimum bus transfer time `s̄_b`.
+    #[must_use]
+    pub fn min_bus_transfer_time(mut self, s: Secs) -> Self {
+        self.cfg.min_bus_transfer_time = s;
+        self
+    }
+
+    /// Sets the L2 cache time `c_i`.
+    #[must_use]
+    pub fn cache_time(mut self, c: Secs) -> Self {
+        self.cfg.cache_time = c;
+        self
+    }
+
+    /// Sets the initial (pre-fit) power laws.
+    #[must_use]
+    pub fn initial_laws(mut self, core: PowerLaw, mem: PowerLaw) -> Self {
+        self.cfg.initial_core_law = core;
+        self.cfg.initial_mem_law = mem;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when any parameter is out of range.
+    pub fn build(self) -> Result<FastCapConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// The DVFS settings chosen for the next epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsDecision {
+    /// Per-core ladder indices.
+    pub core_freqs: Vec<usize>,
+    /// Memory-bus ladder index.
+    pub mem_freq: usize,
+    /// Predicted total power at the (continuous) optimum.
+    pub predicted_power: Watts,
+    /// The achieved degradation factor `D` (1.0 = no degradation).
+    pub degradation: f64,
+    /// Whether the budget constraint was binding.
+    pub budget_bound: bool,
+    /// `true` when the optimizer found no feasible point and the controller
+    /// fell back to minimum frequencies everywhere.
+    pub emergency: bool,
+}
+
+impl DvfsDecision {
+    /// Resolves the chosen core frequencies against a ladder.
+    pub fn core_freqs_hz(&self, ladder: &FreqLadder) -> Vec<Hz> {
+        self.core_freqs.iter().map(|&i| ladder.at(i)).collect()
+    }
+
+    /// Resolves the chosen memory frequency against a ladder.
+    pub fn mem_freq_hz(&self, ladder: &FreqLadder) -> Hz {
+        ladder.at(self.mem_freq)
+    }
+}
+
+/// The online FastCap controller.
+#[derive(Debug, Clone)]
+pub struct FastCapController {
+    cfg: FastCapConfig,
+    core_fitters: Vec<PowerModelFitter>,
+    mem_fitter: PowerModelFitter,
+    candidates: Vec<Secs>,
+    epochs_seen: u64,
+}
+
+impl FastCapController {
+    /// Creates a controller from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the configuration is invalid.
+    pub fn new(cfg: FastCapConfig) -> Result<Self> {
+        cfg.validate()?;
+        let core_fitters = (0..cfg.n_cores)
+            .map(|_| PowerModelFitter::new(cfg.initial_core_law, ExponentBounds::CORE))
+            .collect();
+        let mem_fitter = PowerModelFitter::new(cfg.initial_mem_law, ExponentBounds::MEMORY);
+        let candidates = bus_candidates(cfg.min_bus_transfer_time, cfg.mem_ladder.levels());
+        Ok(Self {
+            cfg,
+            core_fitters,
+            mem_fitter,
+            candidates,
+            epochs_seen: 0,
+        })
+    }
+
+    /// The controller's configuration.
+    #[inline]
+    pub fn config(&self) -> &FastCapConfig {
+        &self.cfg
+    }
+
+    /// Number of epochs processed so far.
+    #[inline]
+    pub fn epochs_seen(&self) -> u64 {
+        self.epochs_seen
+    }
+
+    /// Builds the optimization instance from an observation (exposed for
+    /// baseline policies that reuse FastCap's modelling but search
+    /// differently).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when the observation does not match
+    /// `n_cores`, or [`Error::InvalidModel`] for malformed counters.
+    pub fn build_model(&self, obs: &EpochObservation) -> Result<CapModel> {
+        if obs.cores.len() != self.cfg.n_cores {
+            return Err(Error::ShapeMismatch {
+                expected: self.cfg.n_cores,
+                got: obs.cores.len(),
+            });
+        }
+        let f_max = self.cfg.core_ladder.max();
+        let cores = obs
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, s)| CoreModel {
+                min_think_time: s.min_think_time(f_max),
+                cache_time: self.cfg.cache_time,
+                power: self.core_fitters[i].model(),
+            })
+            .collect();
+
+        let response = if obs.controllers.is_empty() {
+            ResponseModel::Single(ResponseTimeModel::new(
+                obs.memory.bank_queue,
+                obs.memory.bus_queue,
+                obs.memory.bank_service_time,
+            )?)
+        } else {
+            let ctls = obs
+                .controllers
+                .iter()
+                .map(|c| ResponseTimeModel::new(c.bank_queue, c.bus_queue, c.bank_service_time))
+                .collect::<Result<Vec<_>>>()?;
+            ResponseModel::Multi(MultiControllerModel::new(ctls, obs.access_weights.clone())?)
+        };
+
+        let model = CapModel {
+            cores,
+            memory: MemoryModel {
+                min_bus_transfer_time: self.cfg.min_bus_transfer_time,
+                response,
+                power: self.mem_fitter.model(),
+            },
+            static_power: self.cfg.total_static_power(),
+            budget: self.cfg.budget(),
+        };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Feeds the fitters with this epoch's (frequency, power) observations
+    /// and advances the epoch counter. [`FastCapController::decide`] calls
+    /// this internally; baseline policies that reuse FastCap's modelling but
+    /// search differently call it before [`FastCapController::build_model`].
+    pub fn observe(&mut self, obs: &EpochObservation) {
+        self.update_fitters(obs);
+        self.epochs_seen += 1;
+    }
+
+    /// The ordered candidate bus-transfer-time array (one per memory
+    /// frequency level, ascending in `s_b`).
+    pub fn candidates(&self) -> &[Secs] {
+        &self.candidates
+    }
+
+    /// Feeds the fitters with this epoch's (frequency, power) observations.
+    fn update_fitters(&mut self, obs: &EpochObservation) {
+        let f_max = self.cfg.core_ladder.max();
+        for (i, s) in obs.cores.iter().enumerate() {
+            let dynamic = s.power - self.cfg.core_static_power;
+            if dynamic.get() > 0.0 {
+                self.core_fitters[i].observe(PowerSample {
+                    scale: s.freq / f_max,
+                    dynamic_power: dynamic,
+                });
+            }
+        }
+        let mem_dyn = obs.memory.power - self.cfg.mem_static_power;
+        if mem_dyn.get() > 0.0 {
+            self.mem_fitter.observe(PowerSample {
+                scale: obs.memory.bus_freq / self.cfg.mem_ladder.max(),
+                dynamic_power: mem_dyn,
+            });
+        }
+    }
+
+    /// Runs one FastCap iteration: refit, optimize, quantize.
+    ///
+    /// When the budget is infeasible even at minimum frequencies (a static
+    /// floor higher than the cap) this does not error: it returns an
+    /// *emergency* decision with every frequency at its minimum, which is
+    /// the best the DVFS actuators can do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] / [`Error::InvalidModel`] for
+    /// malformed observations.
+    pub fn decide(&mut self, obs: &EpochObservation) -> Result<DvfsDecision> {
+        self.observe(obs);
+        let candidates = self.candidates.clone();
+        self.solve_quantized(obs, &candidates)
+    }
+
+    /// Runs the optimization over an arbitrary candidate `s_b` array and
+    /// quantizes, *without* updating the fitters (call
+    /// [`FastCapController::observe`] first). The CPU-only baseline passes
+    /// just `[s̄_b]` here to pin memory at its maximum frequency.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FastCapController::decide`].
+    pub fn solve_quantized(
+        &self,
+        obs: &EpochObservation,
+        candidates: &[Secs],
+    ) -> Result<DvfsDecision> {
+        let model = self.build_model(obs)?;
+        match optimizer::algorithm1(&model, candidates) {
+            Ok(sol) => {
+                let core_freqs = sol
+                    .inner
+                    .core_scales
+                    .iter()
+                    .map(|&s| self.cfg.core_ladder.nearest_scale(s))
+                    .collect();
+                let mem_freq = self.cfg.mem_ladder.nearest_scale(sol.bus_scale);
+                Ok(DvfsDecision {
+                    core_freqs,
+                    mem_freq,
+                    predicted_power: sol.inner.predicted_power,
+                    degradation: sol.inner.degradation,
+                    budget_bound: sol.inner.budget_bound,
+                    emergency: false,
+                })
+            }
+            Err(Error::Infeasible { floor_watts, .. }) => {
+                let min_scale = self.cfg.core_ladder.scale(0);
+                let predicted: Watts = model
+                    .cores
+                    .iter()
+                    .map(|c| c.power.dynamic_power(min_scale))
+                    .sum::<Watts>()
+                    + model
+                        .memory
+                        .power
+                        .dynamic_power(self.cfg.mem_ladder.scale(0))
+                    + Watts(floor_watts).max(model.static_power);
+                Ok(DvfsDecision {
+                    core_freqs: vec![0; self.cfg.n_cores],
+                    mem_freq: 0,
+                    predicted_power: predicted,
+                    degradation: 0.0,
+                    budget_bound: true,
+                    emergency: true,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{CoreSample, MemorySample};
+
+    fn obs_16(cpu_bound: bool) -> EpochObservation {
+        let cores = (0..16)
+            .map(|i| CoreSample {
+                freq: Hz::from_ghz(4.0),
+                busy_time_per_instruction: Secs::from_nanos(0.28),
+                instructions: 1_000_000,
+                last_level_misses: if cpu_bound {
+                    400
+                } else {
+                    15_000 + 500 * (i as u64 % 4)
+                },
+                power: Watts(4.3),
+            })
+            .collect();
+        EpochObservation::single(
+            cores,
+            MemorySample {
+                bus_freq: Hz::from_mhz(800.0),
+                bank_queue: 1.6,
+                bus_queue: 1.3,
+                bank_service_time: Secs::from_nanos(30.0),
+                power: Watts(30.0),
+            },
+            Watts(110.0),
+        )
+    }
+
+    fn controller(budget: f64) -> FastCapController {
+        let cfg = FastCapConfig::builder(16)
+            .budget_fraction(budget)
+            .peak_power(Watts(120.0))
+            .build()
+            .unwrap();
+        FastCapController::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn config_defaults_match_paper_platform() {
+        let cfg = FastCapConfig::builder(16).build().unwrap();
+        assert_eq!(cfg.core_ladder.len(), 10);
+        assert_eq!(cfg.mem_ladder.len(), 10);
+        assert!((cfg.peak_power.get() - 118.0).abs() < 1e-9);
+        assert!((cfg.budget().get() - 70.8).abs() < 1e-9);
+        // Ps = 16*1 + 12 + 10 = 38 W.
+        assert!((cfg.total_static_power().get() - 38.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_values() {
+        assert!(FastCapConfig::builder(0).build().is_err());
+        assert!(FastCapConfig::builder(4).budget_fraction(0.0).build().is_err());
+        assert!(FastCapConfig::builder(4).budget_fraction(1.5).build().is_err());
+        assert!(FastCapConfig::builder(4)
+            .peak_power(Watts(-1.0))
+            .build()
+            .is_err());
+        assert!(FastCapConfig::builder(4)
+            .min_bus_transfer_time(Secs(0.0))
+            .build()
+            .is_err());
+        assert!(FastCapConfig::builder(4)
+            .static_powers(Watts(-1.0), Watts(0.0), Watts(0.0))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn decide_returns_valid_indices() {
+        let mut ctl = controller(0.6);
+        let d = ctl.decide(&obs_16(true)).unwrap();
+        assert_eq!(d.core_freqs.len(), 16);
+        assert!(d.core_freqs.iter().all(|&i| i < 10));
+        assert!(d.mem_freq < 10);
+        assert!(!d.emergency);
+        assert_eq!(ctl.epochs_seen(), 1);
+    }
+
+    #[test]
+    fn cpu_bound_gets_fast_cores_slow_memory() {
+        let mut ctl = controller(0.6);
+        let d = ctl.decide(&obs_16(true)).unwrap();
+        let avg_core: f64 =
+            d.core_freqs.iter().map(|&i| i as f64).sum::<f64>() / d.core_freqs.len() as f64;
+        assert!(
+            d.mem_freq <= 4,
+            "CPU-bound under 60% budget should slow memory, got level {}",
+            d.mem_freq
+        );
+        assert!(avg_core >= 4.0, "cores should stay fast, avg level {avg_core}");
+    }
+
+    #[test]
+    fn memory_bound_gets_fast_memory() {
+        let mut ctl = controller(0.6);
+        let d = ctl.decide(&obs_16(false)).unwrap();
+        assert!(
+            d.mem_freq >= 6,
+            "memory-bound should keep memory fast, got level {}",
+            d.mem_freq
+        );
+    }
+
+    #[test]
+    fn loose_budget_runs_everything_at_max() {
+        let mut ctl = controller(1.0);
+        let d = ctl.decide(&obs_16(false)).unwrap();
+        assert!(!d.budget_bound);
+        assert!((d.degradation - 1.0).abs() < 1e-6);
+        assert!(d.core_freqs.iter().all(|&i| i == 9));
+        assert_eq!(d.mem_freq, 9);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let mut ctl = controller(0.6);
+        let mut obs = obs_16(true);
+        obs.cores.truncate(3);
+        assert!(matches!(
+            ctl.decide(&obs),
+            Err(Error::ShapeMismatch { expected: 16, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn infeasible_budget_yields_emergency_floor() {
+        // Peak 120 W but budget fraction 0.25 => 30 W cap < 38 W static.
+        let cfg = FastCapConfig::builder(16)
+            .budget_fraction(0.25)
+            .peak_power(Watts(120.0))
+            .build()
+            .unwrap();
+        let mut ctl = FastCapController::new(cfg).unwrap();
+        let d = ctl.decide(&obs_16(true)).unwrap();
+        assert!(d.emergency);
+        assert!(d.core_freqs.iter().all(|&i| i == 0));
+        assert_eq!(d.mem_freq, 0);
+        assert_eq!(d.degradation, 0.0);
+    }
+
+    #[test]
+    fn fitters_learn_from_observations() {
+        let mut ctl = controller(0.6);
+        // Feed epochs at different frequencies so the fitter sees multiple
+        // distinct points of the true law P = 3.0 * scale^2.8.
+        for (f_ghz, _) in [(4.0, 0), (3.0, 0), (2.2, 0)] {
+            let scale = f_ghz / 4.0;
+            let mut obs = obs_16(true);
+            for c in &mut obs.cores {
+                c.freq = Hz::from_ghz(f_ghz);
+                c.power = Watts(1.0 + 3.0 * f64::powf(scale, 2.8)); // +1 static
+            }
+            ctl.decide(&obs).unwrap();
+        }
+        let model = ctl.build_model(&obs_16(true)).unwrap();
+        let law = model.cores[0].power;
+        assert!((law.alpha - 2.8).abs() < 0.05, "alpha = {}", law.alpha);
+        assert!((law.p_max.get() - 3.0).abs() < 0.1, "p_max = {}", law.p_max);
+    }
+
+    #[test]
+    fn multi_controller_observation_builds_multi_model() {
+        let mut obs = obs_16(false);
+        let ctl_sample = MemorySample {
+            bus_freq: Hz::from_mhz(800.0),
+            bank_queue: 2.0,
+            bus_queue: 1.5,
+            bank_service_time: Secs::from_nanos(35.0),
+            power: Watts(8.0),
+        };
+        obs.controllers = vec![ctl_sample; 4];
+        obs.access_weights = vec![vec![0.25; 4]; 16];
+        let ctl = controller(0.6);
+        let model = ctl.build_model(&obs).unwrap();
+        assert!(matches!(model.memory.response, ResponseModel::Multi(_)));
+        let mut c = controller(0.6);
+        assert!(c.decide(&obs).is_ok());
+    }
+
+    #[test]
+    fn decision_resolves_to_hz() {
+        let mut ctl = controller(0.6);
+        let d = ctl.decide(&obs_16(true)).unwrap();
+        let ladder = FreqLadder::ispass_core();
+        let freqs = d.core_freqs_hz(&ladder);
+        assert_eq!(freqs.len(), 16);
+        for f in freqs {
+            assert!(f >= ladder.min() && f <= ladder.max());
+        }
+        let mf = d.mem_freq_hz(&FreqLadder::ispass_memory_bus());
+        assert!(mf.mhz() >= 200.0 - 1e-6 && mf.mhz() <= 800.0 + 1e-6);
+    }
+}

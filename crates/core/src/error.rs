@@ -1,0 +1,100 @@
+//! Error types for the FastCap core library.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced by model construction and the optimizer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value was out of its legal range.
+    InvalidConfig {
+        /// Which parameter was invalid.
+        what: &'static str,
+        /// Human-readable explanation of the constraint that was violated.
+        why: String,
+    },
+    /// The optimization input was malformed (e.g. empty core list,
+    /// non-positive think time, empty frequency ladder).
+    InvalidModel {
+        /// Explanation of the inconsistency.
+        why: String,
+    },
+    /// No feasible operating point exists: even at the lowest frequencies the
+    /// frequency-independent power alone exceeds the budget.
+    Infeasible {
+        /// The smallest achievable power draw, in watts.
+        floor_watts: f64,
+        /// The requested budget, in watts.
+        budget_watts: f64,
+    },
+    /// An observation had a different shape than the controller was
+    /// configured for (e.g. wrong number of core samples).
+    ShapeMismatch {
+        /// What the controller expected.
+        expected: usize,
+        /// What the observation contained.
+        got: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { what, why } => {
+                write!(f, "invalid configuration `{what}`: {why}")
+            }
+            Error::InvalidModel { why } => write!(f, "invalid optimization model: {why}"),
+            Error::Infeasible {
+                floor_watts,
+                budget_watts,
+            } => write!(
+                f,
+                "infeasible power budget: floor power {floor_watts:.2} W exceeds budget \
+                 {budget_watts:.2} W"
+            ),
+            Error::ShapeMismatch { expected, got } => {
+                write!(f, "observation shape mismatch: expected {expected} cores, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::Infeasible {
+            floor_watts: 50.0,
+            budget_watts: 40.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("50.00"));
+        assert!(msg.contains("40.00"));
+
+        let e = Error::InvalidConfig {
+            what: "budget_fraction",
+            why: "must be in (0, 1]".into(),
+        };
+        assert!(e.to_string().contains("budget_fraction"));
+
+        let e = Error::ShapeMismatch {
+            expected: 16,
+            got: 4,
+        };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&Error::InvalidModel { why: "x".into() });
+    }
+}

@@ -1,0 +1,99 @@
+//! # fastcap-core
+//!
+//! Reproduction of the optimization framework and algorithm from
+//! *FastCap: An Efficient and Fair Algorithm for Power Capping in Many-Core
+//! Systems* (Liu, Cox, Deng, Draper, Bianchini — ISPASS 2016).
+//!
+//! FastCap maximizes the performance of a many-core system under a
+//! full-system power budget by jointly selecting per-core and memory DVFS
+//! states, while enforcing *fairness*: every application is degraded by the
+//! same fraction of its best achievable performance.
+//!
+//! The crate provides, bottom-up:
+//!
+//! * [`units`] — thin typed wrappers ([`Hz`], [`Watts`], [`Secs`]) so that
+//!   frequencies, powers and times cannot be confused across the
+//!   controller/simulator boundary.
+//! * [`freq`] — discrete DVFS ladders for cores and the memory bus, plus the
+//!   linear voltage/frequency curve used by the paper's Sandybridge-like
+//!   platform.
+//! * [`power`] — the paper's core power model `P_i (z̄/z)^α + P_static`
+//!   (Eq. 2), memory power model `P_m (s̄_b/s_b)^β + P_static` (Eq. 3), and
+//!   the online least-squares fitter that recomputes `(P, α)` from recent
+//!   (frequency, power) observations as described in Sec. III-C.
+//! * [`queueing`] — the closed-network memory model: the transfer-blocking
+//!   response-time approximation `R(s_b) ≈ Q(s_m + U·s_b)` (Eq. 1) and the
+//!   turn-around-time performance metric (Fig. 2), including the
+//!   multi-controller weighted extension of Sec. IV-B.
+//! * [`model`] — the assembled per-epoch optimization input: one
+//!   [`model::CoreModel`] per core, a [`model::MemoryModel`], background power and the budget.
+//! * [`optimizer`] — the solver: closed-form per-core think times (Eq. 8),
+//!   monotone root-finding for the degradation factor `D`, and Algorithm 1's
+//!   `O(N log M)` binary search over memory frequencies. An exhaustive
+//!   reference solver is provided for validation.
+//! * [`counters`] — hardware-counter-shaped inputs
+//!   ([`counters::EpochObservation`]) and the estimation
+//!   pipeline of Sec. III-C (think time from `TPI·TIC/TLM`, Eq. 9).
+//! * [`capper`] — [`capper::FastCapController`]: the
+//!   epoch-driven OS-level controller that fits power models online, builds
+//!   the optimization input from counters, runs Algorithm 1 and emits a
+//!   quantized [`capper::DvfsDecision`].
+//! * [`fairness`] — degradation / fairness metrics used throughout the
+//!   evaluation (average vs. worst normalized performance, Jain's index).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fastcap_core::capper::{FastCapConfig, FastCapController};
+//! use fastcap_core::counters::{CoreSample, EpochObservation, MemorySample};
+//! use fastcap_core::units::{Hz, Secs, Watts};
+//!
+//! // A 4-core system with the paper's ladders.
+//! let cfg = FastCapConfig::builder(4)
+//!     .budget_fraction(0.6)
+//!     .peak_power(Watts(60.0))
+//!     .build()
+//!     .unwrap();
+//! let mut ctl = FastCapController::new(cfg).unwrap();
+//!
+//! // One epoch worth of counters (here: synthetic, CPU-bound cores).
+//! let cores = (0..4)
+//!     .map(|_| CoreSample {
+//!         freq: Hz(4.0e9),
+//!         busy_time_per_instruction: Secs(0.25e-9),
+//!         instructions: 1_000_000,
+//!         last_level_misses: 400,
+//!         power: Watts(4.2),
+//!     })
+//!     .collect();
+//! let memory = MemorySample {
+//!     bus_freq: Hz(800.0e6),
+//!     bank_queue: 1.2,
+//!     bus_queue: 1.1,
+//!     bank_service_time: Secs(30e-9),
+//!     power: Watts(20.0),
+//! };
+//! let obs = EpochObservation::single(cores, memory, Watts(48.0));
+//!
+//! let decision = ctl.decide(&obs).unwrap();
+//! assert_eq!(decision.core_freqs.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capper;
+pub mod counters;
+pub mod error;
+pub mod fairness;
+pub mod freq;
+pub mod model;
+pub mod optimizer;
+pub mod power;
+pub mod queueing;
+pub mod units;
+
+pub use capper::{DvfsDecision, FastCapConfig, FastCapController};
+pub use counters::EpochObservation;
+pub use error::{Error, Result};
+pub use units::{Hz, Secs, Watts};

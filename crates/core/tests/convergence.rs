@@ -1,0 +1,238 @@
+//! Model-level closed-loop convergence tests (no simulator): the
+//! controller drives a tiny synthetic "plant" whose true power laws differ
+//! from the controller's initial beliefs. Within a few epochs the fitters
+//! must learn the plant and the decisions must stabilize with the plant's
+//! *true* power at the budget.
+
+use fastcap_core::capper::{DvfsDecision, FastCapConfig, FastCapController};
+use fastcap_core::counters::{CoreSample, EpochObservation, MemorySample};
+use fastcap_core::freq::FreqLadder;
+use fastcap_core::units::{Hz, Secs, Watts};
+
+/// The ground-truth plant: per-core power `p_max·scale^alpha + static`,
+/// memory `m_max·scale^beta + static`, fixed think-time behaviour.
+struct Plant {
+    core_ladder: FreqLadder,
+    mem_ladder: FreqLadder,
+    p_max: f64,
+    alpha: f64,
+    core_static: f64,
+    m_max: f64,
+    beta: f64,
+    mem_static: f64,
+    other: f64,
+    misses: Vec<u64>,
+}
+
+impl Plant {
+    fn n(&self) -> usize {
+        self.misses.len()
+    }
+
+    fn core_power(&self, level: usize) -> f64 {
+        let s = self.core_ladder.scale(level);
+        self.p_max * s.powf(self.alpha) + self.core_static
+    }
+
+    fn mem_power(&self, level: usize) -> f64 {
+        let s = self.mem_ladder.scale(level);
+        self.m_max * s.powf(self.beta) + self.mem_static
+    }
+
+    fn total_power(&self, d: &DvfsDecision) -> f64 {
+        d.core_freqs.iter().map(|&l| self.core_power(l)).sum::<f64>()
+            + self.mem_power(d.mem_freq)
+            + self.other
+    }
+
+    /// Counters the OS would read while running at `d`'s frequencies.
+    fn observe(&self, d: &DvfsDecision) -> EpochObservation {
+        let cores = (0..self.n())
+            .map(|i| {
+                let f = self.core_ladder.at(d.core_freqs[i]);
+                CoreSample {
+                    freq: f,
+                    busy_time_per_instruction: Secs(1.15 / f.get()),
+                    instructions: 1_000_000,
+                    last_level_misses: self.misses[i],
+                    power: Watts(self.core_power(d.core_freqs[i])),
+                }
+            })
+            .collect();
+        let memory = MemorySample {
+            bus_freq: self.mem_ladder.at(d.mem_freq),
+            bank_queue: 1.5,
+            bus_queue: 1.2,
+            bank_service_time: Secs::from_nanos(25.0),
+            power: Watts(self.mem_power(d.mem_freq)),
+        };
+        EpochObservation::single(cores, memory, Watts(self.total_power(d)))
+    }
+}
+
+fn plant_16() -> Plant {
+    Plant {
+        core_ladder: FreqLadder::ispass_core(),
+        mem_ladder: FreqLadder::ispass_memory_bus(),
+        // Truth deliberately far from the controller defaults (3.5 W, 2.5).
+        p_max: 5.2,
+        alpha: 2.9,
+        core_static: 0.5,
+        m_max: 30.0,
+        beta: 1.1,
+        mem_static: 11.0,
+        other: 10.0,
+        misses: (0..16)
+            .map(|i| if i % 2 == 0 { 700 } else { 9_000 })
+            .collect(),
+    }
+}
+
+fn controller(plant: &Plant, budget_frac: f64) -> FastCapController {
+    let cfg = FastCapConfig::builder(plant.n())
+        .budget_fraction(budget_frac)
+        .peak_power(Watts(120.0))
+        .static_powers(
+            Watts(plant.core_static),
+            Watts(plant.mem_static),
+            Watts(plant.other),
+        )
+        .build()
+        .unwrap();
+    FastCapController::new(cfg).unwrap()
+}
+
+/// Runs the loop for `epochs`, returning the decision history and the true
+/// plant power at each decision.
+fn run_loop(plant: &Plant, ctl: &mut FastCapController, epochs: usize) -> Vec<(DvfsDecision, f64)> {
+    let max = DvfsDecision {
+        core_freqs: vec![plant.core_ladder.len() - 1; plant.n()],
+        mem_freq: plant.mem_ladder.len() - 1,
+        predicted_power: Watts::ZERO,
+        degradation: 1.0,
+        budget_bound: false,
+        emergency: false,
+    };
+    let mut current = max;
+    let mut history = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let obs = plant.observe(&current);
+        let next = ctl.decide(&obs).unwrap();
+        let true_power = plant.total_power(&next);
+        history.push((next.clone(), true_power));
+        current = next;
+    }
+    history
+}
+
+#[test]
+fn converges_to_true_power_at_budget() {
+    let plant = plant_16();
+    let mut ctl = controller(&plant, 0.6);
+    let budget = 72.0;
+    let history = run_loop(&plant, &mut ctl, 12);
+    // After a handful of epochs the *true* plant power at the chosen
+    // configuration must track the budget within quantization error.
+    for (i, (_, p)) in history.iter().enumerate().skip(6) {
+        assert!(
+            (p - budget).abs() / budget < 0.06,
+            "epoch {i}: true power {p} vs budget {budget}"
+        );
+    }
+}
+
+#[test]
+fn decisions_stabilize() {
+    let plant = plant_16();
+    let mut ctl = controller(&plant, 0.6);
+    let history = run_loop(&plant, &mut ctl, 14);
+    // Once learned, consecutive decisions differ by at most one ladder
+    // level anywhere (steady plant => steady decisions).
+    for w in history.windows(2).skip(8) {
+        let (a, b) = (&w[0].0, &w[1].0);
+        for (x, y) in a.core_freqs.iter().zip(&b.core_freqs) {
+            assert!(x.abs_diff(*y) <= 1, "core level jumped {x} -> {y}");
+        }
+        assert!(a.mem_freq.abs_diff(b.mem_freq) <= 1);
+    }
+}
+
+#[test]
+fn fitters_learn_the_plants_exponent() {
+    let plant = plant_16();
+    let mut ctl = controller(&plant, 0.55); // tight: visits several levels
+    run_loop(&plant, &mut ctl, 12);
+    let obs = plant.observe(&DvfsDecision {
+        core_freqs: vec![9; 16],
+        mem_freq: 9,
+        predicted_power: Watts::ZERO,
+        degradation: 1.0,
+        budget_bound: false,
+        emergency: false,
+    });
+    let model = ctl.build_model(&obs).unwrap();
+    // The learned laws should be near the plant's truth (the fitter saw a
+    // few distinct frequencies during convergence).
+    let law = model.cores[0].power;
+    assert!(
+        (law.alpha - plant.alpha).abs() < 0.5,
+        "alpha {} vs truth {}",
+        law.alpha,
+        plant.alpha
+    );
+    assert!(
+        (law.p_max.get() - plant.p_max).abs() / plant.p_max < 0.25,
+        "p_max {} vs truth {}",
+        law.p_max,
+        plant.p_max
+    );
+}
+
+#[test]
+fn budget_change_is_tracked() {
+    // Drop the budget mid-run: the very next decision must target the new
+    // cap (feed-forward, no slow feedback loop).
+    let plant = plant_16();
+    let mut ctl60 = controller(&plant, 0.6);
+    let history = run_loop(&plant, &mut ctl60, 10);
+    let last = history.last().unwrap().0.clone();
+
+    let mut ctl45 = controller(&plant, 0.45);
+    // Warm the new controller's fitters with the same operating point.
+    let obs = plant.observe(&last);
+    let next = ctl45.decide(&obs).unwrap();
+    let p = plant.total_power(&next);
+    assert!(
+        p <= 54.0 * 1.12,
+        "first decision after budget drop draws {p} W vs 54 W cap"
+    );
+    assert!(next.predicted_power.get() <= 54.0 + 1e-6);
+}
+
+#[test]
+fn mem_bound_plant_keeps_memory_fast() {
+    let mut plant = plant_16();
+    plant.misses = vec![20_000; 16];
+    let mut ctl = controller(&plant, 0.6);
+    let history = run_loop(&plant, &mut ctl, 10);
+    let last = &history.last().unwrap().0;
+    assert!(
+        last.mem_freq >= 7,
+        "memory-bound plant should keep memory fast, got level {}",
+        last.mem_freq
+    );
+}
+
+#[test]
+fn cpu_bound_plant_slows_memory() {
+    let mut plant = plant_16();
+    plant.misses = vec![150; 16];
+    let mut ctl = controller(&plant, 0.6);
+    let history = run_loop(&plant, &mut ctl, 10);
+    let last = &history.last().unwrap().0;
+    assert!(
+        last.mem_freq <= 4,
+        "CPU-bound plant should slow memory, got level {}",
+        last.mem_freq
+    );
+}

@@ -1,0 +1,246 @@
+//! Property-based tests for the optimization core.
+//!
+//! These lock in the paper's structural claims: Theorem 1 (budget and
+//! fairness constraints bind at the optimum), the equivalence of
+//! Algorithm 1 with exhaustive search (unimodality), monotonicity of the
+//! solution in the budget, and the internal consistency of the power-model
+//! fitter and frequency ladders.
+
+use fastcap_core::freq::FreqLadder;
+use fastcap_core::model::{CapModel, CoreModel, MemoryModel, ResponseModel};
+use fastcap_core::optimizer::{algorithm1, bus_candidates, exhaustive, solve_for_bus_time};
+use fastcap_core::power::{ExponentBounds, PowerLaw, PowerModelFitter, PowerSample};
+use fastcap_core::queueing::ResponseTimeModel;
+use fastcap_core::units::{Hz, Secs, Watts};
+use proptest::prelude::*;
+
+/// Strategy: a plausible per-core model.
+fn core_strategy() -> impl Strategy<Value = CoreModel> {
+    (
+        10.0_f64..2000.0,  // z̄ in ns
+        1.0_f64..15.0,     // c in ns
+        1.0_f64..8.0,      // P_i max dyn
+        1.0_f64..3.4,      // α
+    )
+        .prop_map(|(z, c, p, a)| CoreModel {
+            min_think_time: Secs::from_nanos(z),
+            cache_time: Secs::from_nanos(c),
+            power: PowerLaw::new(Watts(p), a).expect("valid strategy output"),
+        })
+}
+
+/// Strategy: a whole optimization instance with a feasible budget.
+fn model_strategy() -> impl Strategy<Value = CapModel> {
+    (
+        proptest::collection::vec(core_strategy(), 2..24),
+        1.0_f64..3.0,   // Q
+        1.0_f64..2.5,   // U
+        15.0_f64..50.0, // s_m ns
+        5.0_f64..40.0,  // P_m
+        0.5_f64..1.6,   // β
+        0.0_f64..30.0,  // static
+        0.05_f64..0.95, // budget fraction of "peak-ish"
+    )
+        .prop_map(|(cores, q, u, sm, pm, beta, ps, bf)| {
+            let peakish: f64 = cores.iter().map(|c| c.power.p_max.get()).sum::<f64>() + pm + ps;
+            CapModel {
+                cores,
+                memory: MemoryModel {
+                    min_bus_transfer_time: Secs::from_nanos(5.0),
+                    response: ResponseModel::Single(
+                        ResponseTimeModel::new(q, u, Secs::from_nanos(sm))
+                            .expect("valid strategy output"),
+                    ),
+                    power: PowerLaw::new(Watts(pm), beta).expect("valid strategy output"),
+                },
+                static_power: Watts(ps),
+                budget: Watts(ps + 0.5 + bf * (peakish - ps)),
+            }
+        })
+}
+
+fn candidates(model: &CapModel) -> Vec<Secs> {
+    bus_candidates(
+        model.memory.min_bus_transfer_time,
+        FreqLadder::ispass_memory_bus().levels(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Algorithm 1 finds the same optimum as exhaustive search
+    /// (the unimodality the paper's binary search relies on).
+    #[test]
+    fn algorithm1_equals_exhaustive(model in model_strategy()) {
+        let cands = candidates(&model);
+        let a = algorithm1(&model, &cands);
+        let e = exhaustive(&model, &cands);
+        match (a, e) {
+            (Ok(a), Ok(e)) => {
+                prop_assert!((a.degradation() - e.degradation()).abs() < 1e-7,
+                    "alg1 D={} exhaustive D={}", a.degradation(), e.degradation());
+            }
+            (Err(_), Err(_)) => {} // both infeasible is consistent
+            (a, e) => prop_assert!(false, "feasibility disagrees: {a:?} vs {e:?}"),
+        }
+    }
+
+    /// Theorem 1: when the budget binds, predicted power equals the budget;
+    /// when it does not, D = D_max at the chosen memory point.
+    #[test]
+    fn theorem1_budget_binds_or_saturates(model in model_strategy()) {
+        let cands = candidates(&model);
+        if let Ok(sol) = algorithm1(&model, &cands) {
+            if sol.inner.budget_bound {
+                prop_assert!(
+                    (sol.inner.predicted_power.get() - model.budget.get()).abs()
+                        < 1e-6 * model.budget.get().max(1.0),
+                    "bound but power {} != budget {}",
+                    sol.inner.predicted_power, model.budget
+                );
+            } else {
+                prop_assert!(sol.inner.predicted_power.get() <= model.budget.get() + 1e-9);
+            }
+        }
+    }
+
+    /// Constraint 7: think times never fall below their minima, and the
+    /// fairness ratios of constraint 5 are equal across cores.
+    #[test]
+    fn fairness_and_bounds_hold(model in model_strategy()) {
+        let cands = candidates(&model);
+        if let Ok(sol) = algorithm1(&model, &cands) {
+            prop_assert!(sol.degradation() > 0.0 && sol.degradation() <= 1.0 + 1e-9);
+            let sb = sol.bus_transfer_time;
+            let sb_bar = model.memory.min_bus_transfer_time;
+            let mut ratio0 = None;
+            for (i, c) in model.cores.iter().enumerate() {
+                let z = sol.inner.think_times[i];
+                prop_assert!(z.get() >= c.min_think_time.get() * (1.0 - 1e-9),
+                    "core {i}: z {} below z̄ {}", z, c.min_think_time);
+                let r_bar = model.memory.response.response_time(i, sb_bar);
+                let r = model.memory.response.response_time(i, sb);
+                let t_bar = (c.min_think_time + c.cache_time + r_bar).get();
+                let t = (z + c.cache_time + r).get();
+                let ratio = t / t_bar;
+                // All unsaturated cores share the ratio 1/D; cores pinned at
+                // max frequency may be (weakly) faster.
+                match ratio0 {
+                    None => ratio0 = Some(ratio),
+                    Some(r0) => prop_assert!(
+                        ratio <= r0 * (1.0 + 1e-6) || (ratio - r0).abs() < 1e-6,
+                        "core {i} ratio {ratio} vs {r0}"
+                    ),
+                }
+            }
+        }
+    }
+
+    /// D is non-decreasing in the budget (more power never hurts).
+    #[test]
+    fn degradation_monotone_in_budget(model in model_strategy(), bump in 1.01_f64..2.0) {
+        let cands = candidates(&model);
+        let d_lo = algorithm1(&model, &cands).map(|s| s.degradation());
+        let mut richer = model.clone();
+        richer.budget = Watts(model.budget.get() * bump);
+        let d_hi = algorithm1(&richer, &cands).map(|s| s.degradation());
+        if let (Ok(lo), Ok(hi)) = (d_lo, d_hi) {
+            prop_assert!(hi >= lo - 1e-7, "budget up {bump}x but D {lo} -> {hi}");
+        }
+    }
+
+    /// The inner solve is consistent: re-evaluating the returned think
+    /// times reproduces the predicted power.
+    #[test]
+    fn inner_solution_power_is_consistent(model in model_strategy()) {
+        let cands = candidates(&model);
+        if let Ok(Some(sol)) = solve_for_bus_time(&model, cands[cands.len() / 2]) {
+            let mut p = model.static_power.get()
+                + model.memory.power
+                    .dynamic_power(model.memory.min_bus_transfer_time / cands[cands.len() / 2])
+                    .get();
+            for (c, scale) in model.cores.iter().zip(&sol.core_scales) {
+                p += c.power.dynamic_power(*scale).get();
+            }
+            prop_assert!((p - sol.predicted_power.get()).abs() < 1e-6 * p.max(1.0));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The fitter recovers any in-bounds power law exactly from noiseless
+    /// samples at three distinct frequencies.
+    #[test]
+    fn fitter_recovers_any_law(
+        p_max in 0.5_f64..50.0,
+        alpha in 1.6_f64..3.4,
+        s1 in 0.30_f64..0.55,
+        s2 in 0.60_f64..0.80,
+    ) {
+        let truth = PowerLaw::new(Watts(p_max), alpha).expect("valid law");
+        let mut fitter = PowerModelFitter::new(
+            PowerLaw::new(Watts(1.0), 2.0).expect("valid seed"),
+            ExponentBounds::CORE,
+        );
+        for scale in [s1, s2, 1.0] {
+            fitter.observe(PowerSample {
+                scale,
+                dynamic_power: truth.dynamic_power(scale),
+            });
+        }
+        let m = fitter.model();
+        prop_assert!((m.alpha - alpha).abs() < 1e-6, "alpha {} vs {}", m.alpha, alpha);
+        prop_assert!((m.p_max.get() - p_max).abs() / p_max < 1e-6);
+    }
+
+    /// Ladder quantization is sound: `nearest` returns the level with the
+    /// smallest distance, and `floor` never exceeds the target.
+    #[test]
+    fn ladder_quantization_sound(target_ghz in 0.5_f64..6.0) {
+        let ladder = FreqLadder::ispass_core();
+        let target = Hz::from_ghz(target_ghz);
+        let idx = ladder.nearest(target);
+        let d_star = (ladder.at(idx).get() - target.get()).abs();
+        for (i, &level) in ladder.levels().iter().enumerate() {
+            prop_assert!(d_star <= (level.get() - target.get()).abs() + 1e-6, "level {i} closer");
+        }
+        let fidx = ladder.floor(target);
+        if target >= ladder.min() {
+            prop_assert!(ladder.at(fidx) <= target);
+            if fidx + 1 < ladder.len() {
+                prop_assert!(ladder.at(fidx + 1) > target);
+            }
+        }
+    }
+
+    /// Power laws are monotone in the scale and bounded by `p_max`.
+    #[test]
+    fn power_law_monotone(p in 0.1_f64..100.0, a in 0.5_f64..4.0,
+                          s1 in 0.01_f64..1.0, s2 in 0.01_f64..1.0) {
+        let law = PowerLaw::new(Watts(p), a).expect("valid law");
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(law.dynamic_power(lo).get() <= law.dynamic_power(hi).get() + 1e-12);
+        prop_assert!(law.dynamic_power(hi).get() <= p + 1e-12);
+        // Inverse round-trips within the open interval.
+        let target = law.dynamic_power(hi);
+        prop_assert!((law.scale_for_power(target) - hi).abs() < 1e-9);
+    }
+
+    /// Eq. 1 response time is non-negative, monotone in s_b, and linear in Q.
+    #[test]
+    fn response_time_properties(q in 0.0_f64..10.0, u in 0.0_f64..5.0,
+                                sm in 0.0_f64..100.0, sb1 in 0.0_f64..50.0, sb2 in 0.0_f64..50.0) {
+        let m = ResponseTimeModel::new(q, u, Secs::from_nanos(sm)).expect("valid model");
+        let (lo, hi) = if sb1 <= sb2 { (sb1, sb2) } else { (sb2, sb1) };
+        let r_lo = m.response_time(Secs::from_nanos(lo));
+        let r_hi = m.response_time(Secs::from_nanos(hi));
+        prop_assert!(r_lo.get() >= 0.0);
+        prop_assert!(r_lo <= r_hi);
+        // Doubling Q doubles R.
+        let m2 = ResponseTimeModel::new(2.0 * q, u, Secs::from_nanos(sm)).expect("valid model");
+        prop_assert!((m2.response_time(Secs::from_nanos(lo)).get() - 2.0 * r_lo.get()).abs() < 1e-15);
+    }
+}

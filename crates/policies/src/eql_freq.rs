@@ -1,0 +1,136 @@
+//! Eql-Freq: one global core frequency (Herbert & Marculescu \[42\]).
+//!
+//! "This policy assigns the same frequency to all cores." Implemented as
+//! the paper's extended variant: every `(core frequency, memory frequency)`
+//! pair is evaluated with FastCap's models, and the feasible pair with the
+//! best degradation factor `D` wins — `O(F·M)` work per epoch.
+//!
+//! Locking all cores together is conservative: raising every core one level
+//! may overshoot the budget even when a few cores could safely speed up, so
+//! on large mixed systems Eql-Freq leaves budget unharvested (Fig. 10).
+
+use crate::policy::CappingPolicy;
+use fastcap_core::capper::{DvfsDecision, FastCapConfig, FastCapController};
+use fastcap_core::counters::EpochObservation;
+use fastcap_core::error::Result;
+use fastcap_core::optimizer::evaluate_point;
+use fastcap_core::units::Watts;
+
+/// The Eql-Freq baseline.
+#[derive(Debug, Clone)]
+pub struct EqlFreqPolicy {
+    controller: FastCapController,
+}
+
+impl EqlFreqPolicy {
+    /// Creates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn new(cfg: FastCapConfig) -> Result<Self> {
+        Ok(Self {
+            controller: FastCapController::new(cfg)?,
+        })
+    }
+}
+
+impl CappingPolicy for EqlFreqPolicy {
+    fn name(&self) -> &'static str {
+        "Eql-Freq"
+    }
+
+    fn decide(&mut self, obs: &EpochObservation) -> Result<DvfsDecision> {
+        self.controller.observe(obs);
+        let model = self.controller.build_model(obs)?;
+        let cfg = self.controller.config();
+        let n = model.n_cores();
+        let candidates = self.controller.candidates().to_vec();
+
+        let mut best: Option<(f64, Watts, usize, usize)> = None;
+        for &sb in &candidates {
+            let bus_scale = model.memory.min_bus_transfer_time / sb;
+            let mem_idx = cfg.mem_ladder.nearest_scale(bus_scale);
+            for level in 0..cfg.core_ladder.len() {
+                let scale = cfg.core_ladder.scale(level);
+                let scales = vec![scale; n];
+                let (d, power) = evaluate_point(&model, &scales, sb)?;
+                if power.get() <= model.budget.get() + 1e-9
+                    && best.as_ref().map_or(true, |(bd, ..)| d > *bd)
+                {
+                    best = Some((d, power, level, mem_idx));
+                }
+            }
+        }
+
+        Ok(match best {
+            Some((d, power, level, mem_freq)) => DvfsDecision {
+                core_freqs: vec![level; n],
+                mem_freq,
+                predicted_power: power,
+                degradation: d,
+                budget_bound: true,
+                emergency: false,
+            },
+            None => DvfsDecision {
+                core_freqs: vec![0; n],
+                mem_freq: 0,
+                predicted_power: model.static_power,
+                degradation: 0.0,
+                budget_bound: true,
+                emergency: true,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::{cfg_16, obs_16};
+    use crate::{CappingPolicy as _, FastCapPolicy};
+
+    #[test]
+    fn all_cores_share_one_frequency() {
+        let mut p = EqlFreqPolicy::new(cfg_16(0.6)).unwrap();
+        let d = p.decide(&obs_16()).unwrap();
+        let first = d.core_freqs[0];
+        assert!(d.core_freqs.iter().all(|&i| i == first));
+        assert!(!d.emergency);
+    }
+
+    #[test]
+    fn never_predicts_over_budget() {
+        let mut p = EqlFreqPolicy::new(cfg_16(0.6)).unwrap();
+        let d = p.decide(&obs_16()).unwrap();
+        assert!(d.predicted_power.get() <= 72.0 + 1e-6);
+    }
+
+    #[test]
+    fn d_no_better_than_fastcap() {
+        // FastCap's per-core freedom dominates the locked-frequency search.
+        let obs = obs_16();
+        let mut ef = EqlFreqPolicy::new(cfg_16(0.6)).unwrap();
+        let mut fc = FastCapPolicy::new(cfg_16(0.6)).unwrap();
+        let de = ef.decide(&obs).unwrap();
+        let df = fc.decide(&obs).unwrap();
+        assert!(
+            de.degradation <= df.degradation + 1e-6,
+            "Eql-Freq D {} vs FastCap D {}",
+            de.degradation,
+            df.degradation
+        );
+    }
+
+    #[test]
+    fn emergency_when_nothing_fits() {
+        let cfg = fastcap_core::capper::FastCapConfig::builder(16)
+            .budget_fraction(0.3)
+            .peak_power(fastcap_core::units::Watts(120.0))
+            .build()
+            .unwrap();
+        let mut p = EqlFreqPolicy::new(cfg).unwrap();
+        let d = p.decide(&obs_16()).unwrap();
+        assert!(d.emergency);
+    }
+}

@@ -1,0 +1,168 @@
+//! Eql-Pwr: equal per-core power budget (Sharkey et al. \[16\]).
+//!
+//! "This policy assigns an equal share of the overall power budget to all
+//! cores." Implemented as the paper's extended variant of FastCap: for each
+//! memory frequency, the core share is `(budget − memory − background) / N`
+//! and each core independently picks the highest frequency whose predicted
+//! power fits its share; the memory frequency yielding the best degradation
+//! factor `D` wins.
+//!
+//! The weakness the paper demonstrates (Fig. 9): power-hungry applications
+//! are starved while frugal ones cannot spend their share, so the *worst*
+//! application degradation is much larger than FastCap's, especially in
+//! mixed workloads.
+
+use crate::policy::CappingPolicy;
+use fastcap_core::capper::{DvfsDecision, FastCapConfig, FastCapController};
+use fastcap_core::counters::EpochObservation;
+use fastcap_core::error::Result;
+use fastcap_core::optimizer::evaluate_point;
+use fastcap_core::units::Watts;
+
+/// The Eql-Pwr baseline.
+#[derive(Debug, Clone)]
+pub struct EqlPwrPolicy {
+    controller: FastCapController,
+}
+
+impl EqlPwrPolicy {
+    /// Creates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn new(cfg: FastCapConfig) -> Result<Self> {
+        Ok(Self {
+            controller: FastCapController::new(cfg)?,
+        })
+    }
+}
+
+impl CappingPolicy for EqlPwrPolicy {
+    fn name(&self) -> &'static str {
+        "Eql-Pwr"
+    }
+
+    fn decide(&mut self, obs: &EpochObservation) -> Result<DvfsDecision> {
+        self.controller.observe(obs);
+        let model = self.controller.build_model(obs)?;
+        let cfg = self.controller.config();
+        let n = model.n_cores();
+        let ladder = &cfg.core_ladder;
+        let candidates = self.controller.candidates().to_vec();
+
+        let mut best: Option<(f64, Watts, Vec<usize>, usize)> = None;
+        for &sb in &candidates {
+            let bus_scale = model.memory.min_bus_transfer_time / sb;
+            let mem_dyn = model.memory.power.dynamic_power(bus_scale);
+            let core_total = model.budget - model.static_power - mem_dyn;
+            if core_total.get() <= 0.0 {
+                continue;
+            }
+            let share = core_total / n as f64;
+            // Highest ladder level whose predicted power fits the share.
+            let mut idxs = Vec::with_capacity(n);
+            let mut scales = Vec::with_capacity(n);
+            for c in &model.cores {
+                let scale = c.power.scale_for_power(share).min(1.0);
+                let idx = ladder.floor(fastcap_core::units::Hz(ladder.max().get() * scale));
+                idxs.push(idx);
+                scales.push(ladder.scale(idx));
+            }
+            let (d, power) = evaluate_point(&model, &scales, sb)?;
+            let mem_idx = cfg.mem_ladder.nearest_scale(bus_scale);
+            if best.as_ref().map_or(true, |(bd, ..)| d > *bd) {
+                best = Some((d, power, idxs, mem_idx));
+            }
+        }
+
+        Ok(match best {
+            Some((d, power, core_freqs, mem_freq)) => DvfsDecision {
+                core_freqs,
+                mem_freq,
+                predicted_power: power,
+                degradation: d,
+                budget_bound: true,
+                emergency: false,
+            },
+            // No memory point leaves any core budget: emergency floor.
+            None => DvfsDecision {
+                core_freqs: vec![0; n],
+                mem_freq: 0,
+                predicted_power: model.static_power,
+                degradation: 0.0,
+                budget_bound: true,
+                emergency: true,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::{cfg_16, obs_16};
+    use crate::{CappingPolicy as _, FastCapPolicy};
+    use fastcap_core::units::{Hz, Secs};
+
+    #[test]
+    fn stays_within_budget_prediction() {
+        let mut p = EqlPwrPolicy::new(cfg_16(0.6)).unwrap();
+        let d = p.decide(&obs_16()).unwrap();
+        assert!(!d.emergency);
+        assert!(
+            d.predicted_power.get() <= 72.0 + 1e-6,
+            "Eql-Pwr must not predict over budget: {}",
+            d.predicted_power
+        );
+    }
+
+    #[test]
+    fn heterogeneous_demand_leaves_d_below_fastcap() {
+        // Strongly heterogeneous cores: equal shares waste budget on the
+        // frugal cores, so Eql-Pwr's achieved D cannot beat FastCap's.
+        let mut obs = obs_16();
+        for (i, c) in obs.cores.iter_mut().enumerate() {
+            c.last_level_misses = if i < 8 { 200 } else { 20_000 };
+        }
+        let mut ep = EqlPwrPolicy::new(cfg_16(0.55)).unwrap();
+        let mut fc = FastCapPolicy::new(cfg_16(0.55)).unwrap();
+        let de = ep.decide(&obs).unwrap();
+        let df = fc.decide(&obs).unwrap();
+        assert!(
+            de.degradation <= df.degradation + 1e-6,
+            "Eql-Pwr D {} vs FastCap D {}",
+            de.degradation,
+            df.degradation
+        );
+    }
+
+    #[test]
+    fn infeasible_budget_goes_emergency() {
+        // Budget below static power: no memory point works.
+        let cfg = fastcap_core::capper::FastCapConfig::builder(16)
+            .budget_fraction(0.3)
+            .peak_power(fastcap_core::units::Watts(120.0))
+            .build()
+            .unwrap(); // 36 W budget < 38 W static
+        let mut p = EqlPwrPolicy::new(cfg).unwrap();
+        let d = p.decide(&obs_16()).unwrap();
+        assert!(d.emergency);
+        assert!(d.core_freqs.iter().all(|&i| i == 0));
+    }
+
+    #[test]
+    fn uniform_cores_get_uniform_levels() {
+        let mut obs = obs_16();
+        for c in &mut obs.cores {
+            c.last_level_misses = 3000;
+            c.busy_time_per_instruction = Secs::from_nanos(0.3);
+            c.freq = Hz::from_ghz(4.0);
+            c.power = fastcap_core::units::Watts(4.0);
+        }
+        let mut p = EqlPwrPolicy::new(cfg_16(0.6)).unwrap();
+        let d = p.decide(&obs).unwrap();
+        let first = d.core_freqs[0];
+        assert!(d.core_freqs.iter().all(|&i| i == first), "{:?}", d.core_freqs);
+    }
+}

@@ -1,0 +1,126 @@
+//! # fastcap-policies
+//!
+//! The FastCap capping policy and every baseline the paper evaluates it
+//! against (Sec. IV-B), behind one [`CappingPolicy`] trait:
+//!
+//! | Policy | Origin | Memory DVFS | Search |
+//! |---|---|---|---|
+//! | [`FastCapPolicy`] | this paper | yes | Algorithm 1, `O(N log M)` |
+//! | [`CpuOnlyPolicy`] | FastCap minus memory DVFS | fixed max | Algorithm 1, `M = 1` |
+//! | [`FreqParPolicy`] | Ma et al. \[22\] | fixed max | linear feedback control |
+//! | [`EqlPwrPolicy`] | Sharkey et al. \[16\] | yes (grid) | equal per-core power split |
+//! | [`EqlFreqPolicy`] | Herbert & Marculescu \[42\] | yes (grid) | single global core frequency |
+//! | [`MaxBipsPolicy`] | Isci et al. \[14\] | yes (grid) | exhaustive `O(Fᴺ·M)` |
+//!
+//! The baselines marked "grid" are the paper's extended variants: they get
+//! FastCap's counter-driven performance/power models and the ability to
+//! scale memory, so the comparison isolates the *allocation* policy rather
+//! than the modelling machinery.
+//!
+//! All policies consume the same hardware-counter observations
+//! ([`fastcap_core::counters::EpochObservation`]) and emit the same
+//! [`fastcap_core::capper::DvfsDecision`], so any of them can drive
+//! `fastcap_sim::Server::run`:
+//!
+//! ```
+//! use fastcap_policies::{CappingPolicy, FastCapPolicy};
+//! use fastcap_core::capper::FastCapConfig;
+//!
+//! let cfg = FastCapConfig::builder(16).budget_fraction(0.6).build().unwrap();
+//! let mut policy = FastCapPolicy::new(cfg).unwrap();
+//! assert_eq!(policy.name(), "FastCap");
+//! // let result = server.run(100, |obs| policy.decide(obs).ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpu_only;
+mod eql_freq;
+mod eql_pwr;
+mod fastcap;
+mod freq_par;
+mod maxbips;
+mod policy;
+
+pub use cpu_only::CpuOnlyPolicy;
+pub use eql_freq::EqlFreqPolicy;
+pub use eql_pwr::EqlPwrPolicy;
+pub use fastcap::FastCapPolicy;
+pub use freq_par::FreqParPolicy;
+pub use maxbips::MaxBipsPolicy;
+pub use policy::{CappingPolicy, UncappedPolicy};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastcap_core::capper::FastCapConfig;
+    use fastcap_core::counters::{CoreSample, EpochObservation, MemorySample};
+    use fastcap_core::units::{Hz, Secs, Watts};
+
+    /// A plausible 16-core observation shared by the policy smoke tests.
+    pub(crate) fn obs_16() -> EpochObservation {
+        let cores = (0..16)
+            .map(|i| CoreSample {
+                freq: Hz::from_ghz(4.0),
+                busy_time_per_instruction: Secs::from_nanos(0.28),
+                instructions: 1_000_000,
+                last_level_misses: if i % 2 == 0 { 600 } else { 8_000 },
+                power: Watts(4.3),
+            })
+            .collect();
+        EpochObservation::single(
+            cores,
+            MemorySample {
+                bus_freq: Hz::from_mhz(800.0),
+                bank_queue: 1.5,
+                bus_queue: 1.3,
+                bank_service_time: Secs::from_nanos(28.0),
+                power: Watts(30.0),
+            },
+            Watts(108.0),
+        )
+    }
+
+    pub(crate) fn cfg_16(budget: f64) -> FastCapConfig {
+        FastCapConfig::builder(16)
+            .budget_fraction(budget)
+            .peak_power(Watts(120.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_policy_emits_valid_decisions() {
+        let obs = obs_16();
+        let mut policies: Vec<Box<dyn CappingPolicy>> = vec![
+            Box::new(FastCapPolicy::new(cfg_16(0.6)).unwrap()),
+            Box::new(CpuOnlyPolicy::new(cfg_16(0.6)).unwrap()),
+            Box::new(FreqParPolicy::new(cfg_16(0.6)).unwrap()),
+            Box::new(EqlPwrPolicy::new(cfg_16(0.6)).unwrap()),
+            Box::new(EqlFreqPolicy::new(cfg_16(0.6)).unwrap()),
+            Box::new(UncappedPolicy::new(10, 10)),
+        ];
+        for p in &mut policies {
+            let d = p.decide(&obs).unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            assert_eq!(d.core_freqs.len(), 16, "{}", p.name());
+            assert!(d.core_freqs.iter().all(|&i| i < 10), "{}", p.name());
+            assert!(d.mem_freq < 10, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn policy_names_are_distinct() {
+        let names = [
+            FastCapPolicy::new(cfg_16(0.6)).unwrap().name().to_string(),
+            CpuOnlyPolicy::new(cfg_16(0.6)).unwrap().name().to_string(),
+            FreqParPolicy::new(cfg_16(0.6)).unwrap().name().to_string(),
+            EqlPwrPolicy::new(cfg_16(0.6)).unwrap().name().to_string(),
+            EqlFreqPolicy::new(cfg_16(0.6)).unwrap().name().to_string(),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "{names:?}");
+    }
+}

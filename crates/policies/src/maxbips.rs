@@ -1,0 +1,264 @@
+//! MaxBIPS: exhaustive throughput maximization (Isci et al., MICRO'06 \[14\]).
+//!
+//! MaxBIPS picks, every epoch, the power-mode combination that maximizes
+//! the *total* instruction throughput within the budget, by exhaustively
+//! evaluating all `F^N` core-frequency combinations (extended here, as in
+//! the paper's comparison, to also search the `M` memory frequencies —
+//! `O(F^N · M)` total).
+//!
+//! Two properties the paper highlights:
+//!
+//! * the search is exponential in the core count — the paper could only
+//!   afford it on 4-core systems, and so does this implementation (the
+//!   constructor rejects core counts whose search space would exceed
+//!   ~10⁸ evaluations);
+//! * maximizing aggregate BIPS is *unfair*: power flows to power-efficient
+//!   applications, creating performance outliers (Fig. 11).
+
+use crate::policy::CappingPolicy;
+use fastcap_core::capper::{DvfsDecision, FastCapConfig, FastCapController};
+use fastcap_core::counters::EpochObservation;
+use fastcap_core::error::{Error, Result};
+use fastcap_core::optimizer::evaluate_point;
+use fastcap_core::units::Watts;
+
+/// The MaxBIPS baseline.
+#[derive(Debug, Clone)]
+pub struct MaxBipsPolicy {
+    controller: FastCapController,
+}
+
+/// Cap on `F^N · M` grid size (keeps per-epoch latency finite; the paper
+/// faced the same wall and evaluated MaxBIPS on 4 cores only).
+const MAX_GRID: f64 = 1e8;
+
+impl MaxBipsPolicy {
+    /// Creates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the exhaustive search space
+    /// `F^N · M` would exceed ~10⁸ points (e.g. 16+ cores), or for invalid
+    /// configurations.
+    pub fn new(cfg: FastCapConfig) -> Result<Self> {
+        let f = cfg.core_ladder.len() as f64;
+        let m = cfg.mem_ladder.len() as f64;
+        let grid = f.powi(cfg.n_cores as i32) * m;
+        if !grid.is_finite() || grid > MAX_GRID {
+            return Err(Error::InvalidConfig {
+                what: "MaxBIPS::n_cores",
+                why: format!(
+                    "exhaustive search needs {grid:.1e} evaluations for N={}, F={f}, M={m} \
+                     (cap {MAX_GRID:.0e}); the paper, too, only ran MaxBIPS on 4 cores",
+                    cfg.n_cores
+                ),
+            });
+        }
+        Ok(Self {
+            controller: FastCapController::new(cfg)?,
+        })
+    }
+}
+
+impl CappingPolicy for MaxBipsPolicy {
+    fn name(&self) -> &'static str {
+        "MaxBIPS"
+    }
+
+    fn decide(&mut self, obs: &EpochObservation) -> Result<DvfsDecision> {
+        self.controller.observe(obs);
+        let model = self.controller.build_model(obs)?;
+        let cfg = self.controller.config();
+        let n = model.n_cores();
+        let f_levels = cfg.core_ladder.len();
+        let candidates = self.controller.candidates().to_vec();
+
+        // Instructions per memory access, the per-core BIPS weight.
+        let ipm: Vec<f64> = obs.cores.iter().map(|c| c.instructions_per_miss()).collect();
+
+        // Precompute per-(candidate, core, level): BIPS contribution; and
+        // per-(core, level): dynamic power.
+        let scales: Vec<f64> = (0..f_levels).map(|l| cfg.core_ladder.scale(l)).collect();
+        let pcost: Vec<Vec<f64>> = model
+            .cores
+            .iter()
+            .map(|c| scales.iter().map(|&s| c.power.dynamic_power(s).get()).collect())
+            .collect();
+
+        let mut best: Option<(f64, f64, Watts, Vec<usize>, usize)> = None;
+        for (j, &sb) in candidates.iter().enumerate() {
+            let bus_scale = model.memory.min_bus_transfer_time / sb;
+            let mem_dyn = model.memory.power.dynamic_power(bus_scale);
+            let core_budget = model.budget.get() - model.static_power.get() - mem_dyn.get();
+            if core_budget <= 0.0 {
+                continue;
+            }
+            // Per-core BIPS table at this memory point.
+            let bips: Vec<Vec<f64>> = model
+                .cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let r = model.memory.response.response_time(i, sb).get();
+                    scales
+                        .iter()
+                        .map(|&s| {
+                            let turn = c.min_think_time.get() / s + c.cache_time.get() + r;
+                            ipm[i] / turn
+                        })
+                        .collect()
+                })
+                .collect();
+
+            // Exhaustive odometer over F^N combinations.
+            let mut combo = vec![0usize; n];
+            loop {
+                let mut power = 0.0;
+                let mut total_bips = 0.0;
+                for (i, &l) in combo.iter().enumerate() {
+                    power += pcost[i][l];
+                    total_bips += bips[i][l];
+                }
+                if power <= core_budget
+                    && best.as_ref().map_or(true, |(bb, ..)| total_bips > *bb)
+                {
+                    let scales_now: Vec<f64> = combo.iter().map(|&l| scales[l]).collect();
+                    let (d, p) = evaluate_point(&model, &scales_now, sb)?;
+                    best = Some((
+                        total_bips,
+                        d,
+                        p,
+                        combo.clone(),
+                        cfg.mem_ladder.nearest_scale(bus_scale),
+                    ));
+                }
+                // Advance the odometer.
+                let mut k = 0;
+                loop {
+                    if k == n {
+                        break;
+                    }
+                    combo[k] += 1;
+                    if combo[k] < f_levels {
+                        break;
+                    }
+                    combo[k] = 0;
+                    k += 1;
+                }
+                if k == n {
+                    break;
+                }
+            }
+            let _ = j;
+        }
+
+        Ok(match best {
+            Some((_, d, power, core_freqs, mem_freq)) => DvfsDecision {
+                core_freqs,
+                mem_freq,
+                predicted_power: power,
+                degradation: d,
+                budget_bound: true,
+                emergency: false,
+            },
+            None => DvfsDecision {
+                core_freqs: vec![0; n],
+                mem_freq: 0,
+                predicted_power: model.static_power,
+                degradation: 0.0,
+                budget_bound: true,
+                emergency: true,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CappingPolicy as _, FastCapPolicy};
+    use fastcap_core::counters::{CoreSample, MemorySample};
+    use fastcap_core::units::{Hz, Secs};
+
+    fn cfg_4(budget: f64) -> FastCapConfig {
+        FastCapConfig::builder(4)
+            .budget_fraction(budget)
+            .peak_power(Watts(60.0))
+            .build()
+            .unwrap()
+    }
+
+    fn obs_4() -> EpochObservation {
+        let cores = (0..4)
+            .map(|i| CoreSample {
+                freq: Hz::from_ghz(4.0),
+                busy_time_per_instruction: Secs::from_nanos(0.28),
+                instructions: 1_000_000,
+                last_level_misses: if i < 2 { 500 } else { 12_000 },
+                power: Watts(4.0),
+            })
+            .collect();
+        EpochObservation::single(
+            cores,
+            MemorySample {
+                bus_freq: Hz::from_mhz(800.0),
+                bank_queue: 1.4,
+                bus_queue: 1.2,
+                bank_service_time: Secs::from_nanos(28.0),
+                power: Watts(25.0),
+            },
+            Watts(55.0),
+        )
+    }
+
+    #[test]
+    fn rejects_large_core_counts() {
+        let cfg = FastCapConfig::builder(16).build().unwrap();
+        assert!(matches!(
+            MaxBipsPolicy::new(cfg),
+            Err(Error::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn four_cores_work_within_budget() {
+        let mut p = MaxBipsPolicy::new(cfg_4(0.6)).unwrap();
+        let d = p.decide(&obs_4()).unwrap();
+        assert!(!d.emergency);
+        assert!(d.predicted_power.get() <= 36.0 + 1e-6, "{}", d.predicted_power);
+        assert_eq!(d.core_freqs.len(), 4);
+    }
+
+    #[test]
+    fn maximizes_throughput_at_fairness_cost() {
+        // MaxBIPS must achieve total predicted BIPS >= FastCap's config
+        // (it optimizes exactly that), while its worst-core D is <= FastCap's
+        // (it ignores fairness).
+        let obs = obs_4();
+        let mut mb = MaxBipsPolicy::new(cfg_4(0.6)).unwrap();
+        let mut fc = FastCapPolicy::new(cfg_4(0.6)).unwrap();
+        let dm = mb.decide(&obs).unwrap();
+        let df = fc.decide(&obs).unwrap();
+        assert!(
+            dm.degradation <= df.degradation + 1e-6,
+            "MaxBIPS worst-core D {} should not beat FastCap {}",
+            dm.degradation,
+            df.degradation
+        );
+        // CPU-bound cores (higher IPM) tend to receive >= frequency of
+        // memory-bound ones under MaxBIPS.
+        assert!(dm.core_freqs[0] >= dm.core_freqs[2]);
+    }
+
+    #[test]
+    fn emergency_when_infeasible() {
+        let cfg = FastCapConfig::builder(4)
+            .budget_fraction(0.2)
+            .peak_power(Watts(60.0))
+            .build()
+            .unwrap(); // 12 W < static 26 W
+        let mut p = MaxBipsPolicy::new(cfg).unwrap();
+        let d = p.decide(&obs_4()).unwrap();
+        assert!(d.emergency);
+    }
+}

@@ -1,0 +1,81 @@
+//! The policy abstraction shared by FastCap and all baselines.
+
+use fastcap_core::capper::DvfsDecision;
+use fastcap_core::counters::EpochObservation;
+use fastcap_core::error::Result;
+use fastcap_core::units::Watts;
+
+/// A power-capping policy: maps per-epoch counter observations to DVFS
+/// decisions. One `decide` call corresponds to one OS time quantum
+/// (Sec. III-C).
+pub trait CappingPolicy {
+    /// Human-readable policy name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Computes the DVFS settings for the next epoch.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`fastcap_core::error::Error`] for malformed
+    /// observations; transient infeasibility must be handled internally
+    /// (emergency minimum-frequency decisions), not reported as an error.
+    fn decide(&mut self, obs: &EpochObservation) -> Result<DvfsDecision>;
+}
+
+/// The no-op baseline: always run at maximum frequencies (used to measure
+/// peak power and baseline performance).
+#[derive(Debug, Clone)]
+pub struct UncappedPolicy {
+    core_levels: usize,
+    mem_levels: usize,
+}
+
+impl UncappedPolicy {
+    /// Creates the policy for ladders with the given level counts.
+    pub fn new(core_levels: usize, mem_levels: usize) -> Self {
+        Self {
+            core_levels: core_levels.max(1),
+            mem_levels: mem_levels.max(1),
+        }
+    }
+}
+
+impl CappingPolicy for UncappedPolicy {
+    fn name(&self) -> &'static str {
+        "Uncapped"
+    }
+
+    fn decide(&mut self, obs: &EpochObservation) -> Result<DvfsDecision> {
+        Ok(DvfsDecision {
+            core_freqs: vec![self.core_levels - 1; obs.cores.len()],
+            mem_freq: self.mem_levels - 1,
+            predicted_power: Watts::ZERO,
+            degradation: 1.0,
+            budget_bound: false,
+            emergency: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::obs_16;
+
+    #[test]
+    fn uncapped_always_max() {
+        let mut p = UncappedPolicy::new(10, 10);
+        let d = p.decide(&obs_16()).unwrap();
+        assert!(d.core_freqs.iter().all(|&i| i == 9));
+        assert_eq!(d.mem_freq, 9);
+        assert!((d.degradation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncapped_clamps_level_counts() {
+        let mut p = UncappedPolicy::new(0, 0);
+        let d = p.decide(&obs_16()).unwrap();
+        assert!(d.core_freqs.iter().all(|&i| i == 0));
+        assert_eq!(d.mem_freq, 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-core simulation state: the think / cache / memory-access cycle.
+//!
+//! Each core runs one application (Sec. III-A). In in-order mode every
+//! last-level miss blocks the core; in the idealized out-of-order mode
+//! (Sec. IV-B) up to the application's MLP misses are issued as one burst
+//! and the core stalls until the *burst* completes — think time becomes the
+//! interval between stalls and the workload looks more CPU-bound, exactly
+//! as the paper describes.
+
+use crate::config::CoreMode;
+use crate::engine::Ps;
+use fastcap_core::units::Hz;
+use fastcap_workloads::AppInstance;
+
+/// Epoch-scoped statistics for one core.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CoreStats {
+    /// Instructions retired this epoch.
+    pub instructions: f64,
+    /// Busy (thinking / non-stalled) time this epoch, ps.
+    pub busy: f64,
+    /// Blocking last-level misses this epoch.
+    pub misses: u64,
+}
+
+impl CoreStats {
+    /// Clears the counters at an epoch boundary.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Simulation state for one core.
+#[derive(Debug)]
+pub struct CoreSim {
+    /// The application bound to this core.
+    pub app: AppInstance,
+    /// Outstanding blocking requests (core stalls while > 0).
+    pub outstanding: usize,
+    /// DVFS transition stall: no new think may start before this.
+    pub stall_until: Ps,
+    /// Think time of the interval currently in flight (credited to the
+    /// stats when the corresponding `CoreReady` fires).
+    pub pending_think: Ps,
+    /// Epoch statistics.
+    pub stats: CoreStats,
+    // Epoch-effective behaviour (refreshed every epoch / frequency change):
+    /// Phase-modulated MPKI.
+    pub mpki_eff: f64,
+    /// Probability a miss carries a writeback.
+    pub wb_prob: f64,
+    /// Blocking requests issued per stall interval (1 = in-order).
+    pub burst: usize,
+    /// Mean think time per stall interval at the current frequency, ps.
+    pub think_mean: f64,
+    /// Instructions executed per stall interval.
+    pub instr_per_interval: f64,
+}
+
+impl CoreSim {
+    /// Creates the core at rest.
+    pub fn new(app: AppInstance) -> Self {
+        let wb = app.profile.writeback_probability();
+        Self {
+            app,
+            outstanding: 0,
+            stall_until: 0,
+            pending_think: 0,
+            stats: CoreStats::default(),
+            mpki_eff: 1.0,
+            wb_prob: wb,
+            burst: 1,
+            think_mean: 1.0,
+            instr_per_interval: 1.0,
+        }
+    }
+
+    /// Recomputes the epoch-effective behaviour from the application's
+    /// phase model, the execution mode and the core's current frequency.
+    pub fn refresh(&mut self, epoch: f64, mode: CoreMode, freq: Hz) {
+        let intensity = self.app.profile.phase.intensity(epoch);
+        self.mpki_eff = (self.app.profile.mpki * intensity).max(0.01);
+        self.wb_prob = self.app.profile.writeback_probability();
+        self.burst = match mode {
+            CoreMode::InOrder => 1,
+            CoreMode::OutOfOrder => (self.app.profile.mlp.round() as usize).clamp(1, 128),
+        };
+        self.instr_per_interval = self.burst as f64 * 1000.0 / self.mpki_eff;
+        // think = instructions × CPI / f, in picoseconds.
+        self.think_mean =
+            self.instr_per_interval * self.app.profile.base_cpi * 1e12 / freq.get();
+    }
+
+    /// Credits a completed think interval to the epoch statistics.
+    pub fn credit_interval(&mut self) {
+        self.stats.instructions += self.instr_per_interval;
+        self.stats.busy += self.pending_think as f64;
+        self.stats.misses += self.burst as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastcap_workloads::spec;
+
+    fn core(name: &str) -> CoreSim {
+        CoreSim::new(AppInstance::new(&spec::base(name).unwrap(), 0))
+    }
+
+    #[test]
+    fn refresh_computes_think_time() {
+        let mut c = core("swim"); // mpki 23, cpi 1.1
+        c.app.profile.phase = fastcap_workloads::PhaseSpec::STEADY;
+        c.refresh(0.0, CoreMode::InOrder, Hz::from_ghz(4.0));
+        assert_eq!(c.burst, 1);
+        // 1000/23 inst × 1.1 cpi / 4 GHz ≈ 11.96 ns.
+        let expect = (1000.0 / 23.0) * 1.1 * 1e12 / 4.0e9;
+        assert!((c.think_mean - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn lower_frequency_stretches_think_time() {
+        let mut c = core("gcc");
+        c.app.profile.phase = fastcap_workloads::PhaseSpec::STEADY;
+        c.refresh(0.0, CoreMode::InOrder, Hz::from_ghz(4.0));
+        let fast = c.think_mean;
+        c.refresh(0.0, CoreMode::InOrder, Hz::from_ghz(2.0));
+        assert!((c.think_mean / fast - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ooo_bursts_scale_with_mlp() {
+        let mut c = core("swim"); // mlp 6
+        c.refresh(0.0, CoreMode::OutOfOrder, Hz::from_ghz(4.0));
+        assert_eq!(c.burst, 6);
+        let mut io = core("swim");
+        io.refresh(0.0, CoreMode::InOrder, Hz::from_ghz(4.0));
+        // Same epoch: think per stall is 6× the in-order think.
+        assert!((c.think_mean / io.think_mean - 6.0).abs() < 1e-9);
+        assert!((c.instr_per_interval / io.instr_per_interval - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_modulate_mpki() {
+        let mut c = core("swim"); // strong phases
+        c.refresh(0.0, CoreMode::InOrder, Hz::from_ghz(4.0));
+        let m0 = c.mpki_eff;
+        let mut varied = false;
+        for e in 1..60 {
+            c.refresh(e as f64, CoreMode::InOrder, Hz::from_ghz(4.0));
+            if (c.mpki_eff - m0).abs() / m0 > 0.1 {
+                varied = true;
+            }
+            assert!(c.mpki_eff > 0.0);
+        }
+        assert!(varied, "strong phases must move MPKI by >10% at some epoch");
+    }
+
+    #[test]
+    fn credit_accumulates_and_resets() {
+        let mut c = core("gzip");
+        c.app.profile.phase = fastcap_workloads::PhaseSpec::STEADY;
+        c.refresh(0.0, CoreMode::InOrder, Hz::from_ghz(4.0));
+        c.pending_think = 500;
+        c.credit_interval();
+        c.credit_interval();
+        assert_eq!(c.stats.misses, 2);
+        assert!((c.stats.busy - 1000.0).abs() < 1e-12);
+        assert!(c.stats.instructions > 0.0);
+        c.stats.reset();
+        assert_eq!(c.stats.misses, 0);
+        assert_eq!(c.stats.busy, 0.0);
+    }
+
+    #[test]
+    fn writeback_probability_from_profile() {
+        let c = core("swim");
+        let p = &c.app.profile;
+        assert!((c.wb_prob - p.wpki / p.mpki).abs() < 1e-12);
+    }
+}

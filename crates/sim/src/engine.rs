@@ -1,0 +1,136 @@
+//! Discrete-event core: integer-picosecond time and the event queue.
+//!
+//! Simulation time is `u64` picoseconds — `f64` timestamps are not totally
+//! ordered (NaN) and accumulate drift when epochs are summed; picoseconds
+//! give exact ordering, deterministic replay, and 200+ days of range.
+
+use fastcap_core::units::Secs;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation time in picoseconds.
+pub type Ps = u64;
+
+/// Picoseconds per second.
+pub const PS_PER_SEC: f64 = 1e12;
+
+/// Converts seconds to picoseconds (saturating at 0 for negatives).
+#[inline]
+pub fn to_ps(s: Secs) -> Ps {
+    (s.get() * PS_PER_SEC).max(0.0).round() as Ps
+}
+
+/// Converts picoseconds back to seconds.
+#[inline]
+pub fn to_secs(ps: Ps) -> Secs {
+    Secs(ps as f64 / PS_PER_SEC)
+}
+
+/// Simulator events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Event {
+    /// A core finished its think + L2 phase and issues memory request(s).
+    CoreReady {
+        /// Core index.
+        core: usize,
+    },
+    /// A bank finished serving its current request (now waits for the bus —
+    /// transfer blocking).
+    BankDone {
+        /// Memory controller index.
+        ctrl: usize,
+        /// Bank index within the controller.
+        bank: usize,
+    },
+    /// A bus transfer completed; the request returns to its core.
+    BusDone {
+        /// Memory controller index.
+        ctrl: usize,
+    },
+}
+
+/// A deterministic time-ordered event queue (FIFO among equal timestamps).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(Ps, u64, Event)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `t`.
+    pub fn push(&mut self, t: Ps, event: Event) {
+        self.heap.push(Reverse((t, self.seq, event)));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Ps, Event)> {
+        self.heap.pop().map(|Reverse((t, _, e))| (t, e))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Ps> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_round_trip() {
+        let s = Secs::from_nanos(123.456);
+        let ps = to_ps(s);
+        assert_eq!(ps, 123_456);
+        assert!((to_secs(ps).nanos() - 123.456).abs() < 1e-9);
+        assert_eq!(to_ps(Secs(-1.0)), 0);
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::BusDone { ctrl: 0 });
+        q.push(10, Event::CoreReady { core: 1 });
+        q.push(20, Event::BankDone { ctrl: 0, bank: 3 });
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(10));
+        assert_eq!(q.pop(), Some((10, Event::CoreReady { core: 1 })));
+        assert_eq!(q.pop(), Some((20, Event::BankDone { ctrl: 0, bank: 3 })));
+        assert_eq!(q.pop(), Some((30, Event::BusDone { ctrl: 0 })));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::CoreReady { core: 0 });
+        q.push(5, Event::CoreReady { core: 1 });
+        q.push(5, Event::CoreReady { core: 2 });
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(
+            order,
+            vec![
+                Event::CoreReady { core: 0 },
+                Event::CoreReady { core: 1 },
+                Event::CoreReady { core: 2 }
+            ]
+        );
+    }
+}

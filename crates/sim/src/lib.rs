@@ -1,0 +1,57 @@
+//! # fastcap-sim
+//!
+//! Discrete-event simulator for a DVFS-capable many-core server — the
+//! evaluation substrate of the FastCap paper (ISPASS 2016, Sec. IV-A).
+//!
+//! The machine is modelled exactly as the paper models it (Fig. 1/2): a
+//! closed queuing network in which each core alternates between a *think*
+//! phase (compute, scaled by per-core DVFS), a fixed shared-L2 phase, and a
+//! memory access that queues at a DRAM bank, is served with DDR3 timing
+//! (Table II), and then must win the FCFS shared data bus — whose transfer
+//! time scales with memory DVFS — before the bank may proceed (*transfer
+//! blocking*). Writebacks occupy banks and bus off the critical path.
+//!
+//! On top of the network sit the platform models the controller is
+//! evaluated against:
+//!
+//! * **power** — per-core CMOS dynamic power (`V(f)²·f` with a linear
+//!   Sandybridge-like V/f curve) scaled by measured activity, plus a
+//!   current-based DDR3 power model ([`dram`]), memory-controller and bus
+//!   I/O power;
+//! * **counters** — the MemScale occupancy counters (`Q`, `U`, mean `s_m`)
+//!   plus per-core `TPI`/`TIC`/`TLM`, delivered to policies as
+//!   [`fastcap_core::counters::EpochObservation`];
+//! * **actuation** — 10 DVFS levels per core, 10 memory levels, with the
+//!   paper's transition stalls;
+//! * **modes** — in-order or idealized out-of-order cores, one or several
+//!   memory controllers with uniform or skewed interleaving (Sec. IV-B).
+//!
+//! ```
+//! use fastcap_sim::{Server, SimConfig};
+//! use fastcap_workloads::mixes;
+//!
+//! let cfg = SimConfig::ispass(16).unwrap().with_time_dilation(200.0);
+//! let mix = mixes::by_name("MIX3").unwrap();
+//! let mut server = Server::for_workload(cfg, &mix, 42).unwrap();
+//! // Uncapped baseline: keep maximum frequencies.
+//! let result = server.run(4, |_| None);
+//! assert_eq!(result.epochs.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod config;
+pub mod core_model;
+pub mod dram;
+pub mod engine;
+pub mod memory;
+pub mod metrics;
+pub mod power_model;
+pub mod server;
+
+pub use analytic::AnalyticServer;
+pub use config::{CoreMode, Interleaving, SimConfig};
+pub use metrics::{EpochReport, RunResult};
+pub use server::Server;

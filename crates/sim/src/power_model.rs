@@ -1,0 +1,105 @@
+//! Shared "ground-truth" power computation.
+//!
+//! Both simulation backends (the discrete-event [`crate::server::Server`]
+//! and the analytic [`crate::analytic::AnalyticServer`]) measure power with
+//! these formulas, so their results are directly comparable:
+//!
+//! * **core** — `P_dyn,max · V(f)²f/V(f_max)²f_max · activity + P_static`,
+//!   with `activity = idle + (1-idle)·busy_fraction`;
+//! * **memory** — DDR3 background (powerdown/standby mix) + row-buffer
+//!   activity ([`crate::dram`]) + memory-controller `V²f` dynamic power +
+//!   bus I/O power proportional to utilization × frequency.
+
+use crate::config::SimConfig;
+use fastcap_core::freq::VoltageCurve;
+use fastcap_core::units::{Hz, Watts};
+
+/// Measured core power at frequency `f` with the given busy fraction.
+pub fn core_power(cfg: &SimConfig, f: Hz, busy_frac: f64) -> Watts {
+    let act = cfg.idle_activity + (1.0 - cfg.idle_activity) * busy_frac.clamp(0.0, 1.0);
+    Watts(cfg.core_dyn_max.get() * cfg.core_vcurve.dynamic_power_scale(f) * act)
+        + cfg.core_static
+}
+
+/// Per-controller memory subsystem power.
+///
+/// `share` is this controller's fraction of the DIMM population (1.0 for a
+/// single controller); `mc_vcurve` is the controller's voltage curve over
+/// the memory ladder.
+pub fn memory_power(
+    cfg: &SimConfig,
+    mc_vcurve: &VoltageCurve,
+    f_mem: Hz,
+    bank_util: f64,
+    bus_util: f64,
+    read_fraction: f64,
+    share: f64,
+) -> Watts {
+    let f_scale = f_mem / cfg.mem_ladder.max();
+    let mc_scale = mc_vcurve.dynamic_power_scale(f_mem);
+    cfg.dram.background_power(bank_util) * share
+        + cfg.dram.activity_power(bank_util, read_fraction) * share
+        + Watts(cfg.mc_dyn_max.get() * mc_scale * share)
+        + Watts(cfg.io_dyn_max.get() * bus_util.clamp(0.0, 1.0) * f_scale.max(0.0) * share)
+}
+
+/// The memory-controller voltage curve used by both backends.
+///
+/// # Errors
+///
+/// Propagates [`VoltageCurve::new`] validation (never fails for a valid
+/// ladder).
+pub fn mc_voltage_curve(cfg: &SimConfig) -> fastcap_core::error::Result<VoltageCurve> {
+    VoltageCurve::new(cfg.mem_ladder.min(), cfg.mem_ladder.max(), 0.65, 1.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig::ispass(16).unwrap()
+    }
+
+    #[test]
+    fn core_power_monotone_in_freq_and_activity() {
+        let c = cfg();
+        let lo = core_power(&c, Hz::from_ghz(2.2), 0.5);
+        let hi = core_power(&c, Hz::from_ghz(4.0), 0.5);
+        assert!(hi > lo);
+        let idle = core_power(&c, Hz::from_ghz(4.0), 0.0);
+        let busy = core_power(&c, Hz::from_ghz(4.0), 1.0);
+        assert!(busy > idle);
+        // Full-tilt power equals calibration max + static.
+        assert!((busy.get() - (c.core_dyn_max + c.core_static).get()).abs() < 1e-9);
+        // Stalled core still draws the idle-activity floor.
+        assert!(idle.get() > c.core_static.get());
+    }
+
+    #[test]
+    fn memory_power_components_add_up() {
+        let c = cfg();
+        let v = mc_voltage_curve(&c).unwrap();
+        let idle = memory_power(&c, &v, Hz::from_mhz(200.0), 0.0, 0.0, 1.0, 1.0);
+        let busy = memory_power(&c, &v, Hz::from_mhz(800.0), 0.3, 1.0, 0.7, 1.0);
+        assert!(busy > idle);
+        // Idle floor is the DRAM background + minimum MC power.
+        assert!(idle.get() > c.dram.background_power(0.0).get());
+        // Busy at max frequency lands near the ~30%-of-peak memory share.
+        assert!(
+            busy.get() > 25.0 && busy.get() < 55.0,
+            "busy memory power = {busy}"
+        );
+    }
+
+    #[test]
+    fn controller_shares_sum_to_whole() {
+        let c = cfg();
+        let v = mc_voltage_curve(&c).unwrap();
+        let whole = memory_power(&c, &v, Hz::from_mhz(600.0), 0.2, 0.5, 0.8, 1.0);
+        let quarters: Watts = (0..4)
+            .map(|_| memory_power(&c, &v, Hz::from_mhz(600.0), 0.2, 0.5, 0.8, 0.25))
+            .sum();
+        assert!((whole.get() - quarters.get()).abs() < 1e-9);
+    }
+}

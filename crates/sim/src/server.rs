@@ -1,0 +1,673 @@
+//! The simulated many-core server: epoch loop, DVFS actuation, counter
+//! collection and power metering.
+//!
+//! [`Server`] owns the closed queuing network (cores ↔ banks ↔ bus) and
+//! advances it epoch by epoch. Every epoch it:
+//!
+//! 1. hands the *previous* epoch's counters and measured powers to the
+//!    capping policy (the paper's profiling phase, with the same one-epoch
+//!    staleness its power samples have — see DESIGN.md §2),
+//! 2. applies the returned [`DvfsDecision`] (cores stall ~10 µs on a
+//!    frequency change; the whole memory subsystem freezes ~20 µs for
+//!    PLL/DLL resync — Sec. III-C),
+//! 3. simulates the epoch and measures per-component power with the
+//!    activity/voltage/current models of [`crate::config`] and
+//!    [`crate::dram`].
+//!
+//! The policy is any `FnMut(&EpochObservation) -> Option<DvfsDecision>`;
+//! returning `None` keeps the current frequencies (used for uncapped
+//! baseline runs).
+
+use crate::config::SimConfig;
+use crate::core_model::CoreSim;
+use crate::engine::{to_ps, Event, EventQueue, Ps, PS_PER_SEC};
+use crate::memory::{MemController, Request};
+use crate::metrics::{EpochReport, RunResult};
+use fastcap_core::capper::DvfsDecision;
+use fastcap_core::counters::{CoreSample, EpochObservation, MemorySample};
+use fastcap_core::error::{Error, Result};
+use fastcap_core::freq::VoltageCurve;
+use fastcap_core::units::{Secs, Watts};
+use fastcap_workloads::{AppInstance, WorkloadSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Snapshot of one epoch used to build the next observation.
+#[derive(Debug, Clone)]
+struct EpochSnapshot {
+    cores: Vec<CoreSample>,
+    memory: MemorySample,
+    controllers: Vec<MemorySample>,
+    total_power: Watts,
+}
+
+/// The simulated server.
+#[derive(Debug)]
+pub struct Server {
+    cfg: SimConfig,
+    rng: SmallRng,
+    queue: EventQueue,
+    now: Ps,
+    cores: Vec<CoreSim>,
+    ctrls: Vec<MemController>,
+    core_freq_idx: Vec<usize>,
+    mem_freq_idx: usize,
+    bus_transfer: Ps,
+    l2_ps: Ps,
+    /// Cumulative controller-choice distribution.
+    ctrl_cum: Vec<f64>,
+    /// Raw controller weights (reported to the policy in multi-MC mode).
+    ctrl_weights: Vec<f64>,
+    mc_vcurve: VoltageCurve,
+    epoch_index: u64,
+    prev: Option<EpochSnapshot>,
+}
+
+impl Server {
+    /// Builds a server for an explicit list of per-core applications.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for invalid configurations or an
+    /// application count that does not match `n_cores`.
+    pub fn new(cfg: SimConfig, apps: Vec<AppInstance>, seed: u64) -> Result<Self> {
+        cfg.validate()?;
+        if apps.len() != cfg.n_cores {
+            return Err(Error::InvalidConfig {
+                what: "apps",
+                why: format!("{} applications for {} cores", apps.len(), cfg.n_cores),
+            });
+        }
+        for a in &apps {
+            a.profile.check().map_err(|why| Error::InvalidConfig {
+                what: "apps",
+                why,
+            })?;
+        }
+        let weights = cfg.interleaving.weights(cfg.n_controllers);
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            cum.push(acc);
+        }
+        let mc_vcurve = crate::power_model::mc_voltage_curve(&cfg)?;
+        let max_core = cfg.core_ladder.len() - 1;
+        let max_mem = cfg.mem_ladder.len() - 1;
+        let mut server = Self {
+            l2_ps: to_ps(cfg.l2_time),
+            bus_transfer: to_ps(cfg.bus_transfer_time(max_mem)),
+            ctrls: (0..cfg.n_controllers)
+                .map(|i| MemController::new(i, cfg.banks_per_controller))
+                .collect(),
+            cores: apps.into_iter().map(CoreSim::new).collect(),
+            core_freq_idx: vec![max_core; cfg.n_cores],
+            mem_freq_idx: max_mem,
+            rng: SmallRng::seed_from_u64(seed),
+            queue: EventQueue::new(),
+            now: 0,
+            ctrl_cum: cum,
+            ctrl_weights: weights,
+            mc_vcurve,
+            epoch_index: 0,
+            prev: None,
+            cfg,
+        };
+        server.refresh_cores();
+        // Stagger initial activity so cores do not issue in lockstep.
+        for core in 0..server.cores.len() {
+            let jitter = server.rng.gen_range(0..=server.l2_ps * 4 + 1000);
+            server.schedule_core(core, jitter);
+        }
+        Ok(server)
+    }
+
+    /// Convenience constructor: instantiate a Table III workload onto the
+    /// configured core count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and instantiation failures.
+    pub fn for_workload(cfg: SimConfig, workload: &WorkloadSpec, seed: u64) -> Result<Self> {
+        let apps = workload
+            .instantiate(cfg.n_cores)
+            .map_err(|why| Error::InvalidConfig { what: "workload", why })?;
+        Self::new(cfg, apps, seed)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Epochs simulated so far.
+    pub fn epochs_run(&self) -> u64 {
+        self.epoch_index
+    }
+
+    /// The observation a policy would receive right now (from the last
+    /// completed epoch), if any epoch has completed.
+    pub fn observation(&self) -> Option<EpochObservation> {
+        self.prev.as_ref().map(|snap| {
+            let mut obs = EpochObservation::single(
+                snap.cores.clone(),
+                snap.memory,
+                snap.total_power,
+            );
+            if self.cfg.n_controllers > 1 {
+                obs.controllers = snap.controllers.clone();
+                obs.access_weights = vec![self.ctrl_weights.clone(); self.cfg.n_cores];
+            }
+            obs
+        })
+    }
+
+    /// Runs `epochs` epochs under `policy` and returns the result. Epoch 0
+    /// is always a warm-up at the current (initially maximum) frequencies.
+    pub fn run<P>(&mut self, epochs: usize, mut policy: P) -> RunResult
+    where
+        P: FnMut(&EpochObservation) -> Option<DvfsDecision>,
+    {
+        let mut reports = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let decision = self.observation().and_then(|obs| policy(&obs));
+            reports.push(self.run_epoch(decision.as_ref()));
+        }
+        RunResult {
+            n_cores: self.cfg.n_cores,
+            sim_epoch_length: self.cfg.sim_epoch_length(),
+            peak_power: self.cfg.peak_power,
+            epochs: reports,
+        }
+    }
+
+    /// Runs one epoch, optionally applying a DVFS decision at its start.
+    pub fn run_epoch(&mut self, decision: Option<&DvfsDecision>) -> EpochReport {
+        let span = to_ps(self.cfg.sim_epoch_length());
+        let start = self.now;
+        let end = start + span;
+        let mut emergency = false;
+
+        if let Some(d) = decision {
+            emergency = d.emergency;
+            self.apply_decision(d);
+        }
+        self.refresh_cores();
+        for c in &mut self.cores {
+            c.stats.reset();
+        }
+        for ctl in &mut self.ctrls {
+            ctl.counters.reset();
+            ctl.activity.reset();
+        }
+
+        self.advance_until(end);
+
+        let report = self.measure(start, span, emergency);
+        self.epoch_index += 1;
+        report
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    fn dilated(&self, t: Secs) -> Ps {
+        to_ps(Secs(t.get() / self.cfg.time_dilation))
+    }
+
+    fn apply_decision(&mut self, d: &DvfsDecision) {
+        let core_stall = self.dilated(self.cfg.core_transition);
+        for (i, &idx) in d.core_freqs.iter().enumerate().take(self.cfg.n_cores) {
+            let idx = idx.min(self.cfg.core_ladder.len() - 1);
+            if idx != self.core_freq_idx[i] {
+                self.core_freq_idx[i] = idx;
+                self.cores[i].stall_until = self.now + core_stall;
+            }
+        }
+        let mem_idx = d.mem_freq.min(self.cfg.mem_ladder.len() - 1);
+        if mem_idx != self.mem_freq_idx {
+            self.mem_freq_idx = mem_idx;
+            self.bus_transfer = to_ps(self.cfg.bus_transfer_time(mem_idx));
+            let freeze = self.now + self.dilated(self.cfg.mem_transition);
+            for ctl in &mut self.ctrls {
+                ctl.frozen_until = freeze;
+            }
+        }
+    }
+
+    fn refresh_cores(&mut self) {
+        // Phase models are calibrated in units of the paper's 5 ms quantum.
+        // Anchor them to (undilated) wall time so studies that change the
+        // epoch length (Sec. IV-B: 10 ms, 20 ms) see the same application
+        // behaviour per unit time.
+        let wall = self.now as f64 / PS_PER_SEC * self.cfg.time_dilation;
+        let epoch = wall / 5.0e-3;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let f = self.cfg.core_ladder.at(self.core_freq_idx[i]);
+            core.refresh(epoch, self.cfg.core_mode, f);
+        }
+    }
+
+    fn advance_until(&mut self, end: Ps) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= end {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event exists");
+            self.now = t;
+            match ev {
+                Event::CoreReady { core } => self.on_core_ready(core),
+                Event::BankDone { ctrl, bank } => {
+                    let sb = self.bus_transfer;
+                    self.ctrls[ctrl].on_bank_done(bank, t, sb, true, &mut self.queue);
+                }
+                Event::BusDone { ctrl } => {
+                    let sb = self.bus_transfer;
+                    let req = self.ctrls[ctrl].on_bus_done(t, sb, &mut self.queue);
+                    if let Some(core) = req.owner {
+                        self.cores[core].outstanding -= 1;
+                        if self.cores[core].outstanding == 0 {
+                            self.schedule_core(core, t);
+                        }
+                    }
+                }
+            }
+        }
+        self.now = end;
+    }
+
+    /// Samples an exponential think time (mean `mean` ps).
+    fn sample_exp(&mut self, mean: f64) -> Ps {
+        let u: f64 = self.rng.gen_range(1e-12..1.0);
+        (-mean * u.ln()).round().max(1.0) as Ps
+    }
+
+    fn schedule_core(&mut self, core: usize, now: Ps) {
+        let mean = self.cores[core].think_mean;
+        let z = self.sample_exp(mean);
+        let c = &mut self.cores[core];
+        c.pending_think = z;
+        let start = now.max(c.stall_until);
+        self.queue
+            .push(start + z + self.l2_ps, Event::CoreReady { core });
+    }
+
+    fn pick_controller(&mut self) -> usize {
+        if self.ctrl_cum.len() == 1 {
+            return 0;
+        }
+        let u: f64 = self.rng.gen();
+        self.ctrl_cum
+            .iter()
+            .position(|&c| u <= c)
+            .unwrap_or(self.ctrl_cum.len() - 1)
+    }
+
+    fn on_core_ready(&mut self, core: usize) {
+        self.cores[core].credit_interval();
+        let burst = self.cores[core].burst;
+        let row_hit_p = self.cores[core].app.profile.row_hit_ratio;
+        let wb_p = self.cores[core].wb_prob;
+        let now = self.now;
+        self.cores[core].outstanding = burst;
+        for _ in 0..burst {
+            let ctrl = self.pick_controller();
+            let bank = self.rng.gen_range(0..self.cfg.banks_per_controller);
+            let hit = self.rng.gen::<f64>() < row_hit_p;
+            let service = to_ps(self.cfg.dram.bank_service_time(hit));
+            self.ctrls[ctrl].enqueue(
+                bank,
+                Request {
+                    owner: Some(core),
+                    service,
+                },
+                now,
+                true,
+                &mut self.queue,
+            );
+            // Background writeback, off the critical path.
+            if self.rng.gen::<f64>() < wb_p {
+                let wb_ctrl = self.pick_controller();
+                let wb_bank = self.rng.gen_range(0..self.cfg.banks_per_controller);
+                let wb_hit = self.rng.gen::<f64>() < row_hit_p;
+                let wb_service = to_ps(self.cfg.dram.bank_service_time(wb_hit));
+                self.ctrls[wb_ctrl].enqueue(
+                    wb_bank,
+                    Request {
+                        owner: None,
+                        service: wb_service,
+                    },
+                    now,
+                    true,
+                    &mut self.queue,
+                );
+            }
+        }
+    }
+
+    /// A cheap approximately-normal sample (Irwin–Hall with n=3, rescaled).
+    fn gauss(&mut self) -> f64 {
+        let s: f64 = (0..3).map(|_| self.rng.gen::<f64>()).sum();
+        (s - 1.5) * 2.0
+    }
+
+    fn noisy(&mut self, w: Watts) -> Watts {
+        if self.cfg.meter_noise <= 0.0 {
+            return w;
+        }
+        let g = self.gauss();
+        Watts((w.get() * (1.0 + self.cfg.meter_noise * g)).max(0.0))
+    }
+
+    fn measure(&mut self, _start: Ps, span: Ps, emergency: bool) -> EpochReport {
+        // Per-core power: dynamic (V²f × activity) + static.
+        let mut core_power = Vec::with_capacity(self.cfg.n_cores);
+        let mut core_samples = Vec::with_capacity(self.cfg.n_cores);
+        let mut instructions = Vec::with_capacity(self.cfg.n_cores);
+        for i in 0..self.cfg.n_cores {
+            let f = self.cfg.core_ladder.at(self.core_freq_idx[i]);
+            let stats = self.cores[i].stats;
+            let busy_frac = (stats.busy / span as f64).min(1.0);
+            let p_true = crate::power_model::core_power(&self.cfg, f, busy_frac);
+            let p = self.noisy(p_true);
+            core_power.push(p);
+            instructions.push(stats.instructions);
+
+            // Counter sample for the next observation. A core that finished
+            // no interval this epoch (possible for extremely CPU-bound apps
+            // in short dilated epochs) synthesizes nominal counters.
+            let (tpi, tic, tlm) = if stats.misses > 0 && stats.instructions > 0.0 {
+                (
+                    Secs(stats.busy / stats.instructions / PS_PER_SEC),
+                    stats.instructions as u64,
+                    stats.misses,
+                )
+            } else {
+                let c = &self.cores[i];
+                (
+                    Secs(c.app.profile.base_cpi / f.get()),
+                    c.instr_per_interval.max(1.0) as u64,
+                    c.burst as u64,
+                )
+            };
+            core_samples.push(CoreSample {
+                freq: f,
+                busy_time_per_instruction: tpi,
+                instructions: tic,
+                last_level_misses: tlm,
+                power: p,
+            });
+        }
+
+        // Memory power: DRAM background + activity + controller V²f + bus IO.
+        let f_mem = self.cfg.mem_ladder.at(self.mem_freq_idx);
+        let fallback_service = to_ps(self.cfg.dram.t_cl);
+
+        let mut mem_power_total = Watts::ZERO;
+        let mut ctrl_samples = Vec::with_capacity(self.cfg.n_controllers);
+        let mut agg = crate::memory::MemCounters::default();
+        for ctl in &self.ctrls {
+            let bank_util =
+                (ctl.activity.bank_busy / (span as f64 * self.cfg.banks_per_controller as f64))
+                    .min(1.0);
+            let bus_util = (ctl.activity.bus_busy / span as f64).min(1.0);
+            let share = 1.0 / self.cfg.n_controllers as f64;
+            // Each controller covers `share` of the DIMM population; its
+            // banks' utilization drives that share's background/activity.
+            let p = crate::power_model::memory_power(
+                &self.cfg,
+                &self.mc_vcurve,
+                f_mem,
+                bank_util,
+                bus_util,
+                ctl.activity.read_fraction(),
+                share,
+            );
+            mem_power_total += p;
+            ctrl_samples.push(MemorySample {
+                bus_freq: f_mem,
+                bank_queue: ctl.counters.mean_q(),
+                bus_queue: ctl.counters.mean_u(),
+                bank_service_time: Secs(
+                    ctl.counters.mean_service_ps(fallback_service) / PS_PER_SEC,
+                ),
+                power: p,
+            });
+            agg.q_sum += ctl.counters.q_sum;
+            agg.q_n += ctl.counters.q_n;
+            agg.u_sum += ctl.counters.u_sum;
+            agg.u_n += ctl.counters.u_n;
+            agg.service_sum += ctl.counters.service_sum;
+            agg.service_n += ctl.counters.service_n;
+        }
+        let mem_power = self.noisy(mem_power_total);
+        let mem_sample = MemorySample {
+            bus_freq: f_mem,
+            bank_queue: agg.mean_q(),
+            bus_queue: agg.mean_u(),
+            bank_service_time: Secs(agg.mean_service_ps(fallback_service) / PS_PER_SEC),
+            power: mem_power,
+        };
+
+        let cores_total: Watts = core_power.iter().copied().sum();
+        let total = cores_total + mem_power + self.cfg.other_power;
+
+        self.prev = Some(EpochSnapshot {
+            cores: core_samples,
+            memory: mem_sample,
+            controllers: ctrl_samples,
+            total_power: total,
+        });
+
+        EpochReport {
+            epoch: self.epoch_index,
+            core_freq_idx: self.core_freq_idx.clone(),
+            mem_freq_idx: self.mem_freq_idx,
+            core_power,
+            mem_power,
+            total_power: total,
+            instructions,
+            emergency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastcap_workloads::mixes;
+
+    fn quick_cfg(n: usize) -> SimConfig {
+        SimConfig::ispass(n)
+            .unwrap()
+            .with_time_dilation(100.0)
+            .with_meter_noise(0.0)
+    }
+
+    fn server(mix: &str, n: usize, seed: u64) -> Server {
+        Server::for_workload(quick_cfg(n), &mixes::by_name(mix).unwrap(), seed).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let cfg = quick_cfg(16);
+        let w = mixes::by_name("MIX1").unwrap();
+        assert!(Server::for_workload(cfg.clone(), &w, 1).is_ok());
+        // Wrong app count.
+        let apps = w.instantiate(16).unwrap();
+        let mut cfg4 = quick_cfg(4);
+        cfg4.n_cores = 4;
+        assert!(Server::new(cfg4, apps, 1).is_err());
+    }
+
+    #[test]
+    fn uncapped_run_produces_sane_epochs() {
+        let mut s = server("MEM1", 16, 42);
+        let r = s.run(10, |_| None);
+        assert_eq!(r.epochs.len(), 10);
+        for e in &r.epochs {
+            // Everything at max frequency.
+            assert!(e.core_freq_idx.iter().all(|&i| i == 9));
+            assert_eq!(e.mem_freq_idx, 9);
+            assert!(e.total_power.get() > 30.0, "power {e:?}");
+            assert!(e.total_power.get() < 130.0);
+            // Memory-bound cores retire instructions.
+            assert!(e.instructions.iter().all(|&i| i > 0.0));
+        }
+    }
+
+    #[test]
+    fn peak_power_is_near_calibration_target() {
+        // ILP at max frequencies should approach the 120 W peak target for
+        // 16 cores; MEM should draw visibly less CPU power.
+        let mut ilp = server("ILP1", 16, 7);
+        let p_ilp = ilp.run(8, |_| None).avg_power(2);
+        assert!(
+            p_ilp.get() > 95.0 && p_ilp.get() < 125.0,
+            "ILP1 peak draw = {p_ilp}"
+        );
+        let mut mem = server("MEM1", 16, 7);
+        let p_mem = mem.run(8, |_| None).avg_power(2);
+        assert!(p_mem < p_ilp, "MEM ({p_mem}) should draw less than ILP ({p_ilp})");
+    }
+
+    #[test]
+    fn observation_reflects_workload_intensity() {
+        let mut s = server("MEM1", 16, 3);
+        s.run(3, |_| None);
+        let obs = s.observation().unwrap();
+        assert_eq!(obs.cores.len(), 16);
+        // Memory-bound: plenty of misses, short think times.
+        let z = obs.cores[0].min_think_time(fastcap_core::units::Hz::from_ghz(4.0));
+        assert!(z.nanos() < 100.0, "MEM think time {z}");
+        assert!(obs.cores[0].last_level_misses > 100);
+        assert!(obs.memory.bank_queue >= 1.0);
+        assert!(obs.memory.bus_queue >= 1.0);
+        assert!(obs.memory.bank_service_time.nanos() >= 14.0);
+
+        let mut s = server("ILP2", 16, 3);
+        s.run(3, |_| None);
+        let obs_ilp = s.observation().unwrap();
+        let z_ilp = obs_ilp.cores[0].min_think_time(fastcap_core::units::Hz::from_ghz(4.0));
+        assert!(
+            z_ilp > z,
+            "ILP think ({z_ilp}) must exceed MEM think ({z})"
+        );
+    }
+
+    #[test]
+    fn lowering_core_freq_reduces_power_and_throughput() {
+        let mut fast = server("MID1", 16, 9);
+        let r_fast = fast.run(6, |_| None);
+
+        let slow_decision = DvfsDecision {
+            core_freqs: vec![0; 16],
+            mem_freq: 9,
+            predicted_power: Watts(0.0),
+            degradation: 0.5,
+            budget_bound: true,
+            emergency: false,
+        };
+        let mut slow = server("MID1", 16, 9);
+        let r_slow = slow.run(6, |_| Some(slow_decision.clone()));
+
+        assert!(
+            r_slow.avg_power(2) < r_fast.avg_power(2),
+            "slow {} vs fast {}",
+            r_slow.avg_power(2),
+            r_fast.avg_power(2)
+        );
+        let t_fast: f64 = r_fast.throughput(2).iter().sum();
+        let t_slow: f64 = r_slow.throughput(2).iter().sum();
+        assert!(t_slow < t_fast, "slow {t_slow} vs fast {t_fast}");
+    }
+
+    #[test]
+    fn lowering_mem_freq_hurts_memory_bound_more() {
+        let slow_mem = DvfsDecision {
+            core_freqs: vec![9; 16],
+            mem_freq: 0,
+            predicted_power: Watts(0.0),
+            degradation: 0.8,
+            budget_bound: true,
+            emergency: false,
+        };
+        let loss = |mix: &str| {
+            let mut base = server(mix, 16, 11);
+            let rb = base.run(6, |_| None);
+            let mut capped = server(mix, 16, 11);
+            let rc = capped.run(6, |_| Some(slow_mem.clone()));
+            let d = rc.degradation_vs(&rb, 2).unwrap();
+            d.iter().sum::<f64>() / d.len() as f64
+        };
+        let mem_loss = loss("MEM1");
+        let ilp_loss = loss("ILP2");
+        assert!(
+            mem_loss > ilp_loss,
+            "MEM loss {mem_loss} should exceed ILP loss {ilp_loss}"
+        );
+        assert!(mem_loss > 1.2, "slow memory must hurt MEM1: {mem_loss}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let mut a = server("MIX3", 16, 123);
+        let mut b = server("MIX3", 16, 123);
+        let ra = a.run(4, |_| None);
+        let rb = b.run(4, |_| None);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = server("MIX3", 16, 1);
+        let mut b = server("MIX3", 16, 2);
+        let ra = a.run(4, |_| None);
+        let rb = b.run(4, |_| None);
+        assert_ne!(ra, rb);
+    }
+
+    #[test]
+    fn ooo_mode_runs_and_issues_bursts() {
+        let cfg = quick_cfg(16).out_of_order();
+        let mut s = Server::for_workload(cfg, &mixes::by_name("MEM2").unwrap(), 5).unwrap();
+        let r = s.run(4, |_| None);
+        // OoO must still retire instructions and draw sane power.
+        assert!(r.epochs[3].instructions.iter().all(|&i| i > 0.0));
+        assert!(r.avg_power(1).get() > 30.0);
+    }
+
+    #[test]
+    fn multi_controller_mode_reports_per_controller_samples() {
+        let cfg = quick_cfg(16).with_controllers(4, crate::config::Interleaving::Skewed {
+            decay: 0.45,
+        });
+        let mut s = Server::for_workload(cfg, &mixes::by_name("MEM3").unwrap(), 5).unwrap();
+        s.run(4, |_| None);
+        let obs = s.observation().unwrap();
+        assert_eq!(obs.controllers.len(), 4);
+        assert_eq!(obs.access_weights.len(), 16);
+        // Skew: controller 0 must be visibly busier (higher Q) than 3.
+        assert!(
+            obs.controllers[0].bank_queue >= obs.controllers[3].bank_queue,
+            "skewed Q: {} vs {}",
+            obs.controllers[0].bank_queue,
+            obs.controllers[3].bank_queue
+        );
+    }
+
+    #[test]
+    fn emergency_flag_propagates() {
+        let mut s = server("MIX1", 16, 5);
+        let d = DvfsDecision {
+            core_freqs: vec![0; 16],
+            mem_freq: 0,
+            predicted_power: Watts(50.0),
+            degradation: 0.0,
+            budget_bound: true,
+            emergency: true,
+        };
+        let r = s.run(3, move |_| Some(d.clone()));
+        assert!(r.epochs[1].emergency);
+        assert!(!r.epochs[0].emergency, "warm-up epoch has no decision");
+    }
+}

@@ -1,0 +1,46 @@
+//! # fastcap-workloads
+//!
+//! Synthetic SPEC-like application profiles and the sixteen workload mixes
+//! from Table III of the FastCap paper (ISPASS 2016).
+//!
+//! The paper drives its evaluation with SPEC 2000/2006 applications grouped
+//! into four classes — compute-intensive (**ILP**), compute/memory balanced
+//! (**MID**), memory-intensive (**MEM**) and mixed (**MIX**) — running `N/4`
+//! copies of each of four applications to fill `N` cores. We do not have
+//! SPEC binaries or traces, so each named application is replaced by a
+//! *profile*: base CPI, misses/writebacks per kilo-instruction, DRAM
+//! row-buffer hit ratio, memory-level parallelism (for the out-of-order
+//! mode), and a deterministic phase model that modulates memory intensity
+//! over time (so the controller sees realistic behaviour changes — Fig. 4,
+//! 7, 8).
+//!
+//! **Fidelity note:** Table III reports MPKI/WPKI *per mix*, and the same
+//! application appears with very different memory intensity in different
+//! mixes (e.g. `applu` in MEM1 vs. MIX1) because the shared L2 is contended
+//! differently. We therefore specify MPKI/WPKI per `(application, mix)` pair
+//! such that every mix's mean MPKI and WPKI equal Table III exactly; a unit
+//! test in [`mixes`] asserts this.
+//!
+//! ```
+//! use fastcap_workloads::{mixes, WorkloadClass};
+//!
+//! let mem1 = mixes::by_name("MEM1").unwrap();
+//! assert_eq!(mem1.class, WorkloadClass::Mem);
+//! assert!((mem1.mean_mpki() - 18.22).abs() < 0.005);
+//!
+//! // Fill a 16-core machine: N/4 copies of each of the 4 applications.
+//! let apps = mem1.instantiate(16).unwrap();
+//! assert_eq!(apps.len(), 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod mixes;
+pub mod phases;
+pub mod spec;
+
+pub use app::{AppInstance, AppProfile, WorkloadClass};
+pub use mixes::{all, by_class, by_name, WorkloadSpec};
+pub use phases::PhaseSpec;

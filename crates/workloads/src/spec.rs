@@ -1,0 +1,130 @@
+//! Base profiles for the SPEC 2000/2006 applications named in Table III.
+//!
+//! Values are *synthetic but plausible*: base CPI near 1 (single-issue
+//! in-order pipeline), row-buffer hit ratios higher for streaming codes
+//! (`swim`, `applu`, `mgrid`) than for pointer-chasing ones (`art`,
+//! `gobmk`), and memory-level parallelism (MLP) higher for the
+//! memory-streaming floating-point codes. The default MPKI/WPKI here are
+//! only used when an application is run outside a Table III mix; the mixes
+//! in [`crate::mixes`] override them per context (see the crate docs for
+//! why).
+
+use crate::app::AppProfile;
+use crate::phases::PhaseSpec;
+
+/// Per-application base data: `(name, base_cpi, mpki, wpki, row_hit, mlp,
+/// strong_phases)`.
+const BASE: &[(&str, f64, f64, f64, f64, f64, bool)] = &[
+    // -- compute-intensive (ILP) ------------------------------------------
+    ("vortex", 1.15, 0.50, 0.08, 0.65, 1.5, false),
+    ("gcc", 1.25, 0.40, 0.07, 0.70, 1.6, false),
+    ("sixtrack", 1.05, 0.33, 0.05, 0.75, 1.3, false),
+    ("mesa", 1.10, 0.27, 0.04, 0.72, 1.4, false),
+    ("perlbmk", 1.20, 0.28, 0.05, 0.68, 1.5, false),
+    ("crafty", 1.10, 0.22, 0.04, 0.66, 1.4, false),
+    ("gzip", 1.15, 0.10, 0.03, 0.70, 1.3, false),
+    ("eon", 1.05, 0.07, 0.02, 0.74, 1.2, false),
+    ("hmmer", 1.00, 1.50, 1.20, 0.80, 2.0, false),
+    ("gobmk", 1.30, 1.40, 0.50, 0.60, 1.5, false),
+    ("sjeng", 1.25, 0.80, 0.16, 0.62, 1.5, false),
+    // -- balanced (MID) ----------------------------------------------------
+    ("ammp", 1.20, 1.80, 0.60, 0.68, 2.5, false),
+    ("gap", 1.15, 1.20, 0.60, 0.70, 2.2, false),
+    ("wupwise", 1.10, 2.30, 0.90, 0.75, 3.0, false),
+    ("vpr", 1.25, 1.40, 0.68, 0.62, 2.0, false),
+    ("astar", 1.30, 2.90, 1.07, 0.58, 2.2, false),
+    ("parser", 1.25, 2.00, 0.78, 0.60, 2.0, false),
+    ("twolf", 1.30, 2.60, 0.75, 0.55, 2.0, false),
+    ("facerec", 1.15, 1.80, 0.53, 0.72, 2.8, false),
+    ("apsi", 1.20, 1.30, 0.80, 0.70, 2.5, false),
+    ("bzip2", 1.15, 0.90, 0.50, 0.73, 2.0, false),
+    // -- memory-intensive (MEM) --------------------------------------------
+    ("swim", 1.10, 23.00, 9.70, 0.85, 6.0, true),
+    ("applu", 1.15, 19.00, 8.70, 0.82, 5.0, true),
+    ("galgel", 1.20, 12.00, 5.00, 0.75, 4.0, true),
+    ("equake", 1.25, 11.00, 5.00, 0.70, 4.0, true),
+    ("art", 1.10, 9.00, 3.00, 0.55, 5.0, true),
+    ("milc", 1.15, 7.70, 2.40, 0.60, 4.0, true),
+    ("mgrid", 1.10, 7.80, 2.45, 0.80, 5.0, true),
+    ("fma3d", 1.20, 6.80, 2.20, 0.72, 4.0, true),
+    ("sphinx3", 1.15, 12.00, 6.50, 0.70, 4.0, true),
+    ("lucas", 1.10, 8.30, 4.70, 0.78, 4.0, true),
+];
+
+/// All application names with base profiles.
+pub fn all_names() -> Vec<&'static str> {
+    BASE.iter().map(|e| e.0).collect()
+}
+
+/// The base profile for a named SPEC application, if known.
+pub fn base(name: &str) -> Option<AppProfile> {
+    BASE.iter()
+        .position(|e| e.0 == name)
+        .map(|idx| {
+            let (n, cpi, mpki, wpki, rh, mlp, strong) = BASE[idx];
+            // De-phase different applications with a stable per-app offset.
+            let offset = idx as f64 * 0.137;
+            AppProfile {
+                name: n.to_string(),
+                base_cpi: cpi,
+                mpki,
+                wpki,
+                row_hit_ratio: rh,
+                mlp,
+                phase: if strong {
+                    PhaseSpec::strong(offset)
+                } else {
+                    PhaseSpec::gentle(offset)
+                },
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_base_profiles_are_physically_valid() {
+        for name in all_names() {
+            let p = base(name).unwrap();
+            p.check().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn covers_every_table_iii_application() {
+        // The union of all application names appearing in Table III.
+        let needed = [
+            "vortex", "gcc", "sixtrack", "mesa", "perlbmk", "crafty", "gzip", "eon", "ammp",
+            "gap", "wupwise", "vpr", "astar", "parser", "twolf", "facerec", "apsi", "bzip2",
+            "swim", "applu", "galgel", "equake", "art", "milc", "mgrid", "fma3d", "sphinx3",
+            "lucas", "hmmer", "gobmk", "sjeng",
+        ];
+        for n in needed {
+            assert!(base(n).is_some(), "missing base profile for {n}");
+        }
+        assert_eq!(all_names().len(), needed.len());
+    }
+
+    #[test]
+    fn unknown_app_returns_none() {
+        assert!(base("doom").is_none());
+        assert!(base("").is_none());
+    }
+
+    #[test]
+    fn memory_apps_have_higher_mlp_than_ilp_apps() {
+        let swim = base("swim").unwrap();
+        let eon = base("eon").unwrap();
+        assert!(swim.mlp > eon.mlp);
+        assert!(swim.mpki > 10.0 * eon.mpki);
+    }
+
+    #[test]
+    fn distinct_apps_have_distinct_phase_offsets() {
+        let a = base("swim").unwrap();
+        let b = base("applu").unwrap();
+        assert_ne!(a.phase.offset, b.phase.offset);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for workload profiles and phase models.
+
+use fastcap_workloads::{mixes, spec, AppInstance, PhaseSpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// Phase intensity is always within its documented clamp, for any
+    /// parameterization and any epoch.
+    #[test]
+    fn phase_intensity_bounded(
+        period in 0.1_f64..200.0,
+        amp in 0.0_f64..2.0,
+        rperiod in 0.1_f64..50.0,
+        ramp in 0.0_f64..1.0,
+        offset in -3.0_f64..3.0,
+        mperiod in 0.0_f64..200.0,
+        mamp in 0.0_f64..1.0,
+        epoch in 0.0_f64..10_000.0,
+    ) {
+        let p = PhaseSpec {
+            period_epochs: period,
+            amplitude: amp,
+            ripple_period_epochs: rperiod,
+            ripple_amplitude: ramp,
+            offset,
+            mode_period_epochs: mperiod,
+            mode_amplitude: mamp,
+        };
+        let m = p.intensity(epoch);
+        prop_assert!((0.05..=3.0).contains(&m), "intensity {m}");
+    }
+
+    /// De-phased copies keep profiles physically valid.
+    #[test]
+    fn instances_stay_valid(copy in 0usize..64, app_idx in 0usize..31) {
+        let names = spec::all_names();
+        let name = names[app_idx % names.len()];
+        let base = spec::base(name).expect("known app");
+        let inst = AppInstance::new(&base, copy);
+        prop_assert!(inst.profile.check().is_ok());
+        prop_assert!((0.0..1.0).contains(&inst.profile.phase.offset));
+    }
+
+    /// Instantiation produces exactly n copies with the class invariant
+    /// mpki >= wpki preserved.
+    #[test]
+    fn instantiation_shape(k in 1usize..17) {
+        let n = 4 * k;
+        for w in mixes::all() {
+            let apps = w.instantiate(n).expect("multiple of 4");
+            prop_assert_eq!(apps.len(), n);
+            for a in &apps {
+                prop_assert!(a.profile.wpki <= a.profile.mpki + 1e-12,
+                    "{}: wpki > mpki", a.profile.name);
+            }
+        }
+    }
+}
+
+/// The long-run mean intensity of any base profile's phase model stays
+/// near 1 (phases modulate, they do not bias, memory intensity).
+#[test]
+fn phase_mean_is_near_one() {
+    for name in spec::all_names() {
+        let p = spec::base(name).unwrap().phase;
+        let mean: f64 = (0..2000).map(|e| p.intensity(e as f64)).sum::<f64>() / 2000.0;
+        assert!(
+            (mean - 1.0).abs() < 0.08,
+            "{name}: long-run phase mean {mean}"
+        );
+    }
+}

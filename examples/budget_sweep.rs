@@ -1,0 +1,47 @@
+//! Power/performance frontier: sweep the budget fraction and watch FastCap
+//! trade performance for power, with fairness intact at every point.
+//!
+//! ```sh
+//! cargo run --release --example budget_sweep -- [MID2]
+//! ```
+
+use fastcap::policies::{CappingPolicy, FastCapPolicy};
+use fastcap::sim::{Server, SimConfig};
+use fastcap::workloads::mixes;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mix_name = std::env::args().nth(1).unwrap_or_else(|| "MID2".to_string());
+    let mix = mixes::by_name(&mix_name)
+        .ok_or_else(|| format!("unknown workload {mix_name}"))?;
+    let cfg = SimConfig::ispass(16)?.with_time_dilation(100.0);
+    let epochs = 40;
+    let seed = 5;
+
+    let mut baseline_server = Server::for_workload(cfg.clone(), &mix, seed)?;
+    let baseline = baseline_server.run(epochs, |_| None);
+    println!(
+        "workload {mix_name}; uncapped draw {} of {} peak",
+        baseline.avg_power(5),
+        cfg.peak_power
+    );
+    println!("\nbudget  power(W)  used%   avg-degr  worst-degr");
+
+    for pct in [40u32, 50, 60, 70, 80, 90, 100] {
+        let b = f64::from(pct) / 100.0;
+        let ctl_cfg = cfg.controller_config(b)?;
+        let budget = ctl_cfg.budget();
+        let mut policy = FastCapPolicy::new(ctl_cfg)?;
+        let mut server = Server::for_workload(cfg.clone(), &mix, seed)?;
+        let run = server.run(epochs, |obs| policy.decide(obs).ok());
+        let rep = run.fairness_vs(&baseline, 5)?;
+        println!(
+            "{pct:5}%  {:8.1}  {:5.1}%  {:8.3}  {:10.3}",
+            run.avg_power(5).get(),
+            100.0 * run.avg_power(5).get() / budget.get(),
+            rep.average,
+            rep.worst
+        );
+    }
+    println!("\n(used% near 100 = the whole budget converted to performance)");
+    Ok(())
+}

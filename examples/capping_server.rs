@@ -1,0 +1,72 @@
+//! Full closed loop: FastCap capping a simulated 16-core server running a
+//! Table III workload, epoch by epoch.
+//!
+//! Prints a per-epoch trace (power vs. budget, chosen frequencies) and a
+//! final summary with per-application degradation — the Fig. 3/4
+//! experiment in miniature.
+//!
+//! ```sh
+//! cargo run --release --example capping_server -- [MIX3] [0.6]
+//! ```
+
+use fastcap::policies::{CappingPolicy, FastCapPolicy};
+use fastcap::sim::{Server, SimConfig};
+use fastcap::workloads::mixes;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let mix_name = args.next().unwrap_or_else(|| "MIX3".to_string());
+    let budget_frac: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.6);
+
+    let mix = mixes::by_name(&mix_name)
+        .ok_or_else(|| format!("unknown workload {mix_name}; try ILP1..MIX4"))?;
+    let cfg = SimConfig::ispass(16)?.with_time_dilation(100.0);
+    let ctl_cfg = cfg.controller_config(budget_frac)?;
+    let budget = ctl_cfg.budget();
+
+    println!("workload {mix_name} ({}), budget {budget} ({:.0}% of peak)",
+        mix.class, budget_frac * 100.0);
+    println!("apps: {}", mix.apps.iter().map(|a| a.name.as_str()).collect::<Vec<_>>().join(" "));
+
+    // Uncapped baseline for the degradation metric.
+    let epochs = 60;
+    let mut baseline_server = Server::for_workload(cfg.clone(), &mix, 42)?;
+    let baseline = baseline_server.run(epochs, |_| None);
+
+    // Capped run.
+    let mut policy = FastCapPolicy::new(ctl_cfg)?;
+    let mut server = Server::for_workload(cfg, &mix, 42)?;
+    let result = server.run(epochs, |obs| policy.decide(obs).ok());
+
+    println!("\nepoch  power(W)  vs-budget  cores(mean lvl)  mem(lvl)");
+    for e in result.epochs.iter().take(20) {
+        let mean_core =
+            e.core_freq_idx.iter().sum::<usize>() as f64 / e.core_freq_idx.len() as f64;
+        println!(
+            "{:5}  {:8.1}  {:8.1}%  {:15.1}  {:8}",
+            e.epoch,
+            e.total_power.get(),
+            100.0 * e.total_power.get() / budget.get(),
+            mean_core,
+            e.mem_freq_idx
+        );
+    }
+    println!("  ... ({} more epochs)", result.epochs.len().saturating_sub(20));
+
+    let skip = 5;
+    println!("\naverage power: {} (budget {budget})", result.avg_power(skip));
+    println!("max epoch avg: {}", result.max_epoch_power(skip));
+    let report = result.fairness_vs(&baseline, skip)?;
+    println!(
+        "performance: avg degradation {:.3}, worst {:.3}, Jain fairness {:.4}",
+        report.average, report.worst, report.jain_index
+    );
+
+    let degradations = result.degradation_vs(&baseline, skip)?;
+    println!("\nper-core degradation (normalized CPI vs uncapped):");
+    let apps = mix.instantiate(16).map_err(std::io::Error::other)?;
+    for (i, (d, app)) in degradations.iter().zip(&apps).enumerate() {
+        println!("  core {i:2} {:10}  {d:.3}", app.profile.name);
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Head-to-head policy comparison on one workload — a one-workload slice
+//! of Fig. 9: FastCap vs. CPU-only, Freq-Par, Eql-Pwr and Eql-Freq.
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison -- [MIX4] [0.6]
+//! ```
+
+use fastcap::core::fairness;
+use fastcap::policies::{
+    CappingPolicy, CpuOnlyPolicy, EqlFreqPolicy, EqlPwrPolicy, FastCapPolicy, FreqParPolicy,
+};
+use fastcap::sim::{Server, SimConfig};
+use fastcap::workloads::mixes;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let mix_name = args.next().unwrap_or_else(|| "MIX4".to_string());
+    let budget_frac: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.6);
+
+    let mix = mixes::by_name(&mix_name)
+        .ok_or_else(|| format!("unknown workload {mix_name}"))?;
+    let cfg = SimConfig::ispass(16)?.with_time_dilation(100.0);
+    let budget = cfg.controller_config(budget_frac)?.budget();
+    let epochs = 50;
+    let seed = 7;
+
+    let mut baseline_server = Server::for_workload(cfg.clone(), &mix, seed)?;
+    let baseline = baseline_server.run(epochs, |_| None);
+    println!(
+        "workload {mix_name}, budget {budget}; uncapped draw {}",
+        baseline.avg_power(5)
+    );
+    println!("\npolicy      avg-power  avg-degr  worst-degr  jain");
+
+    let policies: Vec<Box<dyn CappingPolicy>> = vec![
+        Box::new(FastCapPolicy::new(cfg.controller_config(budget_frac)?)?),
+        Box::new(CpuOnlyPolicy::new(cfg.controller_config(budget_frac)?)?),
+        Box::new(FreqParPolicy::new(cfg.controller_config(budget_frac)?)?),
+        Box::new(EqlPwrPolicy::new(cfg.controller_config(budget_frac)?)?),
+        Box::new(EqlFreqPolicy::new(cfg.controller_config(budget_frac)?)?),
+    ];
+    for mut policy in policies {
+        let name = policy.name();
+        let mut server = Server::for_workload(cfg.clone(), &mix, seed)?;
+        let run = server.run(epochs, |obs| policy.decide(obs).ok());
+        let d = run.degradation_vs(&baseline, 5)?;
+        let rep = fairness::report(&d)?;
+        println!(
+            "{name:10}  {:8.1}W  {:8.3}  {:10.3}  {:.4}",
+            run.avg_power(5).get(),
+            rep.average,
+            rep.worst,
+            rep.jain_index
+        );
+    }
+    println!("\n(lower degradation is better; Jain closer to 1 is fairer)");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: run the FastCap algorithm on one epoch of counters.
+//!
+//! This is the controller in isolation — no simulator. You hand it the
+//! hardware counters the paper's OS module would collect (Sec. III-C) and
+//! get back per-core and memory DVFS settings that maximize fair
+//! performance under the budget.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use fastcap::core::capper::{FastCapConfig, FastCapController};
+use fastcap::core::counters::{CoreSample, EpochObservation, MemorySample};
+use fastcap::core::freq::FreqLadder;
+use fastcap::core::units::{Hz, Secs, Watts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 16-core server with the paper's platform defaults (2.2–4.0 GHz
+    // cores, 200–800 MHz memory bus), peak power 120 W, capped at 60%.
+    let cfg = FastCapConfig::builder(16)
+        .budget_fraction(0.6)
+        .peak_power(Watts(120.0))
+        .build()?;
+    let budget = cfg.budget();
+    let mut controller = FastCapController::new(cfg)?;
+
+    // One epoch of counters. Half the cores are CPU-bound (few last-level
+    // misses), half are memory-bound (many misses).
+    let cores = (0..16)
+        .map(|i| CoreSample {
+            freq: Hz::from_ghz(4.0),
+            busy_time_per_instruction: Secs::from_nanos(0.28),
+            instructions: 1_000_000,
+            last_level_misses: if i % 2 == 0 { 500 } else { 12_000 },
+            power: Watts(4.8),
+        })
+        .collect();
+    let memory = MemorySample {
+        bus_freq: Hz::from_mhz(800.0),
+        bank_queue: 1.6,       // Q: mean bank occupancy at arrival
+        bus_queue: 1.3,        // U: mean bus waiters at departure
+        bank_service_time: Secs::from_nanos(28.0),
+        power: Watts(32.0),
+    };
+    let obs = EpochObservation::single(cores, memory, Watts(115.0));
+
+    let decision = controller.decide(&obs)?;
+
+    let core_ladder = FreqLadder::ispass_core();
+    let mem_ladder = FreqLadder::ispass_memory_bus();
+    println!("budget: {budget}");
+    println!(
+        "degradation factor D = {:.3} (every app runs at {:.1}% of its best performance)",
+        decision.degradation,
+        decision.degradation * 100.0
+    );
+    println!("predicted power: {}", decision.predicted_power);
+    println!(
+        "memory bus: {:.0} MHz",
+        decision.mem_freq_hz(&mem_ladder).mhz()
+    );
+    for (i, f) in decision.core_freqs_hz(&core_ladder).iter().enumerate() {
+        let kind = if i % 2 == 0 { "cpu-bound" } else { "mem-bound" };
+        println!("core {i:2} ({kind}): {:.1} GHz", f.ghz());
+    }
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Cross-validation of the two simulation backends: the analytic
+//! (approximate-MVA) server must agree with the discrete-event server on
+//! power, throughput ordering and closed-loop capping behaviour.
+
+use fastcap_policies::{CappingPolicy, FastCapPolicy};
+use fastcap_sim::{AnalyticServer, RunResult, Server, SimConfig};
+use fastcap_workloads::mixes;
+
+fn cfg() -> SimConfig {
+    SimConfig::ispass(16)
+        .unwrap()
+        .with_time_dilation(200.0)
+        .with_meter_noise(0.0)
+}
+
+fn des_uncapped(mix: &str, epochs: usize) -> RunResult {
+    let mut s = Server::for_workload(cfg(), &mixes::by_name(mix).unwrap(), 5).unwrap();
+    s.run(epochs, |_| None)
+}
+
+fn analytic_uncapped(mix: &str, epochs: usize) -> RunResult {
+    let mut s = AnalyticServer::for_workload(cfg(), &mixes::by_name(mix).unwrap(), 5).unwrap();
+    s.run(epochs, |_| None)
+}
+
+#[test]
+fn uncapped_power_agrees_within_fifteen_percent() {
+    for mix in ["ILP1", "MID2", "MEM2", "MIX3"] {
+        let des = des_uncapped(mix, 8).avg_power(2);
+        let ana = analytic_uncapped(mix, 8).avg_power(2);
+        let rel = (des.get() - ana.get()).abs() / des.get();
+        assert!(
+            rel < 0.15,
+            "{mix}: DES {des} vs analytic {ana} differ by {:.0}%",
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn uncapped_throughput_agrees_within_thirty_percent() {
+    // The analytic backend is an approximation (open-queue waits, no
+    // stochastic burstiness), so allow a generous band — what matters is
+    // that both backends put each workload in the same performance regime.
+    for mix in ["ILP2", "MID1", "MEM3"] {
+        let des: f64 = des_uncapped(mix, 8).throughput(2).iter().sum();
+        let ana: f64 = analytic_uncapped(mix, 8).throughput(2).iter().sum();
+        let ratio = ana / des;
+        assert!(
+            (0.7..1.45).contains(&ratio),
+            "{mix}: analytic/DES throughput ratio {ratio:.2}"
+        );
+    }
+}
+
+#[test]
+fn workload_power_ordering_matches() {
+    // Both backends must order the extremes the same way: a compute-bound
+    // mix out-draws a heavily stalled memory-bound one at max frequency.
+    let (d_ilp, d_mem) = (
+        des_uncapped("ILP1", 6).avg_power(2).get(),
+        des_uncapped("MEM1", 6).avg_power(2).get(),
+    );
+    let (a_ilp, a_mem) = (
+        analytic_uncapped("ILP1", 6).avg_power(2).get(),
+        analytic_uncapped("MEM1", 6).avg_power(2).get(),
+    );
+    assert!(d_ilp > d_mem, "DES: ILP {d_ilp} vs MEM {d_mem}");
+    assert!(a_ilp > a_mem, "analytic: ILP {a_ilp} vs MEM {a_mem}");
+}
+
+#[test]
+fn closed_loop_capping_agrees() {
+    // FastCap must hold the same budget on either substrate.
+    let c = cfg();
+    let budget = c.controller_config(0.6).unwrap().budget();
+    let mix = mixes::by_name("MIX1").unwrap();
+
+    let mut p1 = FastCapPolicy::new(c.controller_config(0.6).unwrap()).unwrap();
+    let mut des = Server::for_workload(c.clone(), &mix, 9).unwrap();
+    let r_des = des.run(20, |obs| p1.decide(obs).ok());
+
+    let mut p2 = FastCapPolicy::new(c.controller_config(0.6).unwrap()).unwrap();
+    let mut ana = AnalyticServer::for_workload(c, &mix, 9).unwrap();
+    let r_ana = ana.run(20, |obs| p2.decide(obs).ok());
+
+    for (name, r) in [("DES", &r_des), ("analytic", &r_ana)] {
+        let avg = r.avg_power(5);
+        assert!(
+            avg.get() <= budget.get() * 1.06 && avg.get() >= budget.get() * 0.75,
+            "{name}: {avg} vs budget {budget}"
+        );
+    }
+}
+
+#[test]
+fn analytic_enables_large_n_closed_loop() {
+    // The headline payoff of the analytic backend: a 128-core closed loop
+    // in milliseconds.
+    let c = SimConfig::ispass(128).unwrap().with_meter_noise(0.0);
+    let budget = c.controller_config(0.6).unwrap().budget();
+    let mut policy = FastCapPolicy::new(c.controller_config(0.6).unwrap()).unwrap();
+    let mix = mixes::by_name("MIX2").unwrap();
+    let mut server = AnalyticServer::for_workload(c, &mix, 3).unwrap();
+    let run = server.run(16, |obs| policy.decide(obs).ok());
+    let avg = run.avg_power(4);
+    assert!(
+        avg.get() <= budget.get() * 1.06,
+        "128-core analytic loop: {avg} vs {budget}"
+    );
+}

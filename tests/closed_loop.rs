@@ -1,0 +1,142 @@
+//! End-to-end closed-loop tests: the FastCap controller driving the
+//! discrete-event server, checked against the paper's headline claims
+//! (Fig. 3–5): power pinned at the budget, violations corrected within a
+//! couple of epochs, and sane degradations.
+
+use fastcap_core::units::Watts;
+use fastcap_policies::{CappingPolicy, FastCapPolicy};
+use fastcap_sim::{RunResult, Server, SimConfig};
+use fastcap_workloads::mixes;
+
+fn capped_run(
+    mix: &str,
+    n_cores: usize,
+    budget: f64,
+    epochs: usize,
+    dilation: f64,
+    seed: u64,
+) -> (RunResult, RunResult, Watts) {
+    let cfg = SimConfig::ispass(n_cores)
+        .unwrap()
+        .with_time_dilation(dilation);
+    let ctl_cfg = cfg.controller_config(budget).unwrap();
+    let budget_w = ctl_cfg.budget();
+    let mix = mixes::by_name(mix).unwrap();
+    let mut baseline = Server::for_workload(cfg.clone(), &mix, seed).unwrap();
+    let base = baseline.run(epochs, |_| None);
+    let mut policy = FastCapPolicy::new(ctl_cfg).unwrap();
+    let mut server = Server::for_workload(cfg, &mix, seed).unwrap();
+    let capped = server.run(epochs, |obs| policy.decide(obs).ok());
+    (base, capped, budget_w)
+}
+
+#[test]
+fn budget_holds_for_every_class_at_60pct() {
+    for mix in ["ILP2", "MID1", "MEM2", "MIX1"] {
+        let (_, capped, budget) = capped_run(mix, 16, 0.6, 24, 200.0, 7);
+        let avg = capped.avg_power(5);
+        assert!(
+            avg.get() <= budget.get() * 1.06,
+            "{mix}: avg {avg} exceeds budget {budget} by >6%"
+        );
+        // The budget is actually used (FastCap is not over-conservative) —
+        // except when the workload cannot draw that much power at all.
+        let uncapped_headroom = capped.avg_power(5).get() / budget.get();
+        assert!(
+            uncapped_headroom > 0.80,
+            "{mix}: only {:.0}% of the budget used",
+            uncapped_headroom * 100.0
+        );
+    }
+}
+
+#[test]
+fn violations_are_corrected_within_two_epochs() {
+    // Fig. 5's claim: after the uncapped warm-up epoch, FastCap pulls the
+    // power under (or to within a whisker of) the cap within ~2 epochs and
+    // never sustains a violation streak.
+    let (_, capped, budget) = capped_run("MIX2", 16, 0.6, 30, 200.0, 3);
+    let trace: Vec<f64> = capped
+        .epochs
+        .iter()
+        .map(|e| e.total_power.get() / budget.get())
+        .collect();
+    assert!(trace[0] > 1.05, "warm-up epoch should be over budget");
+    let mut streak = 0usize;
+    let mut longest = 0usize;
+    for &p in &trace[2..] {
+        if p > 1.05 {
+            streak += 1;
+            longest = longest.max(streak);
+        } else {
+            streak = 0;
+        }
+    }
+    assert!(
+        longest <= 2,
+        "sustained violation streak of {longest} epochs: {trace:?}"
+    );
+}
+
+#[test]
+fn mem_workloads_do_not_reach_a_loose_cap() {
+    // Fig. 5, B = 80%: memory-bound workloads draw less than a loose cap
+    // even at maximum frequencies.
+    let (base, capped, budget) = capped_run("MEM1", 16, 0.8, 16, 200.0, 5);
+    assert!(
+        base.avg_power(4).get() < budget.get(),
+        "MEM1 uncapped ({}) should sit below the 80% cap ({budget})",
+        base.avg_power(4)
+    );
+    // And capping barely changes anything.
+    let d = capped.degradation_vs(&base, 4).unwrap();
+    let avg_d = d.iter().sum::<f64>() / d.len() as f64;
+    assert!(avg_d < 1.10, "loose cap should be ~free for MEM1, got {avg_d}");
+}
+
+#[test]
+fn degradation_is_fair_across_applications() {
+    // Fig. 6's fairness claim: worst-app degradation stays close to the
+    // average (no outliers).
+    let (base, capped, _) = capped_run("MIX4", 16, 0.6, 24, 200.0, 11);
+    let rep = capped.fairness_vs(&base, 5).unwrap();
+    assert!(rep.average > 1.0, "capping must cost something: {rep:?}");
+    assert!(
+        rep.worst / rep.average < 1.18,
+        "outlier: worst {} vs average {}",
+        rep.worst,
+        rep.average
+    );
+    assert!(rep.jain_index > 0.97, "Jain {}", rep.jain_index);
+}
+
+#[test]
+fn tighter_budgets_degrade_more() {
+    let mut prev = f64::INFINITY;
+    for budget in [0.5, 0.7, 0.9] {
+        let (base, capped, _) = capped_run("MID2", 16, budget, 20, 200.0, 13);
+        let d = capped.degradation_vs(&base, 5).unwrap();
+        let avg = d.iter().sum::<f64>() / d.len() as f64;
+        assert!(
+            avg <= prev * 1.03,
+            "B={budget}: degradation {avg} worse than looser budget {prev}"
+        );
+        prev = avg;
+    }
+}
+
+#[test]
+fn emergency_budget_drives_everything_to_the_floor() {
+    // A budget below the static floor: FastCap must emit emergency
+    // minimum-frequency decisions rather than erroring out.
+    let cfg = SimConfig::ispass(16).unwrap().with_time_dilation(300.0);
+    let ctl_cfg = cfg.controller_config(0.18).unwrap(); // 21.6 W, infeasible
+    let mix = mixes::by_name("ILP1").unwrap();
+    let mut policy = FastCapPolicy::new(ctl_cfg).unwrap();
+    let mut server = Server::for_workload(cfg, &mix, 1).unwrap();
+    let run = server.run(6, |obs| policy.decide(obs).ok());
+    let last = run.epochs.last().unwrap();
+    assert!(last.emergency);
+    assert!(last.core_freq_idx.iter().all(|&i| i == 0));
+    assert_eq!(last.mem_freq_idx, 0);
+}

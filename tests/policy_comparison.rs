@@ -1,0 +1,177 @@
+//! Cross-policy integration tests: the comparative claims of Fig. 9–11,
+//! checked end-to-end on the simulator (small configurations, tolerant
+//! thresholds — these are shape checks, not exact numbers).
+
+use fastcap_core::fairness;
+use fastcap_policies::{
+    CappingPolicy, CpuOnlyPolicy, EqlFreqPolicy, EqlPwrPolicy, FastCapPolicy, MaxBipsPolicy,
+};
+use fastcap_sim::{RunResult, Server, SimConfig};
+use fastcap_workloads::mixes;
+
+fn run_policy<P: CappingPolicy>(
+    mut policy: P,
+    cfg: &SimConfig,
+    mix: &str,
+    epochs: usize,
+    seed: u64,
+) -> RunResult {
+    let mix = mixes::by_name(mix).unwrap();
+    let mut server = Server::for_workload(cfg.clone(), &mix, seed).unwrap();
+    server.run(epochs, |obs| policy.decide(obs).ok())
+}
+
+fn baseline(cfg: &SimConfig, mix: &str, epochs: usize, seed: u64) -> RunResult {
+    let mix = mixes::by_name(mix).unwrap();
+    let mut server = Server::for_workload(cfg.clone(), &mix, seed).unwrap();
+    server.run(epochs, |_| None)
+}
+
+fn avg(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[test]
+fn memory_dvfs_beats_cpu_only_for_cpu_bound_work() {
+    // Fig. 9: pinning the memory at maximum frequency wastes budget that
+    // ILP workloads would rather spend on cores.
+    let cfg = SimConfig::ispass(16).unwrap().with_time_dilation(200.0);
+    let ctl = |b| cfg.controller_config(b).unwrap();
+    let epochs = 24;
+    let base = baseline(&cfg, "ILP1", epochs, 2);
+    let fc = run_policy(FastCapPolicy::new(ctl(0.6)).unwrap(), &cfg, "ILP1", epochs, 2);
+    let co = run_policy(CpuOnlyPolicy::new(ctl(0.6)).unwrap(), &cfg, "ILP1", epochs, 2);
+    let d_fc = avg(&fc.degradation_vs(&base, 5).unwrap());
+    let d_co = avg(&co.degradation_vs(&base, 5).unwrap());
+    assert!(
+        d_fc < d_co * 1.01,
+        "FastCap ({d_fc}) should beat CPU-only ({d_co}) on ILP"
+    );
+}
+
+#[test]
+fn cpu_only_matches_fastcap_on_memory_bound_work() {
+    // Fig. 9: for MEM workloads the memory already runs at maximum under
+    // FastCap, so CPU-only performs almost the same.
+    let cfg = SimConfig::ispass(16).unwrap().with_time_dilation(200.0);
+    let ctl = |b| cfg.controller_config(b).unwrap();
+    let epochs = 20;
+    let base = baseline(&cfg, "MEM1", epochs, 4);
+    let fc = run_policy(FastCapPolicy::new(ctl(0.6)).unwrap(), &cfg, "MEM1", epochs, 4);
+    let co = run_policy(CpuOnlyPolicy::new(ctl(0.6)).unwrap(), &cfg, "MEM1", epochs, 4);
+    let d_fc = avg(&fc.degradation_vs(&base, 5).unwrap());
+    let d_co = avg(&co.degradation_vs(&base, 5).unwrap());
+    assert!(
+        (d_fc - d_co).abs() / d_fc < 0.08,
+        "MEM1: FastCap {d_fc} vs CPU-only {d_co} should be close"
+    );
+}
+
+#[test]
+fn eql_pwr_produces_worse_outliers_on_mixed_work() {
+    // Fig. 9: equal power shares starve power-hungry apps in mixes.
+    let cfg = SimConfig::ispass(16).unwrap().with_time_dilation(200.0);
+    let ctl = |b| cfg.controller_config(b).unwrap();
+    let epochs = 24;
+    let mut worst_fc: f64 = 0.0;
+    let mut worst_ep: f64 = 0.0;
+    for (i, mix) in ["MIX1", "MIX4"].iter().enumerate() {
+        let seed = 21 + i as u64;
+        let base = baseline(&cfg, mix, epochs, seed);
+        let fc = run_policy(FastCapPolicy::new(ctl(0.6)).unwrap(), &cfg, mix, epochs, seed);
+        let ep = run_policy(EqlPwrPolicy::new(ctl(0.6)).unwrap(), &cfg, mix, epochs, seed);
+        let dfc = fc.degradation_vs(&base, 5).unwrap();
+        let dep = ep.degradation_vs(&base, 5).unwrap();
+        worst_fc = worst_fc.max(dfc.iter().cloned().fold(f64::MIN, f64::max));
+        worst_ep = worst_ep.max(dep.iter().cloned().fold(f64::MIN, f64::max));
+    }
+    assert!(
+        worst_ep > worst_fc,
+        "Eql-Pwr worst ({worst_ep}) should exceed FastCap worst ({worst_fc})"
+    );
+}
+
+#[test]
+fn eql_freq_is_conservative_on_mixes() {
+    // Fig. 10's mechanism at 16 cores: the global-frequency lock leaves
+    // performance on the table relative to FastCap.
+    let cfg = SimConfig::ispass(16).unwrap().with_time_dilation(200.0);
+    let ctl = |b| cfg.controller_config(b).unwrap();
+    let epochs = 24;
+    let base = baseline(&cfg, "MIX2", epochs, 8);
+    let fc = run_policy(FastCapPolicy::new(ctl(0.6)).unwrap(), &cfg, "MIX2", epochs, 8);
+    let ef = run_policy(EqlFreqPolicy::new(ctl(0.6)).unwrap(), &cfg, "MIX2", epochs, 8);
+    let d_fc = avg(&fc.degradation_vs(&base, 5).unwrap());
+    let d_ef = avg(&ef.degradation_vs(&base, 5).unwrap());
+    assert!(
+        d_fc <= d_ef * 1.05,
+        "FastCap ({d_fc}) should not lose to Eql-Freq ({d_ef})"
+    );
+}
+
+#[test]
+fn maxbips_is_less_fair_than_fastcap() {
+    // Fig. 11 on 4 cores: MaxBIPS creates outliers; FastCap does not.
+    let cfg = SimConfig::ispass(4).unwrap().with_time_dilation(200.0);
+    let ctl = |b: f64| cfg.controller_config(b).unwrap();
+    let epochs = 24;
+    let mut jain_fc = Vec::new();
+    let mut jain_mb = Vec::new();
+    for (i, mix) in ["MIX1", "MIX3"].iter().enumerate() {
+        let seed = 31 + i as u64;
+        let base = baseline(&cfg, mix, epochs, seed);
+        let fc = run_policy(FastCapPolicy::new(ctl(0.6)).unwrap(), &cfg, mix, epochs, seed);
+        let mb = run_policy(MaxBipsPolicy::new(ctl(0.6)).unwrap(), &cfg, mix, epochs, seed);
+        jain_fc.push(
+            fairness::report(&fc.degradation_vs(&base, 5).unwrap())
+                .unwrap()
+                .jain_index,
+        );
+        jain_mb.push(
+            fairness::report(&mb.degradation_vs(&base, 5).unwrap())
+                .unwrap()
+                .jain_index,
+        );
+    }
+    assert!(
+        avg(&jain_fc) >= avg(&jain_mb),
+        "FastCap Jain {jain_fc:?} should be >= MaxBIPS {jain_mb:?}"
+    );
+}
+
+#[test]
+fn all_policies_respect_the_cap_on_average() {
+    // "All policies are capable of controlling the power consumption
+    // around the budget" — Sec. IV-B.
+    let cfg = SimConfig::ispass(16).unwrap().with_time_dilation(200.0);
+    let budget = cfg.controller_config(0.6).unwrap().budget();
+    let epochs = 24;
+    let policies: Vec<(&str, Box<dyn CappingPolicy>)> = vec![
+        (
+            "FastCap",
+            Box::new(FastCapPolicy::new(cfg.controller_config(0.6).unwrap()).unwrap()),
+        ),
+        (
+            "CPU-only",
+            Box::new(CpuOnlyPolicy::new(cfg.controller_config(0.6).unwrap()).unwrap()),
+        ),
+        (
+            "Eql-Pwr",
+            Box::new(EqlPwrPolicy::new(cfg.controller_config(0.6).unwrap()).unwrap()),
+        ),
+        (
+            "Eql-Freq",
+            Box::new(EqlFreqPolicy::new(cfg.controller_config(0.6).unwrap()).unwrap()),
+        ),
+    ];
+    for (name, mut policy) in policies {
+        let mix = mixes::by_name("MID3").unwrap();
+        let mut server = Server::for_workload(cfg.clone(), &mix, 17).unwrap();
+        let run = server.run(epochs, |obs| policy.decide(obs).ok());
+        let avg_p = run.avg_power(5);
+        assert!(
+            avg_p.get() <= budget.get() * 1.08,
+            "{name}: {avg_p} vs budget {budget}"
+        );
+    }
+}
