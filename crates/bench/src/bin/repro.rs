@@ -7,8 +7,9 @@
 //! ```
 //!
 //! Artifacts: tab1 tab3 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-//! fig12 fig13 overhead. Results print as markdown and are written as
-//! CSV/JSON under `--out` (default `results/`).
+//! fig12 fig13 overhead epochlen ablation scaling. Results print as
+//! markdown and are written as CSV/JSON under `--out` (default
+//! `results/`).
 
 use fastcap_bench::experiments;
 use fastcap_bench::harness::Opts;
@@ -16,9 +17,12 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-fn usage() -> &'static str {
-    "usage: repro <artifact|all>... [--quick] [--seed N] [--out DIR] [--list]\n\
-     artifacts: tab1 tab3 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 overhead"
+fn usage() -> String {
+    format!(
+        "usage: repro <artifact|all>... [--quick] [--seed N] [--out DIR] [--list]\n\
+         artifacts: {}",
+        experiments::ALL.join(" ")
+    )
 }
 
 fn main() -> ExitCode {
@@ -63,11 +67,20 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     }
+    // Validate artifact names before running anything, so a typo in a long
+    // multi-artifact invocation fails fast instead of after hours of sim.
+    for t in &targets {
+        if t != "all" && !experiments::ALL.contains(&t.as_str()) {
+            eprintln!("unknown artifact `{t}`\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
     if targets.iter().any(|t| t == "all") {
-        // fig7/fig8 and fig12/fig13 share runners; dedupe by runner.
-        targets = ["tab1", "tab3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
-            "fig11", "fig12", "overhead", "epochlen", "ablation", "scaling"]
+        // fig8 and fig13 share runners with fig7 and fig12; dedupe by
+        // runner so each executes once.
+        targets = experiments::ALL
             .iter()
+            .filter(|&&id| id != "fig8" && id != "fig13")
             .map(|s| s.to_string())
             .collect();
     }

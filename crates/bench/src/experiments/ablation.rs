@@ -103,7 +103,11 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
         ],
     );
     let baseline = run_baseline(&cfg, &mix, opts.epochs(), opts.seed)?;
-    for v in [Variant::Full, Variant::FrozenModels, Variant::FloorQuantization] {
+    for v in [
+        Variant::Full,
+        Variant::FrozenModels,
+        Variant::FloorQuantization,
+    ] {
         let mut ctl = FastCapController::new(ctl_cfg.clone())?;
         let mut server = Server::for_workload(cfg.clone(), &mix, opts.seed)?;
         let run = server.run(opts.epochs(), |obs| decide(&mut ctl, v, obs));
@@ -123,11 +127,16 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     let mut s = ResultTable::new(
         "ablation_search",
         "Algorithm 1 binary search vs exhaustive memory scan (same optimum, fewer evaluations)",
-        &["cores", "D (binary)", "D (exhaustive)", "points (binary)", "points (exhaustive)"],
+        &[
+            "cores",
+            "D (binary)",
+            "D (exhaustive)",
+            "points (binary)",
+            "points (exhaustive)",
+        ],
     );
     for n in [16usize, 64, 256] {
-        let mut ctl =
-            FastCapController::new(crate::harness::synthetic_controller_config(n, 0.6)?)?;
+        let mut ctl = FastCapController::new(crate::harness::synthetic_controller_config(n, 0.6)?)?;
         let obs = crate::harness::synthetic_observation(n);
         ctl.observe(&obs);
         let model = ctl.build_model(&obs)?;

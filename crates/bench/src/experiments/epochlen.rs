@@ -41,7 +41,9 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
             // Fewer, longer epochs cover the same wall time.
             let epochs = (opts.epochs() as f64 * 5.0 / ms).round().max(10.0) as usize;
             let run = run_capped(&cfg, &mix, PolicyKind::FastCap, 0.6, epochs, opts.seed)?;
-            let d = run.capped.degradation_vs(&run.baseline, opts.skip().min(epochs / 3))?;
+            let d = run
+                .capped
+                .degradation_vs(&run.baseline, opts.skip().min(epochs / 3))?;
             let avg = d.iter().sum::<f64>() / d.len() as f64;
             let worst = d.iter().cloned().fold(f64::MIN, f64::max);
             t.push_row(vec![

@@ -15,7 +15,14 @@ use fastcap_workloads::mixes;
 pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     let cfg = opts.sim_config(16)?;
     let mix = mixes::by_name("MIX3").expect("MIX3 exists");
-    let capped = run_capped_only(&cfg, &mix, PolicyKind::FastCap, 0.6, opts.epochs(), opts.seed)?;
+    let capped = run_capped_only(
+        &cfg,
+        &mix,
+        PolicyKind::FastCap,
+        0.6,
+        opts.epochs(),
+        opts.seed,
+    )?;
 
     let mut t = ResultTable::new(
         "fig4",

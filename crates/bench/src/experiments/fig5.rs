@@ -31,12 +31,9 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     );
     let series: Vec<Vec<f64>> = traces.iter().map(|r| r.power_trace()).collect();
     for e in 0..series[0].len() {
-        t.push_row(vec![
-            e.to_string(),
-            f3(series[0][e]),
-            f3(series[1][e]),
-            f3(series[2][e]),
-        ]);
+        let mut row = vec![e.to_string()];
+        row.extend(series.iter().map(|s| f3(s[e])));
+        t.push_row(row);
     }
 
     // Violation-recovery summary: longest run of consecutive epochs above
@@ -45,7 +42,11 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     let mut s = ResultTable::new(
         "fig5_recovery",
         "Budget-violation recovery (epochs above budget, post-warm-up)",
-        &["budget", "avg power / peak", "longest violation streak (epochs)"],
+        &[
+            "budget",
+            "avg power / peak",
+            "longest violation streak (epochs)",
+        ],
     );
     for (i, &b) in budgets.iter().enumerate() {
         let trace = &series[i];
@@ -59,8 +60,8 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
                 cur = 0;
             }
         }
-        let avg: f64 = trace[opts.skip()..].iter().sum::<f64>()
-            / (trace.len() - opts.skip()) as f64;
+        let avg: f64 =
+            trace[opts.skip()..].iter().sum::<f64>() / (trace.len() - opts.skip()) as f64;
         s.push_row(vec![f2(b), f3(avg), longest.to_string()]);
     }
     Ok(vec![t, s])

@@ -22,7 +22,12 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
         "fig6",
         "Avg/worst normalized app performance per class (16 cores)",
         &[
-            "class", "avg B=40%", "worst B=40%", "avg B=60%", "worst B=60%", "avg B=80%",
+            "class",
+            "avg B=40%",
+            "worst B=40%",
+            "avg B=60%",
+            "worst B=60%",
+            "avg B=80%",
             "worst B=80%",
         ],
     );

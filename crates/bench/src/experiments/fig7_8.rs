@@ -31,7 +31,14 @@ fn runs_at(opts: &Opts, budget: f64) -> Result<Vec<RunResult>> {
         .iter()
         .map(|name| {
             let mix = mixes::by_name(name).expect("mix exists");
-            run_capped_only(&cfg, &mix, PolicyKind::FastCap, budget, opts.epochs(), opts.seed)
+            run_capped_only(
+                &cfg,
+                &mix,
+                PolicyKind::FastCap,
+                budget,
+                opts.epochs(),
+                opts.seed,
+            )
         })
         .collect()
 }
@@ -56,12 +63,9 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     );
     let traces: Vec<Vec<usize>> = runs80.iter().map(|r| r.core_freq_trace(0)).collect();
     for e in 0..traces[0].len() {
-        fig7.push_row(vec![
-            e.to_string(),
-            f2(core_ladder.at(traces[0][e]).ghz()),
-            f2(core_ladder.at(traces[1][e]).ghz()),
-            f2(core_ladder.at(traces[2][e]).ghz()),
-        ]);
+        let mut row = vec![e.to_string()];
+        row.extend(traces.iter().map(|t| f2(core_ladder.at(t[e]).ghz())));
+        fig7.push_row(row);
     }
 
     let mut fig8 = ResultTable::new(
@@ -71,12 +75,9 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     );
     let mtraces: Vec<Vec<usize>> = runs80.iter().map(RunResult::mem_freq_trace).collect();
     for e in 0..mtraces[0].len() {
-        fig8.push_row(vec![
-            e.to_string(),
-            f2(mem_ladder.at(mtraces[0][e]).mhz()),
-            f2(mem_ladder.at(mtraces[1][e]).mhz()),
-            f2(mem_ladder.at(mtraces[2][e]).mhz()),
-        ]);
+        let mut row = vec![e.to_string()];
+        row.extend(mtraces.iter().map(|t| f2(mem_ladder.at(t[e]).mhz())));
+        fig8.push_row(row);
     }
 
     // Shape summary at both budgets: mean selected frequencies.
@@ -96,12 +97,18 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     for (i, name) in WORKLOADS.iter().enumerate() {
         let mean_core = |r: &RunResult| {
             let t = r.core_freq_trace(0);
-            t[skip..].iter().map(|&idx| core_ladder.at(idx).ghz()).sum::<f64>()
+            t[skip..]
+                .iter()
+                .map(|&idx| core_ladder.at(idx).ghz())
+                .sum::<f64>()
                 / (t.len() - skip) as f64
         };
         let mean_mem = |r: &RunResult| {
             let t = r.mem_freq_trace();
-            t[skip..].iter().map(|&idx| mem_ladder.at(idx).mhz()).sum::<f64>()
+            t[skip..]
+                .iter()
+                .map(|&idx| mem_ladder.at(idx).mhz())
+                .sum::<f64>()
                 / (t.len() - skip) as f64
         };
         s.push_row(vec![

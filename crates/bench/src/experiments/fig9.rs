@@ -45,8 +45,7 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
             let seed = opts.seed + i as u64;
             let baseline = run_baseline(&cfg, &mix, opts.epochs(), seed)?;
             for (pi, &kind) in POLICIES.iter().enumerate() {
-                let capped =
-                    run_capped_only(&cfg, &mix, kind, 0.6, opts.epochs(), seed)?;
+                let capped = run_capped_only(&cfg, &mix, kind, 0.6, opts.epochs(), seed)?;
                 pooled[pi].extend(capped.degradation_vs(&baseline, opts.skip())?);
             }
         }

@@ -42,7 +42,11 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     );
     for (m, c, d) in [
         ("Exhaustive [14] (MaxBIPS)", "O(F^N)", "extended: yes"),
-        ("Numeric optimization [17,20]", "~O(N^4)", "no (not reproduced)"),
+        (
+            "Numeric optimization [17,20]",
+            "~O(N^4)",
+            "no (not reproduced)",
+        ),
         ("Heuristics [18,19]", "O(F·N·logN)", "no (not reproduced)"),
         ("FastCap", "O(N·logM)", "yes"),
     ] {

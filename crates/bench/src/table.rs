@@ -25,11 +25,7 @@ pub struct ResultTable {
 
 impl ResultTable {
     /// Creates an empty table.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
         Self {
             id: id.into(),
             title: title.into(),
@@ -64,7 +60,11 @@ impl ResultTable {
         let _ = writeln!(
             out,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -85,7 +85,11 @@ impl ResultTable {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -105,8 +109,7 @@ impl ResultTable {
     pub fn write_to(&self, dir: &Path) -> io::Result<()> {
         fs::create_dir_all(dir)?;
         fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())?;
-        let json = serde_json::to_string_pretty(self)
-            .map_err(|e| io::Error::new(io::ErrorKind::Other, e))?;
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
         fs::write(dir.join(format!("{}.json", self.id)), json)?;
         Ok(())
     }

@@ -1,8 +1,10 @@
 //! Smoke tests for the experiment harness: cheap runners execute and
-//! produce well-formed tables; the dispatcher knows every artifact id.
+//! produce well-formed tables; the dispatcher knows every artifact id; the
+//! `repro` binary handles `--list` and bad artifact names.
 
 use fastcap_bench::experiments;
 use fastcap_bench::harness::Opts;
+use std::process::Command;
 
 fn quick_opts() -> Opts {
     Opts {
@@ -41,6 +43,40 @@ fn tab3_regenerates_table_iii() {
     // Artifacts are writable.
     t.write_to(&quick_opts().out_dir).unwrap();
     assert!(quick_opts().out_dir.join("tab3.csv").exists());
+}
+
+#[test]
+fn repro_list_prints_every_artifact_and_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--list")
+        .output()
+        .expect("run repro --list");
+    assert!(out.status.success(), "--list exited {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let listed: Vec<&str> = stdout.lines().collect();
+    assert_eq!(listed, experiments::ALL, "--list must print ALL, in order");
+}
+
+#[test]
+fn repro_rejects_unknown_artifacts_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("fig99")
+        .output()
+        .expect("run repro fig99");
+    assert!(
+        !out.status.success(),
+        "unknown artifact must exit non-zero, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown artifact `fig99`"), "{stderr}");
+    assert!(stderr.contains("usage: repro"), "{stderr}");
+    // No-argument invocation also fails with the usage string.
+    let out = Command::new(env!("CARGO_BIN_EXE_repro")).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("usage: repro"));
 }
 
 #[test]

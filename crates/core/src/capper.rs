@@ -85,7 +85,10 @@ impl FastCapConfig {
                 why: format!("must be positive, got {}", self.peak_power),
             });
         }
-        if !(self.min_bus_transfer_time.get() > 0.0) {
+        // `is_nan() ||` rather than a negated comparison so NaN is rejected
+        // explicitly (clippy: neg_cmp_op_on_partial_ord).
+        let sb = self.min_bus_transfer_time.get();
+        if sb.is_nan() || sb <= 0.0 {
             return Err(Error::InvalidConfig {
                 what: "min_bus_transfer_time",
                 why: "must be positive".into(),
@@ -103,7 +106,8 @@ impl FastCapConfig {
                 });
             }
         }
-        if !(self.cache_time.get() >= 0.0) {
+        let ct = self.cache_time.get();
+        if ct.is_nan() || ct < 0.0 {
             return Err(Error::InvalidConfig {
                 what: "cache_time",
                 why: "must be >= 0".into(),
@@ -515,8 +519,14 @@ mod tests {
     #[test]
     fn config_validation_rejects_bad_values() {
         assert!(FastCapConfig::builder(0).build().is_err());
-        assert!(FastCapConfig::builder(4).budget_fraction(0.0).build().is_err());
-        assert!(FastCapConfig::builder(4).budget_fraction(1.5).build().is_err());
+        assert!(FastCapConfig::builder(4)
+            .budget_fraction(0.0)
+            .build()
+            .is_err());
+        assert!(FastCapConfig::builder(4)
+            .budget_fraction(1.5)
+            .build()
+            .is_err());
         assert!(FastCapConfig::builder(4)
             .peak_power(Watts(-1.0))
             .build()
@@ -553,7 +563,10 @@ mod tests {
             "CPU-bound under 60% budget should slow memory, got level {}",
             d.mem_freq
         );
-        assert!(avg_core >= 4.0, "cores should stay fast, avg level {avg_core}");
+        assert!(
+            avg_core >= 4.0,
+            "cores should stay fast, avg level {avg_core}"
+        );
     }
 
     #[test]
@@ -584,7 +597,10 @@ mod tests {
         obs.cores.truncate(3);
         assert!(matches!(
             ctl.decide(&obs),
-            Err(Error::ShapeMismatch { expected: 16, got: 3 })
+            Err(Error::ShapeMismatch {
+                expected: 16,
+                got: 3
+            })
         ));
     }
 

@@ -51,8 +51,7 @@ impl CoreSample {
     /// extremely CPU-bound, not divergent.
     pub fn min_think_time(&self, f_max: Hz) -> Secs {
         let misses = self.last_level_misses.max(1) as f64;
-        let z_prof =
-            self.busy_time_per_instruction.get() * self.instructions as f64 / misses;
+        let z_prof = self.busy_time_per_instruction.get() * self.instructions as f64 / misses;
         Secs(z_prof * (self.freq.get() / f_max.get()))
     }
 

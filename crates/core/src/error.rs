@@ -56,7 +56,10 @@ impl fmt::Display for Error {
                  {budget_watts:.2} W"
             ),
             Error::ShapeMismatch { expected, got } => {
-                write!(f, "observation shape mismatch: expected {expected} cores, got {got}")
+                write!(
+                    f,
+                    "observation shape mismatch: expected {expected} cores, got {got}"
+                )
             }
         }
     }

@@ -68,9 +68,7 @@ impl FreqLadder {
             });
         }
         let step = (hi.get() - lo.get()) / (count - 1) as f64;
-        let levels = (0..count)
-            .map(|i| Hz(lo.get() + step * i as f64))
-            .collect();
+        let levels = (0..count).map(|i| Hz(lo.get() + step * i as f64)).collect();
         Self::new(levels)
     }
 
@@ -216,8 +214,8 @@ impl VoltageCurve {
 
     /// Voltage at frequency `f` (clamped to the curve's range).
     pub fn voltage(&self, f: Hz) -> f64 {
-        let t = ((f.get() - self.f_min.get()) / (self.f_max.get() - self.f_min.get()))
-            .clamp(0.0, 1.0);
+        let t =
+            ((f.get() - self.f_min.get()) / (self.f_max.get() - self.f_min.get())).clamp(0.0, 1.0);
         self.v_min + (self.v_max - self.v_min) * t
     }
 

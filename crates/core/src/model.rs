@@ -46,7 +46,10 @@ impl CoreModel {
         }
         if !(self.cache_time.get() >= 0.0 && self.cache_time.is_finite()) {
             return Err(Error::InvalidModel {
-                why: format!("cache_time must be >= 0 and finite, got {}", self.cache_time),
+                why: format!(
+                    "cache_time must be >= 0 and finite, got {}",
+                    self.cache_time
+                ),
             });
         }
         Ok(())
@@ -156,7 +159,10 @@ impl CapModel {
         }
         if !(self.static_power.get() >= 0.0 && self.static_power.is_finite()) {
             return Err(Error::InvalidModel {
-                why: format!("static_power must be >= 0 and finite, got {}", self.static_power),
+                why: format!(
+                    "static_power must be >= 0 and finite, got {}",
+                    self.static_power
+                ),
             });
         }
         if !(self.budget.get() > 0.0 && self.budget.is_finite()) {

@@ -226,8 +226,8 @@ pub fn algorithm1(model: &CapModel, candidates: &[Secs]) -> Result<Solution> {
     // Memoize candidate evaluations: the paper's loop re-touches neighbours.
     let mut cache: Vec<Option<Option<BusPointSolution>>> = vec![None; candidates.len()];
     let eval = |idx: usize,
-                    cache: &mut Vec<Option<Option<BusPointSolution>>>,
-                    evaluated: &mut usize|
+                cache: &mut Vec<Option<Option<BusPointSolution>>>,
+                evaluated: &mut usize|
      -> Result<Option<BusPointSolution>> {
         if cache[idx].is_none() {
             *evaluated += 1;
@@ -235,14 +235,15 @@ pub fn algorithm1(model: &CapModel, candidates: &[Secs]) -> Result<Solution> {
         }
         Ok(cache[idx].clone().expect("just filled"))
     };
-    let d_of = |sol: &Option<BusPointSolution>| sol.as_ref().map_or(f64::NEG_INFINITY, |s| s.degradation);
+    let d_of =
+        |sol: &Option<BusPointSolution>| sol.as_ref().map_or(f64::NEG_INFINITY, |s| s.degradation);
 
     let (mut l, mut r) = (0usize, candidates.len() - 1);
     let mut best_idx = None;
     while l != r {
         let m = (l + r) / 2;
         let dm = d_of(&eval(m, &mut cache, &mut evaluated)?);
-        let dp = if m + 1 <= r {
+        let dp = if m < r {
             d_of(&eval(m + 1, &mut cache, &mut evaluated)?)
         } else {
             f64::NEG_INFINITY
@@ -312,7 +313,7 @@ pub fn exhaustive(model: &CapModel, candidates: &[Secs]) -> Result<Solution> {
         if let Some(sol) = solve_for_bus_time(model, sb)? {
             let better = best
                 .as_ref()
-                .map_or(true, |(_, b)| sol.degradation > b.degradation);
+                .is_none_or(|(_, b)| sol.degradation > b.degradation);
             if better {
                 best = Some((i, sol));
             }
@@ -340,11 +341,7 @@ pub fn evaluate_point(model: &CapModel, core_scales: &[f64], s_b: Secs) -> Resul
     model.validate()?;
     if core_scales.len() != model.n_cores() {
         return Err(Error::InvalidModel {
-            why: format!(
-                "{} scales for {} cores",
-                core_scales.len(),
-                model.n_cores()
-            ),
+            why: format!("{} scales for {} cores", core_scales.len(), model.n_cores()),
         });
     }
     let sb_bar = model.memory.min_bus_transfer_time;
@@ -388,7 +385,10 @@ fn infeasible_error(model: &CapModel, candidates: &[Secs]) -> Error {
     // Floor: static power plus the memory's smallest dynamic power (at the
     // largest s_b candidate). Core dynamic power can approach zero in the
     // continuous relaxation.
-    let slowest = candidates.last().copied().unwrap_or(model.memory.min_bus_transfer_time);
+    let slowest = candidates
+        .last()
+        .copied()
+        .unwrap_or(model.memory.min_bus_transfer_time);
     let mem_min = model
         .memory
         .power
@@ -407,7 +407,8 @@ fn validate_candidates(model: &CapModel, candidates: &[Secs]) -> Result<()> {
         });
     }
     for w in candidates.windows(2) {
-        if !(w[1] >= w[0]) {
+        // partial_cmp so an unordered (NaN) pair is also rejected.
+        if w[1].partial_cmp(&w[0]).is_none_or(|o| o.is_lt()) {
             return Err(Error::InvalidModel {
                 why: "candidate s_b array must be sorted ascending".into(),
             });
@@ -641,7 +642,10 @@ mod tests {
             }
             other => panic!("expected Infeasible, got {other:?}"),
         }
-        assert!(matches!(exhaustive(&m, &cands), Err(Error::Infeasible { .. })));
+        assert!(matches!(
+            exhaustive(&m, &cands),
+            Err(Error::Infeasible { .. })
+        ));
     }
 
     #[test]

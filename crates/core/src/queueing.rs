@@ -82,8 +82,10 @@ impl ResponseTimeModel {
     /// `R(s_b) = Q · (s_m + U · s_b)`.
     #[inline]
     pub fn response_time(&self, bus_transfer_time: Secs) -> Secs {
-        Secs(self.bank_queue
-            * (self.bank_service_time.get() + self.bus_queue * bus_transfer_time.get()))
+        Secs(
+            self.bank_queue
+                * (self.bank_service_time.get() + self.bus_queue * bus_transfer_time.get()),
+        )
     }
 }
 
@@ -123,7 +125,7 @@ impl MultiControllerModel {
                 });
             }
             let sum: f64 = row.iter().sum();
-            if row.iter().any(|&w| !(w >= 0.0) || !w.is_finite()) || (sum - 1.0).abs() > 1e-6 {
+            if row.iter().any(|&w| w < 0.0 || !w.is_finite()) || (sum - 1.0).abs() > 1e-6 {
                 return Err(Error::InvalidModel {
                     why: format!("weight row {i} must be non-negative and sum to 1, sums to {sum}"),
                 });
@@ -314,11 +316,8 @@ mod tests {
     fn multi_controller_skew_prefers_local() {
         let fast = ResponseTimeModel::new(1.0, 1.0, Secs::from_nanos(20.0)).unwrap();
         let slow = ResponseTimeModel::new(4.0, 3.0, Secs::from_nanos(50.0)).unwrap();
-        let m = MultiControllerModel::new(
-            vec![fast, slow],
-            vec![vec![0.9, 0.1], vec![0.1, 0.9]],
-        )
-        .unwrap();
+        let m = MultiControllerModel::new(vec![fast, slow], vec![vec![0.9, 0.1], vec![0.1, 0.9]])
+            .unwrap();
         let sb = Secs::from_nanos(10.0);
         // Core 0 mostly hits the fast controller and must see a smaller R.
         assert!(m.response_time_for_core(0, sb) < m.response_time_for_core(1, sb));

@@ -7,7 +7,7 @@
 use fastcap_core::capper::{DvfsDecision, FastCapConfig, FastCapController};
 use fastcap_core::counters::{CoreSample, EpochObservation, MemorySample};
 use fastcap_core::freq::FreqLadder;
-use fastcap_core::units::{Hz, Secs, Watts};
+use fastcap_core::units::{Secs, Watts};
 
 /// The ground-truth plant: per-core power `p_max·scale^alpha + static`,
 /// memory `m_max·scale^beta + static`, fixed think-time behaviour.
@@ -40,7 +40,10 @@ impl Plant {
     }
 
     fn total_power(&self, d: &DvfsDecision) -> f64 {
-        d.core_freqs.iter().map(|&l| self.core_power(l)).sum::<f64>()
+        d.core_freqs
+            .iter()
+            .map(|&l| self.core_power(l))
+            .sum::<f64>()
             + self.mem_power(d.mem_freq)
             + self.other
     }

@@ -1,0 +1,115 @@
+//! Algorithm 1 against the exhaustive reference solver on randomized
+//! small models, *through the quantization step*.
+//!
+//! The proptests cover the continuous solutions; this file pins the
+//! user-visible contract: after rounding onto the DVFS ladders, both
+//! solvers pick the **same memory frequency** and per-core frequencies
+//! **within one ladder step** (the continuous optima can differ by float
+//! noise, so quantized cores may land one step apart near a midpoint, but
+//! memory — chosen from a 10-point candidate grid — must agree exactly).
+
+use fastcap_core::freq::FreqLadder;
+use fastcap_core::model::{CapModel, CoreModel, MemoryModel, ResponseModel};
+use fastcap_core::optimizer::{algorithm1, bus_candidates, exhaustive};
+use fastcap_core::power::PowerLaw;
+use fastcap_core::queueing::ResponseTimeModel;
+use fastcap_core::units::{Secs, Watts};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random but plausible 4-core optimization instance.
+fn random_model(rng: &mut SmallRng) -> CapModel {
+    let cores: Vec<CoreModel> = (0..4)
+        .map(|_| CoreModel {
+            min_think_time: Secs::from_nanos(rng.gen_range(10.0..1500.0)),
+            cache_time: Secs::from_nanos(rng.gen_range(2.0..12.0)),
+            power: PowerLaw::new(Watts(rng.gen_range(2.0..8.0)), rng.gen_range(1.8..3.2))
+                .expect("valid law"),
+        })
+        .collect();
+    let p_mem = rng.gen_range(8.0..30.0);
+    let p_static = rng.gen_range(5.0..25.0);
+    let peakish: f64 = cores.iter().map(|c| c.power.p_max.get()).sum::<f64>() + p_mem + p_static;
+    CapModel {
+        cores,
+        memory: MemoryModel {
+            min_bus_transfer_time: Secs::from_nanos(5.0),
+            response: ResponseModel::Single(
+                ResponseTimeModel::new(
+                    rng.gen_range(1.0..2.5),
+                    rng.gen_range(1.0..2.0),
+                    Secs::from_nanos(rng.gen_range(20.0..40.0)),
+                )
+                .expect("valid response model"),
+            ),
+            power: PowerLaw::new(Watts(p_mem), rng.gen_range(0.7..1.4)).expect("valid law"),
+        },
+        static_power: Watts(p_static),
+        budget: Watts(p_static + 1.0 + rng.gen_range(0.2..0.9) * (peakish - p_static)),
+    }
+}
+
+#[test]
+fn algorithm1_matches_exhaustive_after_quantization() {
+    let core_ladder = FreqLadder::ispass_core();
+    let mem_ladder = FreqLadder::ispass_memory_bus();
+    let mut rng = SmallRng::seed_from_u64(20160417);
+    let mut solved = 0;
+    for case in 0..24 {
+        let model = random_model(&mut rng);
+        let cands = bus_candidates(model.memory.min_bus_transfer_time, mem_ladder.levels());
+        let (fast, oracle) = match (algorithm1(&model, &cands), exhaustive(&model, &cands)) {
+            (Ok(a), Ok(e)) => (a, e),
+            (Err(_), Err(_)) => continue, // both infeasible: consistent
+            (a, e) => panic!("case {case}: feasibility disagrees: {a:?} vs {e:?}"),
+        };
+        solved += 1;
+
+        let mem_fast = mem_ladder.nearest_scale(fast.bus_scale);
+        let mem_oracle = mem_ladder.nearest_scale(oracle.bus_scale);
+        assert_eq!(
+            mem_fast,
+            mem_oracle,
+            "case {case}: memory level differs (D {} vs {})",
+            fast.degradation(),
+            oracle.degradation()
+        );
+
+        assert_eq!(fast.inner.core_scales.len(), 4);
+        for (i, (sf, so)) in fast
+            .inner
+            .core_scales
+            .iter()
+            .zip(&oracle.inner.core_scales)
+            .enumerate()
+        {
+            let qf = core_ladder.nearest_scale(*sf) as i64;
+            let qo = core_ladder.nearest_scale(*so) as i64;
+            assert!(
+                (qf - qo).abs() <= 1,
+                "case {case} core {i}: quantized levels {qf} vs {qo} \
+                 (scales {sf} vs {so})"
+            );
+        }
+
+        // The continuous optima themselves must agree tightly.
+        assert!(
+            (fast.degradation() - oracle.degradation()).abs() < 1e-7,
+            "case {case}: D {} vs {}",
+            fast.degradation(),
+            oracle.degradation()
+        );
+        // And Algorithm 1 must actually be doing its O(log M) search, not
+        // scanning every candidate like the oracle.
+        assert!(
+            fast.points_evaluated <= oracle.points_evaluated,
+            "case {case}: alg1 evaluated {} > oracle {}",
+            fast.points_evaluated,
+            oracle.points_evaluated
+        );
+    }
+    assert!(
+        solved >= 3,
+        "need at least 3 feasible randomized models, got {solved}"
+    );
+}

@@ -17,10 +17,10 @@ use proptest::prelude::*;
 /// Strategy: a plausible per-core model.
 fn core_strategy() -> impl Strategy<Value = CoreModel> {
     (
-        10.0_f64..2000.0,  // z̄ in ns
-        1.0_f64..15.0,     // c in ns
-        1.0_f64..8.0,      // P_i max dyn
-        1.0_f64..3.4,      // α
+        10.0_f64..2000.0, // z̄ in ns
+        1.0_f64..15.0,    // c in ns
+        1.0_f64..8.0,     // P_i max dyn
+        1.0_f64..3.4,     // α
     )
         .prop_map(|(z, c, p, a)| CoreModel {
             min_think_time: Secs::from_nanos(z),

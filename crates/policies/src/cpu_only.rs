@@ -52,7 +52,7 @@ impl CappingPolicy for CpuOnlyPolicy {
 mod tests {
     use super::*;
     use crate::tests::{cfg_16, obs_16};
-    use crate::{CappingPolicy as _, FastCapPolicy};
+    use crate::FastCapPolicy;
 
     #[test]
     fn memory_is_always_max() {

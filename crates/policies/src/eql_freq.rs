@@ -56,7 +56,7 @@ impl CappingPolicy for EqlFreqPolicy {
                 let scales = vec![scale; n];
                 let (d, power) = evaluate_point(&model, &scales, sb)?;
                 if power.get() <= model.budget.get() + 1e-9
-                    && best.as_ref().map_or(true, |(bd, ..)| d > *bd)
+                    && best.as_ref().is_none_or(|(bd, ..)| d > *bd)
                 {
                     best = Some((d, power, level, mem_idx));
                 }
@@ -88,7 +88,7 @@ impl CappingPolicy for EqlFreqPolicy {
 mod tests {
     use super::*;
     use crate::tests::{cfg_16, obs_16};
-    use crate::{CappingPolicy as _, FastCapPolicy};
+    use crate::FastCapPolicy;
 
     #[test]
     fn all_cores_share_one_frequency() {

@@ -71,7 +71,7 @@ impl CappingPolicy for EqlPwrPolicy {
             }
             let (d, power) = evaluate_point(&model, &scales, sb)?;
             let mem_idx = cfg.mem_ladder.nearest_scale(bus_scale);
-            if best.as_ref().map_or(true, |(bd, ..)| d > *bd) {
+            if best.as_ref().is_none_or(|(bd, ..)| d > *bd) {
                 best = Some((d, power, idxs, mem_idx));
             }
         }
@@ -102,7 +102,7 @@ impl CappingPolicy for EqlPwrPolicy {
 mod tests {
     use super::*;
     use crate::tests::{cfg_16, obs_16};
-    use crate::{CappingPolicy as _, FastCapPolicy};
+    use crate::FastCapPolicy;
     use fastcap_core::units::{Hz, Secs};
 
     #[test]
@@ -163,6 +163,10 @@ mod tests {
         let mut p = EqlPwrPolicy::new(cfg_16(0.6)).unwrap();
         let d = p.decide(&obs).unwrap();
         let first = d.core_freqs[0];
-        assert!(d.core_freqs.iter().all(|&i| i == first), "{:?}", d.core_freqs);
+        assert!(
+            d.core_freqs.iter().all(|&i| i == first),
+            "{:?}",
+            d.core_freqs
+        );
     }
 }

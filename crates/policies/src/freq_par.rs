@@ -206,7 +206,10 @@ mod tests {
         obs.cores.truncate(3);
         assert!(matches!(
             p.decide(&obs),
-            Err(Error::ShapeMismatch { expected: 16, got: 3 })
+            Err(Error::ShapeMismatch {
+                expected: 16,
+                got: 3
+            })
         ));
     }
 }

@@ -102,7 +102,9 @@ mod tests {
             Box::new(UncappedPolicy::new(10, 10)),
         ];
         for p in &mut policies {
-            let d = p.decide(&obs).unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            let d = p
+                .decide(&obs)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
             assert_eq!(d.core_freqs.len(), 16, "{}", p.name());
             assert!(d.core_freqs.iter().all(|&i| i < 10), "{}", p.name());
             assert!(d.mem_freq < 10, "{}", p.name());

@@ -74,7 +74,11 @@ impl CappingPolicy for MaxBipsPolicy {
         let candidates = self.controller.candidates().to_vec();
 
         // Instructions per memory access, the per-core BIPS weight.
-        let ipm: Vec<f64> = obs.cores.iter().map(|c| c.instructions_per_miss()).collect();
+        let ipm: Vec<f64> = obs
+            .cores
+            .iter()
+            .map(|c| c.instructions_per_miss())
+            .collect();
 
         // Precompute per-(candidate, core, level): BIPS contribution; and
         // per-(core, level): dynamic power.
@@ -82,7 +86,12 @@ impl CappingPolicy for MaxBipsPolicy {
         let pcost: Vec<Vec<f64>> = model
             .cores
             .iter()
-            .map(|c| scales.iter().map(|&s| c.power.dynamic_power(s).get()).collect())
+            .map(|c| {
+                scales
+                    .iter()
+                    .map(|&s| c.power.dynamic_power(s).get())
+                    .collect()
+            })
             .collect();
 
         let mut best: Option<(f64, f64, Watts, Vec<usize>, usize)> = None;
@@ -119,9 +128,7 @@ impl CappingPolicy for MaxBipsPolicy {
                     power += pcost[i][l];
                     total_bips += bips[i][l];
                 }
-                if power <= core_budget
-                    && best.as_ref().map_or(true, |(bb, ..)| total_bips > *bb)
-                {
+                if power <= core_budget && best.as_ref().is_none_or(|(bb, ..)| total_bips > *bb) {
                     let scales_now: Vec<f64> = combo.iter().map(|&l| scales[l]).collect();
                     let (d, p) = evaluate_point(&model, &scales_now, sb)?;
                     best = Some((
@@ -176,7 +183,7 @@ impl CappingPolicy for MaxBipsPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CappingPolicy as _, FastCapPolicy};
+    use crate::FastCapPolicy;
     use fastcap_core::counters::{CoreSample, MemorySample};
     use fastcap_core::units::{Hz, Secs};
 
@@ -225,7 +232,11 @@ mod tests {
         let mut p = MaxBipsPolicy::new(cfg_4(0.6)).unwrap();
         let d = p.decide(&obs_4()).unwrap();
         assert!(!d.emergency);
-        assert!(d.predicted_power.get() <= 36.0 + 1e-6, "{}", d.predicted_power);
+        assert!(
+            d.predicted_power.get() <= 36.0 + 1e-6,
+            "{}",
+            d.predicted_power
+        );
         assert_eq!(d.core_freqs.len(), 4);
     }
 

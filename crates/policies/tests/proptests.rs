@@ -15,9 +15,9 @@ fn observation_strategy(n: usize) -> impl Strategy<Value = EpochObservation> {
     (
         proptest::collection::vec(
             (
-                200u64..40_000,    // misses
-                0.2_f64..0.4,      // TPI ns
-                3.0_f64..5.5,      // core power
+                200u64..40_000, // misses
+                0.2_f64..0.4,   // TPI ns
+                3.0_f64..5.5,   // core power
             ),
             n..=n,
         ),
@@ -121,7 +121,7 @@ proptest! {
             ("Eql-Pwr", EqlPwrPolicy::new(cfg(b)).expect("build").decide(&obs).expect("decide")),
             ("Eql-Freq", EqlFreqPolicy::new(cfg(b)).expect("build").decide(&obs).expect("decide")),
         ] {
-            let floor_bound = name == "Eql-Pwr" && d.core_freqs.iter().any(|&i| i == 0);
+            let floor_bound = name == "Eql-Pwr" && d.core_freqs.contains(&0);
             if !d.emergency && !floor_bound {
                 prop_assert!(
                     d.predicted_power.get() <= budget + 1e-6,

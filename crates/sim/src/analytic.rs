@@ -96,7 +96,9 @@ impl AnalyticServer {
             });
         }
         for a in &apps {
-            a.profile.check().map_err(|why| Error::InvalidConfig { what: "apps", why })?;
+            a.profile
+                .check()
+                .map_err(|why| Error::InvalidConfig { what: "apps", why })?;
         }
         let mc_vcurve = power_model::mc_voltage_curve(&cfg)?;
         let max_core = cfg.core_ladder.len() - 1;
@@ -121,7 +123,10 @@ impl AnalyticServer {
     pub fn for_workload(cfg: SimConfig, workload: &WorkloadSpec, seed: u64) -> Result<Self> {
         let apps = workload
             .instantiate(cfg.n_cores)
-            .map_err(|why| Error::InvalidConfig { what: "workload", why })?;
+            .map_err(|why| Error::InvalidConfig {
+                what: "workload",
+                why,
+            })?;
         Self::new(cfg, apps, seed)
     }
 
@@ -165,15 +170,14 @@ impl AnalyticServer {
             self.mem_freq_idx = d.mem_freq.min(self.cfg.mem_ladder.len() - 1);
         }
         // Wall-clock-anchored phases, as in the DES backend.
-        let wall_epochs =
-            self.epoch_index as f64 * self.cfg.epoch_length.get() / 5.0e-3;
+        let wall_epochs = self.epoch_index as f64 * self.cfg.epoch_length.get() / 5.0e-3;
         for (i, core) in self.cores.iter_mut().enumerate() {
             let f = self.cfg.core_ladder.at(self.core_freq_idx[i]);
             core.refresh(wall_epochs, self.cfg.core_mode, f);
         }
 
         let sol = self.solve_network();
-        let report = self.measure(&sol, decision.map_or(false, |d| d.emergency));
+        let report = self.measure(&sol, decision.is_some_and(|d| d.emergency));
         self.epoch_index += 1;
         report
     }
@@ -186,11 +190,20 @@ impl AnalyticServer {
         let l2 = self.cfg.l2_time.get();
 
         // Per-core constants at current frequencies.
-        let think: Vec<f64> = self.cores.iter().map(|c| c.think_mean * 1e-12 + l2).collect();
+        let think: Vec<f64> = self
+            .cores
+            .iter()
+            .map(|c| c.think_mean * 1e-12 + l2)
+            .collect();
         let s_m_c: Vec<f64> = self
             .cores
             .iter()
-            .map(|c| self.cfg.dram.mean_service_time(c.app.profile.row_hit_ratio).get())
+            .map(|c| {
+                self.cfg
+                    .dram
+                    .mean_service_time(c.app.profile.row_hit_ratio)
+                    .get()
+            })
             .collect();
         let wb: Vec<f64> = self.cores.iter().map(|c| c.wb_prob).collect();
         let burst: Vec<f64> = self.cores.iter().map(|c| c.burst as f64).collect();
@@ -288,9 +301,7 @@ impl AnalyticServer {
             instructions.push(instr);
             core_samples.push(CoreSample {
                 freq: f,
-                busy_time_per_instruction: Secs(
-                    self.cores[i].app.profile.base_cpi / f.get(),
-                ),
+                busy_time_per_instruction: Secs(self.cores[i].app.profile.base_cpi / f.get()),
                 instructions: instr.max(1.0) as u64,
                 last_level_misses: (sol.rate[i] * self.cores[i].burst as f64 * span).max(1.0)
                     as u64,

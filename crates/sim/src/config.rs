@@ -140,7 +140,7 @@ impl SimConfig {
     /// Returns [`Error::InvalidConfig`] when `n_cores` is not a positive
     /// multiple of 4.
     pub fn ispass(n_cores: usize) -> Result<Self> {
-        if n_cores == 0 || n_cores % 4 != 0 {
+        if n_cores == 0 || !n_cores.is_multiple_of(4) {
             return Err(Error::InvalidConfig {
                 what: "n_cores",
                 why: format!("must be a positive multiple of 4, got {n_cores}"),
@@ -169,7 +169,9 @@ impl SimConfig {
             16 => Watts(120.0),
             32 => Watts(210.0),
             64 => Watts(375.0),
-            n => Watts((core_dyn_max.get() + 0.5) * n as f64 + if eight_channels { 44.0 } else { 27.0 }),
+            n => Watts(
+                (core_dyn_max.get() + 0.5) * n as f64 + if eight_channels { 44.0 } else { 27.0 },
+            ),
         };
         Ok(Self {
             n_cores,
@@ -281,9 +283,7 @@ impl SimConfig {
                     // Seed: controller + bus I/O at full tilt plus DRAM
                     // activity at a typical saturated utilization; the
                     // online fitter refines this within a few epochs.
-                    p_max: self.mc_dyn_max
-                        + self.io_dyn_max
-                        + self.dram.activity_power(0.25, 0.7),
+                    p_max: self.mc_dyn_max + self.io_dyn_max + self.dram.activity_power(0.25, 0.7),
                     alpha: 1.0,
                 },
             )
@@ -314,7 +314,7 @@ impl SimConfig {
                 why: "must be positive".into(),
             });
         }
-        if !(self.time_dilation >= 1.0) {
+        if self.time_dilation.is_nan() || self.time_dilation < 1.0 {
             return Err(Error::InvalidConfig {
                 what: "time_dilation",
                 why: "must be >= 1".into(),

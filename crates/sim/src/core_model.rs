@@ -87,8 +87,7 @@ impl CoreSim {
         };
         self.instr_per_interval = self.burst as f64 * 1000.0 / self.mpki_eff;
         // think = instructions × CPI / f, in picoseconds.
-        self.think_mean =
-            self.instr_per_interval * self.app.profile.base_cpi * 1e12 / freq.get();
+        self.think_mean = self.instr_per_interval * self.app.profile.base_cpi * 1e12 / freq.get();
     }
 
     /// Credits a completed think interval to the epoch statistics.

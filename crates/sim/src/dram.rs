@@ -235,6 +235,8 @@ mod tests {
     fn sixteen_dimms_double_the_power() {
         let d8 = cfg();
         let d16 = DramConfig::ddr3_table_ii(16);
-        assert!((d16.background_power(0.0).get() / d8.background_power(0.0).get() - 2.0).abs() < 1e-9);
+        assert!(
+            (d16.background_power(0.0).get() / d8.background_power(0.0).get() - 2.0).abs() < 1e-9
+        );
     }
 }

@@ -235,8 +235,7 @@ impl MemController {
             // U: waiters for the bus at departure, including this request
             // and the one currently transferring (its residual occupies the
             // departing request just the same).
-            let waiting =
-                self.bus_queue.len() + usize::from(self.bus_busy()) + 1;
+            let waiting = self.bus_queue.len() + usize::from(self.bus_busy()) + 1;
             self.counters.u_sum += waiting as f64;
             self.counters.u_n += 1;
         }
@@ -305,11 +304,7 @@ impl MemController {
 mod tests {
     use super::*;
 
-    fn drain(
-        ctl: &mut MemController,
-        queue: &mut EventQueue,
-        sb: Ps,
-    ) -> Vec<(Ps, Request)> {
+    fn drain(ctl: &mut MemController, queue: &mut EventQueue, sb: Ps) -> Vec<(Ps, Request)> {
         let mut done = Vec::new();
         while let Some((t, ev)) = queue.pop() {
             match ev {

@@ -17,8 +17,7 @@ use fastcap_core::units::{Hz, Watts};
 /// Measured core power at frequency `f` with the given busy fraction.
 pub fn core_power(cfg: &SimConfig, f: Hz, busy_frac: f64) -> Watts {
     let act = cfg.idle_activity + (1.0 - cfg.idle_activity) * busy_frac.clamp(0.0, 1.0);
-    Watts(cfg.core_dyn_max.get() * cfg.core_vcurve.dynamic_power_scale(f) * act)
-        + cfg.core_static
+    Watts(cfg.core_dyn_max.get() * cfg.core_vcurve.dynamic_power_scale(f) * act) + cfg.core_static
 }
 
 /// Per-controller memory subsystem power.

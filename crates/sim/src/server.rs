@@ -79,10 +79,9 @@ impl Server {
             });
         }
         for a in &apps {
-            a.profile.check().map_err(|why| Error::InvalidConfig {
-                what: "apps",
-                why,
-            })?;
+            a.profile
+                .check()
+                .map_err(|why| Error::InvalidConfig { what: "apps", why })?;
         }
         let weights = cfg.interleaving.weights(cfg.n_controllers);
         let mut cum = Vec::with_capacity(weights.len());
@@ -131,7 +130,10 @@ impl Server {
     pub fn for_workload(cfg: SimConfig, workload: &WorkloadSpec, seed: u64) -> Result<Self> {
         let apps = workload
             .instantiate(cfg.n_cores)
-            .map_err(|why| Error::InvalidConfig { what: "workload", why })?;
+            .map_err(|why| Error::InvalidConfig {
+                what: "workload",
+                why,
+            })?;
         Self::new(cfg, apps, seed)
     }
 
@@ -149,11 +151,8 @@ impl Server {
     /// completed epoch), if any epoch has completed.
     pub fn observation(&self) -> Option<EpochObservation> {
         self.prev.as_ref().map(|snap| {
-            let mut obs = EpochObservation::single(
-                snap.cores.clone(),
-                snap.memory,
-                snap.total_power,
-            );
+            let mut obs =
+                EpochObservation::single(snap.cores.clone(), snap.memory, snap.total_power);
             if self.cfg.n_controllers > 1 {
                 obs.controllers = snap.controllers.clone();
                 obs.access_weights = vec![self.ctrl_weights.clone(); self.cfg.n_cores];
@@ -406,9 +405,9 @@ impl Server {
         let mut ctrl_samples = Vec::with_capacity(self.cfg.n_controllers);
         let mut agg = crate::memory::MemCounters::default();
         for ctl in &self.ctrls {
-            let bank_util =
-                (ctl.activity.bank_busy / (span as f64 * self.cfg.banks_per_controller as f64))
-                    .min(1.0);
+            let bank_util = (ctl.activity.bank_busy
+                / (span as f64 * self.cfg.banks_per_controller as f64))
+                .min(1.0);
             let bus_util = (ctl.activity.bus_busy / span as f64).min(1.0);
             let share = 1.0 / self.cfg.n_controllers as f64;
             // Each controller covers `share` of the DIMM population; its
@@ -527,7 +526,10 @@ mod tests {
         );
         let mut mem = server("MEM1", 16, 7);
         let p_mem = mem.run(8, |_| None).avg_power(2);
-        assert!(p_mem < p_ilp, "MEM ({p_mem}) should draw less than ILP ({p_ilp})");
+        assert!(
+            p_mem < p_ilp,
+            "MEM ({p_mem}) should draw less than ILP ({p_ilp})"
+        );
     }
 
     #[test]
@@ -548,10 +550,7 @@ mod tests {
         s.run(3, |_| None);
         let obs_ilp = s.observation().unwrap();
         let z_ilp = obs_ilp.cores[0].min_think_time(fastcap_core::units::Hz::from_ghz(4.0));
-        assert!(
-            z_ilp > z,
-            "ILP think ({z_ilp}) must exceed MEM think ({z})"
-        );
+        assert!(z_ilp > z, "ILP think ({z_ilp}) must exceed MEM think ({z})");
     }
 
     #[test]
@@ -638,9 +637,8 @@ mod tests {
 
     #[test]
     fn multi_controller_mode_reports_per_controller_samples() {
-        let cfg = quick_cfg(16).with_controllers(4, crate::config::Interleaving::Skewed {
-            decay: 0.45,
-        });
+        let cfg =
+            quick_cfg(16).with_controllers(4, crate::config::Interleaving::Skewed { decay: 0.45 });
         let mut s = Server::for_workload(cfg, &mixes::by_name("MEM3").unwrap(), 5).unwrap();
         s.run(4, |_| None);
         let obs = s.observation().unwrap();

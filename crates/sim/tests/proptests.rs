@@ -132,7 +132,7 @@ proptest! {
         prop_assert!(q >= 1.0 && q <= n as f64, "Q = {q}");
         prop_assert!(u >= 1.0 && u <= n as f64 + 1.0, "U = {u}");
         let s = ctl.counters.mean_service_ps(0);
-        prop_assert!(s >= 5.0 && s < 60.0, "s_m = {s}");
+        prop_assert!((5.0..60.0).contains(&s), "s_m = {s}");
     }
 }
 

@@ -248,7 +248,7 @@ impl WorkloadSpec {
     ///
     /// Returns a description when `n_cores` is not a positive multiple of 4.
     pub fn instantiate(&self, n_cores: usize) -> Result<Vec<AppInstance>, String> {
-        if n_cores == 0 || n_cores % self.apps.len() != 0 {
+        if n_cores == 0 || !n_cores.is_multiple_of(self.apps.len()) {
             return Err(format!(
                 "{}: core count {} is not a positive multiple of {}",
                 self.name,
@@ -395,15 +395,9 @@ mod tests {
         let w = by_name("MEM1").unwrap();
         let apps = w.instantiate(16).unwrap();
         // Copies 0 and 1 of swim must have different phase offsets.
-        let swims: Vec<_> = apps
-            .iter()
-            .filter(|a| a.profile.name == "swim")
-            .collect();
+        let swims: Vec<_> = apps.iter().filter(|a| a.profile.name == "swim").collect();
         assert_eq!(swims.len(), 4);
-        assert_ne!(
-            swims[0].profile.phase.offset,
-            swims[1].profile.phase.offset
-        );
+        assert_ne!(swims[0].profile.phase.offset, swims[1].profile.phase.offset);
     }
 
     #[test]

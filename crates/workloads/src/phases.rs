@@ -94,8 +94,7 @@ impl PhaseSpec {
                 * (TAU * (epoch / self.ripple_period_epochs + 2.0 * self.offset)).sin();
         }
         if self.mode_amplitude != 0.0 && self.mode_period_epochs > 0.0 {
-            let half = ((epoch + self.offset * self.mode_period_epochs)
-                / self.mode_period_epochs)
+            let half = ((epoch + self.offset * self.mode_period_epochs) / self.mode_period_epochs)
                 .floor() as i64;
             m += if half % 2 == 0 {
                 self.mode_amplitude
@@ -123,7 +122,7 @@ mod tests {
         let p = PhaseSpec::strong(0.3);
         for e in 0..500 {
             let m = p.intensity(e as f64);
-            assert!(m >= 0.05 && m <= 3.0, "epoch {e}: {m}");
+            assert!((0.05..=3.0).contains(&m), "epoch {e}: {m}");
         }
     }
 

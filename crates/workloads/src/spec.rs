@@ -58,26 +58,24 @@ pub fn all_names() -> Vec<&'static str> {
 
 /// The base profile for a named SPEC application, if known.
 pub fn base(name: &str) -> Option<AppProfile> {
-    BASE.iter()
-        .position(|e| e.0 == name)
-        .map(|idx| {
-            let (n, cpi, mpki, wpki, rh, mlp, strong) = BASE[idx];
-            // De-phase different applications with a stable per-app offset.
-            let offset = idx as f64 * 0.137;
-            AppProfile {
-                name: n.to_string(),
-                base_cpi: cpi,
-                mpki,
-                wpki,
-                row_hit_ratio: rh,
-                mlp,
-                phase: if strong {
-                    PhaseSpec::strong(offset)
-                } else {
-                    PhaseSpec::gentle(offset)
-                },
-            }
-        })
+    BASE.iter().position(|e| e.0 == name).map(|idx| {
+        let (n, cpi, mpki, wpki, rh, mlp, strong) = BASE[idx];
+        // De-phase different applications with a stable per-app offset.
+        let offset = idx as f64 * 0.137;
+        AppProfile {
+            name: n.to_string(),
+            base_cpi: cpi,
+            mpki,
+            wpki,
+            row_hit_ratio: rh,
+            mlp,
+            phase: if strong {
+                PhaseSpec::strong(offset)
+            } else {
+                PhaseSpec::gentle(offset)
+            },
+        }
+    })
 }
 
 #[cfg(test)]
@@ -96,10 +94,10 @@ mod tests {
     fn covers_every_table_iii_application() {
         // The union of all application names appearing in Table III.
         let needed = [
-            "vortex", "gcc", "sixtrack", "mesa", "perlbmk", "crafty", "gzip", "eon", "ammp",
-            "gap", "wupwise", "vpr", "astar", "parser", "twolf", "facerec", "apsi", "bzip2",
-            "swim", "applu", "galgel", "equake", "art", "milc", "mgrid", "fma3d", "sphinx3",
-            "lucas", "hmmer", "gobmk", "sjeng",
+            "vortex", "gcc", "sixtrack", "mesa", "perlbmk", "crafty", "gzip", "eon", "ammp", "gap",
+            "wupwise", "vpr", "astar", "parser", "twolf", "facerec", "apsi", "bzip2", "swim",
+            "applu", "galgel", "equake", "art", "milc", "mgrid", "fma3d", "sphinx3", "lucas",
+            "hmmer", "gobmk", "sjeng",
         ];
         for n in needed {
             assert!(base(n).is_some(), "missing base profile for {n}");

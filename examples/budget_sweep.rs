@@ -10,9 +10,10 @@ use fastcap::sim::{Server, SimConfig};
 use fastcap::workloads::mixes;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mix_name = std::env::args().nth(1).unwrap_or_else(|| "MID2".to_string());
-    let mix = mixes::by_name(&mix_name)
-        .ok_or_else(|| format!("unknown workload {mix_name}"))?;
+    let mix_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "MID2".to_string());
+    let mix = mixes::by_name(&mix_name).ok_or_else(|| format!("unknown workload {mix_name}"))?;
     let cfg = SimConfig::ispass(16)?.with_time_dilation(100.0);
     let epochs = 40;
     let seed = 5;

@@ -24,9 +24,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctl_cfg = cfg.controller_config(budget_frac)?;
     let budget = ctl_cfg.budget();
 
-    println!("workload {mix_name} ({}), budget {budget} ({:.0}% of peak)",
-        mix.class, budget_frac * 100.0);
-    println!("apps: {}", mix.apps.iter().map(|a| a.name.as_str()).collect::<Vec<_>>().join(" "));
+    println!(
+        "workload {mix_name} ({}), budget {budget} ({:.0}% of peak)",
+        mix.class,
+        budget_frac * 100.0
+    );
+    println!(
+        "apps: {}",
+        mix.apps
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
 
     // Uncapped baseline for the degradation metric.
     let epochs = 60;
@@ -40,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nepoch  power(W)  vs-budget  cores(mean lvl)  mem(lvl)");
     for e in result.epochs.iter().take(20) {
-        let mean_core =
-            e.core_freq_idx.iter().sum::<usize>() as f64 / e.core_freq_idx.len() as f64;
+        let mean_core = e.core_freq_idx.iter().sum::<usize>() as f64 / e.core_freq_idx.len() as f64;
         println!(
             "{:5}  {:8.1}  {:8.1}%  {:15.1}  {:8}",
             e.epoch,
@@ -51,10 +60,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             e.mem_freq_idx
         );
     }
-    println!("  ... ({} more epochs)", result.epochs.len().saturating_sub(20));
+    println!(
+        "  ... ({} more epochs)",
+        result.epochs.len().saturating_sub(20)
+    );
 
     let skip = 5;
-    println!("\naverage power: {} (budget {budget})", result.avg_power(skip));
+    println!(
+        "\naverage power: {} (budget {budget})",
+        result.avg_power(skip)
+    );
     println!("max epoch avg: {}", result.max_epoch_power(skip));
     let report = result.fairness_vs(&baseline, skip)?;
     println!(

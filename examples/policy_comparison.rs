@@ -17,8 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mix_name = args.next().unwrap_or_else(|| "MIX4".to_string());
     let budget_frac: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.6);
 
-    let mix = mixes::by_name(&mix_name)
-        .ok_or_else(|| format!("unknown workload {mix_name}"))?;
+    let mix = mixes::by_name(&mix_name).ok_or_else(|| format!("unknown workload {mix_name}"))?;
     let cfg = SimConfig::ispass(16)?.with_time_dilation(100.0);
     let budget = cfg.controller_config(budget_frac)?.budget();
     let epochs = 50;

@@ -37,8 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let memory = MemorySample {
         bus_freq: Hz::from_mhz(800.0),
-        bank_queue: 1.6,       // Q: mean bank occupancy at arrival
-        bus_queue: 1.3,        // U: mean bus waiters at departure
+        bank_queue: 1.6, // Q: mean bank occupancy at arrival
+        bus_queue: 1.3,  // U: mean bus waiters at departure
         bank_service_time: Secs::from_nanos(28.0),
         power: Watts(32.0),
     };

@@ -1,0 +1,449 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map` / `prop_filter`, range and tuple
+//! strategies, [`collection::vec`], [`any`], [`Just`], `prop_assert!` /
+//! `prop_assert_eq!`, and [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate: inputs are sampled from a deterministic
+//! RNG (seed configurable via the `PROPTEST_SEED` environment variable,
+//! default fixed) and failures are reported without shrinking — the failing
+//! case index and seed are printed instead so a run can be reproduced
+//! exactly. Determinism across consecutive `cargo test` runs is guaranteed.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::SmallRng as TestRng;
+use rand::Rng;
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Failure value carried by an `Err` returned from a property body (the
+/// real crate's `TestCaseError`, simplified). Bodies may `return Ok(())`
+/// early; the runner appends the final `Ok(())` itself.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "test case failed: {}", self.0)
+    }
+}
+
+/// Runner configuration (subset of proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test body runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps untagged blocks fast while still
+        // exploring meaningfully. Blocks in this repo set it explicitly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Returns the base seed: `PROPTEST_SEED` env var if set, else fixed.
+#[must_use]
+pub fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5eed_0000_2016_0ca9)
+}
+
+/// A generator of values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Retains only values passing `pred` (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I, 9 J)
+}
+
+/// Types with a canonical "any value" strategy (stand-in for `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The `any::<T>()` strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for the full domain of a primitive type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FullRange(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// The canonical strategy for `T`, like proptest's `any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file usually imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property body, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Defines property tests. Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0.0_f64..1.0, v in collection::vec(0u32..9, 1..8)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg); $($rest)*);
+    };
+    (@munch ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::base_seed();
+            for case in 0..config.cases {
+                // One RNG stream per (test, case): derived from the name so
+                // adding tests does not perturb sibling streams.
+                let mut name_hash: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    name_hash ^= b as u64;
+                    name_hash = name_hash.wrapping_mul(0x100_0000_01b3);
+                }
+                let mut __rng = <$crate::TestRng as $crate::__SeedableRng>::seed_from_u64(
+                    seed ^ name_hash ^ ((case as u64) << 32),
+                );
+                $(let $arg = ($strat).generate(&mut __rng);)+
+                let run = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $arg = $arg;)+
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                let report = || {
+                    eprintln!(
+                        "proptest shim: {} failed at case {case}/{} (seed {seed}); \
+                         re-run with PROPTEST_SEED={seed} to reproduce",
+                        stringify!($name),
+                        config.cases,
+                    );
+                };
+                match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                        report();
+                        panic!("{e}");
+                    }
+                    ::std::result::Result::Err(payload) => {
+                        report();
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@munch ($cfg); $($rest)*);
+    };
+    (@munch ($cfg:expr);) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_land_in_bounds(x in 1.5_f64..9.5, n in 3usize..7) {
+            prop_assert!((1.5..9.5).contains(&x));
+            prop_assert!((3..7).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in collection::vec((0u32..5, 0.0_f64..1.0), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (a, b) in v {
+                prop_assert!(a < 5);
+                prop_assert!((0.0..1.0).contains(&b));
+            }
+        }
+
+        #[test]
+        fn map_and_any(flag in any::<bool>(), y in (0u64..100).prop_map(|v| v * 2)) {
+            prop_assert!(matches!(flag, true | false));
+            prop_assert_eq!(y % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        use crate::Strategy as _;
+        let s = (0u64..1000, 0.0_f64..1.0);
+        let mut r1 = <crate::TestRng as rand::SeedableRng>::seed_from_u64(9);
+        let mut r2 = <crate::TestRng as rand::SeedableRng>::seed_from_u64(9);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

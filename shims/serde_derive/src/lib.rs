@@ -1,0 +1,429 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Parses the derive input with `proc_macro` alone (no `syn`/`quote` — the
+//! build environment is offline) and emits impls of the shim's `Serialize` /
+//! `Deserialize` traits. Supported shapes are the ones this workspace uses:
+//! structs with named fields, tuple structs, unit structs, and enums with
+//! unit / tuple / struct variants. Generic types are not supported.
+//!
+//! `#[serde(...)]` container and field attributes are accepted and ignored;
+//! the only one appearing in-tree is `#[serde(transparent)]` on newtype
+//! structs, whose semantics (serialize as the inner value) are this shim's
+//! default for single-field tuple structs anyway, matching real serde.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// The parsed derive input.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+impl Shape {
+    fn name(&self) -> &str {
+        match self {
+            Shape::NamedStruct { name, .. }
+            | Shape::TupleStruct { name, .. }
+            | Shape::UnitStruct { name }
+            | Shape::Enum { name, .. } => name,
+        }
+    }
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn ident_str(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past any `#[...]` outer attributes.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while is_punct(toks.get(*i), '#') {
+        // `#` then a bracket group; inner attributes (`#![...]`) do not occur
+        // in derive input.
+        *i += 2;
+    }
+}
+
+/// Advances past `pub` / `pub(crate)` / `pub(in ...)`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past tokens until a top-level `,` (consumed) or the end,
+/// tracking `<...>` nesting so commas inside generic arguments don't split.
+fn skip_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parses `name: Type, ...` fields from a brace group.
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let Some(tok) = toks.get(i) else { break };
+        let name = ident_str(tok)
+            .unwrap_or_else(|| panic!("serde shim derive: expected field name, found {tok}"));
+        i += 1;
+        assert!(
+            is_punct(toks.get(i), ':'),
+            "serde shim derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_until_comma(&toks, &mut i);
+        out.push(name);
+    }
+    out
+}
+
+/// Counts the fields of a tuple struct/variant from its paren group.
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        skip_until_comma(&toks, &mut i);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let Some(tok) = toks.get(i) else { break };
+        let name = ident_str(tok)
+            .unwrap_or_else(|| panic!("serde shim derive: expected variant name, found {tok}"));
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        if is_punct(toks.get(i), '=') {
+            // Explicit discriminant: skip to the separating comma.
+            i += 1;
+            skip_until_comma(&toks, &mut i);
+        } else if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        out.push(Variant { name, kind });
+    }
+    out
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = ident_str(&toks[i]).expect("serde shim derive: expected `struct` or `enum`");
+    i += 1;
+    let name = ident_str(&toks[i]).expect("serde shim derive: expected type name");
+    i += 1;
+    assert!(
+        !is_punct(toks.get(i), '<'),
+        "serde shim derive: generic type `{name}` is not supported"
+    );
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g),
+                }
+            }
+            _ => Shape::UnitStruct { name },
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("serde shim derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let name = shape.name().to_owned();
+    let body = match &shape {
+        Shape::NamedStruct { fields, .. } => {
+            let mut entries = String::new();
+            for f in fields {
+                let _ = write!(
+                    entries,
+                    "(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Shape::TupleStruct { arity: 1, .. } => {
+            // Newtype structs serialize transparently, as in real serde.
+            "::serde::Serialize::to_value(&self.0)".to_owned()
+        }
+        Shape::TupleStruct { arity, .. } => {
+            let mut items = String::new();
+            for k in 0..*arity {
+                let _ = write!(items, "::serde::Serialize::to_value(&self.{k}),");
+            }
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Shape::UnitStruct { .. } => "::serde::Value::Null".to_owned(),
+        Shape::Enum { variants, .. } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        );
+                    }
+                    VariantKind::Tuple(k) => {
+                        let binders: Vec<String> = (0..*k).map(|j| format!("__f{j}")).collect();
+                        let pat = binders.join(", ");
+                        let items: String = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({pat}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Array(::std::vec![{items}]))]),"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {pat} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(::std::vec![{entries}]))]),"
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let name = shape.name().to_owned();
+    let body = match &shape {
+        Shape::NamedStruct { fields, .. } => {
+            let mut inits = String::new();
+            for f in fields {
+                let _ = write!(
+                    inits,
+                    "{f}: ::serde::Deserialize::from_value(\
+                     ::serde::__get_field(__v, \"{f}\", \"{name}\")?)?,"
+                );
+            }
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Shape::TupleStruct { arity: 1, .. } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct { arity, .. } => {
+            let mut inits = String::new();
+            for k in 0..*arity {
+                let _ = write!(inits, "::serde::Deserialize::from_value(&__items[{k}])?,");
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                         ::std::result::Result::Ok({name}({inits})),\n\
+                     __other => ::serde::__type_error(\"{arity}-element array for {name}\", __other),\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { .. } => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum { variants, .. } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            data_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(k) => {
+                        let inits: String = (0..*k)
+                            .map(|j| format!("::serde::Deserialize::from_value(&__items[{j}])?,"))
+                            .collect();
+                        let _ = write!(
+                            data_arms,
+                            "\"{vn}\" => match __payload {{\n\
+                                 ::serde::Value::Array(__items) if __items.len() == {k} => \
+                                     ::std::result::Result::Ok({name}::{vn}({inits})),\n\
+                                 __other => ::serde::__type_error(\
+                                     \"{k}-element array for {name}::{vn}\", __other),\n\
+                             }},"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::__get_field(__payload, \"{f}\", \
+                                     \"{name}::{vn}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            data_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                             ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__key, __payload) = &__entries[0];\n\
+                         match __key.as_str() {{\n\
+                             {data_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                 ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::serde::__type_error(\"enum {name}\", __other),\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}

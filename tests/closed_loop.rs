@@ -91,7 +91,10 @@ fn mem_workloads_do_not_reach_a_loose_cap() {
     // And capping barely changes anything.
     let d = capped.degradation_vs(&base, 4).unwrap();
     let avg_d = d.iter().sum::<f64>() / d.len() as f64;
-    assert!(avg_d < 1.10, "loose cap should be ~free for MEM1, got {avg_d}");
+    assert!(
+        avg_d < 1.10,
+        "loose cap should be ~free for MEM1, got {avg_d}"
+    );
 }
 
 #[test]

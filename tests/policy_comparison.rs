@@ -39,8 +39,20 @@ fn memory_dvfs_beats_cpu_only_for_cpu_bound_work() {
     let ctl = |b| cfg.controller_config(b).unwrap();
     let epochs = 24;
     let base = baseline(&cfg, "ILP1", epochs, 2);
-    let fc = run_policy(FastCapPolicy::new(ctl(0.6)).unwrap(), &cfg, "ILP1", epochs, 2);
-    let co = run_policy(CpuOnlyPolicy::new(ctl(0.6)).unwrap(), &cfg, "ILP1", epochs, 2);
+    let fc = run_policy(
+        FastCapPolicy::new(ctl(0.6)).unwrap(),
+        &cfg,
+        "ILP1",
+        epochs,
+        2,
+    );
+    let co = run_policy(
+        CpuOnlyPolicy::new(ctl(0.6)).unwrap(),
+        &cfg,
+        "ILP1",
+        epochs,
+        2,
+    );
     let d_fc = avg(&fc.degradation_vs(&base, 5).unwrap());
     let d_co = avg(&co.degradation_vs(&base, 5).unwrap());
     assert!(
@@ -57,8 +69,20 @@ fn cpu_only_matches_fastcap_on_memory_bound_work() {
     let ctl = |b| cfg.controller_config(b).unwrap();
     let epochs = 20;
     let base = baseline(&cfg, "MEM1", epochs, 4);
-    let fc = run_policy(FastCapPolicy::new(ctl(0.6)).unwrap(), &cfg, "MEM1", epochs, 4);
-    let co = run_policy(CpuOnlyPolicy::new(ctl(0.6)).unwrap(), &cfg, "MEM1", epochs, 4);
+    let fc = run_policy(
+        FastCapPolicy::new(ctl(0.6)).unwrap(),
+        &cfg,
+        "MEM1",
+        epochs,
+        4,
+    );
+    let co = run_policy(
+        CpuOnlyPolicy::new(ctl(0.6)).unwrap(),
+        &cfg,
+        "MEM1",
+        epochs,
+        4,
+    );
     let d_fc = avg(&fc.degradation_vs(&base, 5).unwrap());
     let d_co = avg(&co.degradation_vs(&base, 5).unwrap());
     assert!(
@@ -78,8 +102,20 @@ fn eql_pwr_produces_worse_outliers_on_mixed_work() {
     for (i, mix) in ["MIX1", "MIX4"].iter().enumerate() {
         let seed = 21 + i as u64;
         let base = baseline(&cfg, mix, epochs, seed);
-        let fc = run_policy(FastCapPolicy::new(ctl(0.6)).unwrap(), &cfg, mix, epochs, seed);
-        let ep = run_policy(EqlPwrPolicy::new(ctl(0.6)).unwrap(), &cfg, mix, epochs, seed);
+        let fc = run_policy(
+            FastCapPolicy::new(ctl(0.6)).unwrap(),
+            &cfg,
+            mix,
+            epochs,
+            seed,
+        );
+        let ep = run_policy(
+            EqlPwrPolicy::new(ctl(0.6)).unwrap(),
+            &cfg,
+            mix,
+            epochs,
+            seed,
+        );
         let dfc = fc.degradation_vs(&base, 5).unwrap();
         let dep = ep.degradation_vs(&base, 5).unwrap();
         worst_fc = worst_fc.max(dfc.iter().cloned().fold(f64::MIN, f64::max));
@@ -99,8 +135,20 @@ fn eql_freq_is_conservative_on_mixes() {
     let ctl = |b| cfg.controller_config(b).unwrap();
     let epochs = 24;
     let base = baseline(&cfg, "MIX2", epochs, 8);
-    let fc = run_policy(FastCapPolicy::new(ctl(0.6)).unwrap(), &cfg, "MIX2", epochs, 8);
-    let ef = run_policy(EqlFreqPolicy::new(ctl(0.6)).unwrap(), &cfg, "MIX2", epochs, 8);
+    let fc = run_policy(
+        FastCapPolicy::new(ctl(0.6)).unwrap(),
+        &cfg,
+        "MIX2",
+        epochs,
+        8,
+    );
+    let ef = run_policy(
+        EqlFreqPolicy::new(ctl(0.6)).unwrap(),
+        &cfg,
+        "MIX2",
+        epochs,
+        8,
+    );
     let d_fc = avg(&fc.degradation_vs(&base, 5).unwrap());
     let d_ef = avg(&ef.degradation_vs(&base, 5).unwrap());
     assert!(
@@ -120,8 +168,20 @@ fn maxbips_is_less_fair_than_fastcap() {
     for (i, mix) in ["MIX1", "MIX3"].iter().enumerate() {
         let seed = 31 + i as u64;
         let base = baseline(&cfg, mix, epochs, seed);
-        let fc = run_policy(FastCapPolicy::new(ctl(0.6)).unwrap(), &cfg, mix, epochs, seed);
-        let mb = run_policy(MaxBipsPolicy::new(ctl(0.6)).unwrap(), &cfg, mix, epochs, seed);
+        let fc = run_policy(
+            FastCapPolicy::new(ctl(0.6)).unwrap(),
+            &cfg,
+            mix,
+            epochs,
+            seed,
+        );
+        let mb = run_policy(
+            MaxBipsPolicy::new(ctl(0.6)).unwrap(),
+            &cfg,
+            mix,
+            epochs,
+            seed,
+        );
         jain_fc.push(
             fairness::report(&fc.degradation_vs(&base, 5).unwrap())
                 .unwrap()
