@@ -1,10 +1,14 @@
 //! `repro` — regenerate the FastCap paper's tables and figures.
 //!
 //! ```text
-//! repro <artifact>... [--quick] [--seed N] [--out DIR]
-//! repro all [--quick]
+//! repro <artifact>... [--quick] [--seed N] [--jobs N] [--out DIR]
+//! repro all [--quick] [--jobs N]
 //! repro --list
 //! ```
+//!
+//! `--jobs N` shards each experiment's sweep across N worker threads
+//! (default: available parallelism). Artifacts are bit-identical at any
+//! job count for a fixed `--seed`; see DESIGN.md §5.
 //!
 //! Artifacts: tab1 tab3 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //! fig12 fig13 overhead epochlen ablation scaling. Results print as
@@ -19,7 +23,7 @@ use std::time::Instant;
 
 fn usage() -> String {
     format!(
-        "usage: repro <artifact|all>... [--quick] [--seed N] [--out DIR] [--list]\n\
+        "usage: repro <artifact|all>... [--quick] [--seed N] [--jobs N] [--out DIR] [--list]\n\
          artifacts: {}",
         experiments::ALL.join(" ")
     )
@@ -36,6 +40,13 @@ fn main() -> ExitCode {
                 Some(s) => opts.seed = s,
                 None => {
                     eprintln!("--seed needs an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(j) if j >= 1 => opts.jobs = j,
+                _ => {
+                    eprintln!("--jobs needs an integer >= 1\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -87,9 +98,10 @@ fn main() -> ExitCode {
 
     let mode = if opts.quick { "quick" } else { "full" };
     println!(
-        "# FastCap reproduction — {} artifact(s), {mode} mode, seed {}",
+        "# FastCap reproduction — {} artifact(s), {mode} mode, seed {}, {} job(s)",
         targets.len(),
-        opts.seed
+        opts.seed,
+        opts.jobs
     );
     for id in &targets {
         let start = Instant::now();

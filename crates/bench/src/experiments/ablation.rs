@@ -13,6 +13,7 @@
 //!    overshoots but leaves budget unused.
 
 use crate::harness::{run_baseline, Opts};
+use crate::sweep::{par_sweep, Sweep};
 use crate::table::{f2, f3, pct, ResultTable};
 use fastcap_core::capper::{DvfsDecision, FastCapController};
 use fastcap_core::counters::EpochObservation;
@@ -78,7 +79,10 @@ fn decide(ctl: &mut FastCapController, v: Variant, obs: &EpochObservation) -> Op
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment. Two sweeps: the closed-loop part is one point
+/// per controller variant plus the uncapped baseline (4 points on a
+/// **shared** RNG stream, so every variant caps the same MIX3 draw); the
+/// search ablation is one cheap point per core count.
 ///
 /// # Errors
 ///
@@ -91,6 +95,29 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     let budget = ctl_cfg.budget();
 
     // --- 1 & 3: closed-loop variants --------------------------------------
+    const VARIANTS: [Variant; 3] = [
+        Variant::Full,
+        Variant::FrozenModels,
+        Variant::FloorQuantization,
+    ];
+    let mut sweep = Sweep::new();
+    {
+        let (cfg, mix) = (&cfg, &mix);
+        sweep.push_with_stream(0, move |ctx| {
+            run_baseline(cfg, mix, opts.epochs(), ctx.seed)
+        });
+        for v in VARIANTS {
+            let ctl_cfg = &ctl_cfg;
+            sweep.push_with_stream(0, move |ctx| {
+                let mut ctl = FastCapController::new(ctl_cfg.clone())?;
+                let mut server = Server::for_workload(cfg.clone(), mix, ctx.seed)?;
+                Ok(server.run(opts.epochs(), |obs| decide(&mut ctl, v, obs)))
+            });
+        }
+    }
+    let mut runs = sweep.run(opts)?;
+    let baseline = runs.remove(0);
+
     let mut t = ResultTable::new(
         "ablation_controller",
         "Controller ablations on MIX3 (16 cores, B = 60%)",
@@ -102,15 +129,7 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
             "worst degr",
         ],
     );
-    let baseline = run_baseline(&cfg, &mix, opts.epochs(), opts.seed)?;
-    for v in [
-        Variant::Full,
-        Variant::FrozenModels,
-        Variant::FloorQuantization,
-    ] {
-        let mut ctl = FastCapController::new(ctl_cfg.clone())?;
-        let mut server = Server::for_workload(cfg.clone(), &mix, opts.seed)?;
-        let run = server.run(opts.epochs(), |obs| decide(&mut ctl, v, obs));
+    for (v, run) in VARIANTS.into_iter().zip(runs) {
         let d = run.degradation_vs(&baseline, opts.skip())?;
         let avg = d.iter().sum::<f64>() / d.len() as f64;
         let worst = d.iter().cloned().fold(f64::MIN, f64::max);
@@ -124,6 +143,25 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     }
 
     // --- 2: search ablation (pure algorithm, no simulator) ----------------
+    let rows = par_sweep(opts, &[16usize, 64, 256], |&n, _ctx| {
+        let mut ctl = FastCapController::new(crate::harness::synthetic_controller_config(n, 0.6)?)?;
+        let obs = crate::harness::synthetic_observation(n);
+        ctl.observe(&obs);
+        let model = ctl.build_model(&obs)?;
+        let cands = bus_candidates(
+            model.memory.min_bus_transfer_time,
+            ctl.config().mem_ladder.levels(),
+        );
+        let a = algorithm1(&model, &cands)?;
+        let e = exhaustive(&model, &cands)?;
+        Ok(vec![
+            n.to_string(),
+            f2(a.degradation()),
+            f2(e.degradation()),
+            a.points_evaluated.to_string(),
+            e.points_evaluated.to_string(),
+        ])
+    })?;
     let mut s = ResultTable::new(
         "ablation_search",
         "Algorithm 1 binary search vs exhaustive memory scan (same optimum, fewer evaluations)",
@@ -135,24 +173,8 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
             "points (exhaustive)",
         ],
     );
-    for n in [16usize, 64, 256] {
-        let mut ctl = FastCapController::new(crate::harness::synthetic_controller_config(n, 0.6)?)?;
-        let obs = crate::harness::synthetic_observation(n);
-        ctl.observe(&obs);
-        let model = ctl.build_model(&obs)?;
-        let cands = bus_candidates(
-            model.memory.min_bus_transfer_time,
-            ctl.config().mem_ladder.levels(),
-        );
-        let a = algorithm1(&model, &cands)?;
-        let e = exhaustive(&model, &cands)?;
-        s.push_row(vec![
-            n.to_string(),
-            f2(a.degradation()),
-            f2(e.degradation()),
-            a.points_evaluated.to_string(),
-            e.points_evaluated.to_string(),
-        ]);
+    for row in rows {
+        s.push_row(row);
     }
 
     Ok(vec![t, s])

@@ -7,17 +7,53 @@
 //! changes is absorbed because phases move over tens of milliseconds).
 
 use crate::harness::{run_capped, Opts, PolicyKind};
+use crate::sweep::Sweep;
 use crate::table::{f3, pct, ResultTable};
 use fastcap_core::error::Result;
 use fastcap_core::units::Secs;
 use fastcap_workloads::mixes;
 
-/// Runs the experiment.
+const MIX_NAMES: [&str; 3] = ["MIX3", "MEM2", "ILP4"];
+const EPOCH_MS: [f64; 3] = [5.0, 10.0, 20.0];
+
+/// Runs the experiment. Sweep: one point per (mix × epoch length) —
+/// 9 points; points of the same mix share an RNG stream so the three
+/// epoch lengths see the same workload.
 ///
 /// # Errors
 ///
 /// Propagates harness failures.
 pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
+    let mut sweep = Sweep::new();
+    for (mi, mix_name) in MIX_NAMES.iter().enumerate() {
+        for &ms in &EPOCH_MS {
+            sweep.push_with_stream(mi as u64, move |ctx| {
+                let mix = mixes::by_name(mix_name).expect("mix exists");
+                let mut cfg = opts.sim_config(16)?;
+                cfg.epoch_length = Secs::from_millis(ms);
+                // Keep the simulated slice per epoch constant so runs cost
+                // the same: dilation scales with the epoch length.
+                cfg.time_dilation *= ms / 5.0;
+                // Fewer, longer epochs cover the same wall time.
+                let epochs = (opts.epochs() as f64 * 5.0 / ms).round().max(10.0) as usize;
+                let skip = opts.skip().min(epochs / 3);
+                let run = run_capped(&cfg, &mix, PolicyKind::FastCap, 0.6, epochs, ctx.seed)?;
+                let d = run.capped.degradation_vs(&run.baseline, skip)?;
+                let avg = d.iter().sum::<f64>() / d.len() as f64;
+                let worst = d.iter().cloned().fold(f64::MIN, f64::max);
+                Ok(vec![
+                    mix_name.to_string(),
+                    format!("{ms:.0} ms"),
+                    pct(run.capped.avg_power(skip) / cfg.peak_power),
+                    run.capped.violations(run.budget, 0.05, skip).to_string(),
+                    f3(avg),
+                    f3(worst),
+                ])
+            });
+        }
+    }
+    let rows = sweep.run(opts)?;
+
     let mut t = ResultTable::new(
         "epochlen",
         "Epoch-length sensitivity (16 cores, B = 60%): paper found 5/10/20 ms equivalent",
@@ -30,33 +66,8 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
             "worst degr",
         ],
     );
-    for mix_name in ["MIX3", "MEM2", "ILP4"] {
-        let mix = mixes::by_name(mix_name).expect("mix exists");
-        for ms in [5.0_f64, 10.0, 20.0] {
-            let mut cfg = opts.sim_config(16)?;
-            cfg.epoch_length = Secs::from_millis(ms);
-            // Keep the simulated slice per epoch constant so runs cost the
-            // same: dilation scales with the epoch length.
-            cfg.time_dilation *= ms / 5.0;
-            // Fewer, longer epochs cover the same wall time.
-            let epochs = (opts.epochs() as f64 * 5.0 / ms).round().max(10.0) as usize;
-            let run = run_capped(&cfg, &mix, PolicyKind::FastCap, 0.6, epochs, opts.seed)?;
-            let d = run
-                .capped
-                .degradation_vs(&run.baseline, opts.skip().min(epochs / 3))?;
-            let avg = d.iter().sum::<f64>() / d.len() as f64;
-            let worst = d.iter().cloned().fold(f64::MIN, f64::max);
-            t.push_row(vec![
-                mix_name.to_string(),
-                format!("{ms:.0} ms"),
-                pct(run.capped.avg_power(opts.skip().min(epochs / 3)) / cfg.peak_power),
-                run.capped
-                    .violations(run.budget, 0.05, opts.skip().min(epochs / 3))
-                    .to_string(),
-                f3(avg),
-                f3(worst),
-            ]);
-        }
+    for row in rows {
+        t.push_row(row);
     }
     Ok(vec![t])
 }

@@ -3,17 +3,28 @@
 //! heterogeneous systems, so Eql-Freq degrades more.
 
 use crate::harness::{avg_worst, run_baseline, run_capped_only, Opts, PolicyKind};
+use crate::sweep::par_sweep;
 use crate::table::{f3, ResultTable};
 use fastcap_core::error::Result;
 use fastcap_workloads::{mixes, WorkloadClass};
 
-/// Runs the experiment.
+/// Runs the experiment. Sweep: one point per MIX workload (4 points);
+/// each simulates the shared baseline and both policies.
 ///
 /// # Errors
 ///
 /// Propagates harness failures.
 pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     let cfg = opts.sim_config(64)?;
+    let rows = par_sweep(opts, &mixes::by_class(WorkloadClass::Mix), |mix, ctx| {
+        let baseline = run_baseline(&cfg, mix, opts.epochs(), ctx.seed)?;
+        let fc = run_capped_only(&cfg, mix, PolicyKind::FastCap, 0.6, opts.epochs(), ctx.seed)?;
+        let ef = run_capped_only(&cfg, mix, PolicyKind::EqlFreq, 0.6, opts.epochs(), ctx.seed)?;
+        let (fa, fw) = avg_worst(&fc.degradation_vs(&baseline, opts.skip())?)?;
+        let (ea, ew) = avg_worst(&ef.degradation_vs(&baseline, opts.skip())?)?;
+        Ok(vec![mix.name.clone(), f3(fa), f3(fw), f3(ea), f3(ew)])
+    })?;
+
     let mut t = ResultTable::new(
         "fig10",
         "FastCap vs Eql-Freq, MIX workloads, 64 cores, B = 60%",
@@ -25,14 +36,8 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
             "Eql-Freq worst",
         ],
     );
-    for (i, mix) in mixes::by_class(WorkloadClass::Mix).into_iter().enumerate() {
-        let seed = opts.seed + i as u64;
-        let baseline = run_baseline(&cfg, &mix, opts.epochs(), seed)?;
-        let fc = run_capped_only(&cfg, &mix, PolicyKind::FastCap, 0.6, opts.epochs(), seed)?;
-        let ef = run_capped_only(&cfg, &mix, PolicyKind::EqlFreq, 0.6, opts.epochs(), seed)?;
-        let (fa, fw) = avg_worst(&fc.degradation_vs(&baseline, opts.skip())?)?;
-        let (ea, ew) = avg_worst(&ef.degradation_vs(&baseline, opts.skip())?)?;
-        t.push_row(vec![mix.name.clone(), f3(fa), f3(fw), f3(ea), f3(ew)]);
+    for row in rows {
+        t.push_row(row);
     }
     Ok(vec![t])
 }

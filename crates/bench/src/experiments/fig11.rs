@@ -6,18 +6,41 @@
 //! performance — the outlier problem FastCap's fairness objective avoids.
 
 use crate::harness::{avg_worst, run_baseline, run_capped_only, Opts, PolicyKind};
+use crate::sweep::par_sweep;
 use crate::table::{f3, ResultTable};
 use fastcap_core::error::Result;
 use fastcap_core::fairness;
 use fastcap_workloads::{mixes, WorkloadClass};
 
-/// Runs the experiment.
+/// Runs the experiment. Sweep: one point per MIX workload (4 points);
+/// each simulates the shared baseline and both policies.
 ///
 /// # Errors
 ///
 /// Propagates harness failures.
 pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     let cfg = opts.sim_config(4)?;
+    let rows = par_sweep(opts, &mixes::by_class(WorkloadClass::Mix), |mix, ctx| {
+        let baseline = run_baseline(&cfg, mix, opts.epochs(), ctx.seed)?;
+        let fc = run_capped_only(&cfg, mix, PolicyKind::FastCap, 0.6, opts.epochs(), ctx.seed)?;
+        let mb = run_capped_only(&cfg, mix, PolicyKind::MaxBips, 0.6, opts.epochs(), ctx.seed)?;
+        let fd = fc.degradation_vs(&baseline, opts.skip())?;
+        let md = mb.degradation_vs(&baseline, opts.skip())?;
+        let (fa, fw) = avg_worst(&fd)?;
+        let (ma, mw) = avg_worst(&md)?;
+        let fj = fairness::report(&fd)?.jain_index;
+        let mj = fairness::report(&md)?.jain_index;
+        Ok(vec![
+            mix.name.clone(),
+            f3(fa),
+            f3(fw),
+            f3(fj),
+            f3(ma),
+            f3(mw),
+            f3(mj),
+        ])
+    })?;
+
     let mut t = ResultTable::new(
         "fig11",
         "FastCap vs MaxBIPS, MIX workloads, 4 cores, B = 60%",
@@ -31,26 +54,8 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
             "MaxBIPS Jain",
         ],
     );
-    for (i, mix) in mixes::by_class(WorkloadClass::Mix).into_iter().enumerate() {
-        let seed = opts.seed + i as u64;
-        let baseline = run_baseline(&cfg, &mix, opts.epochs(), seed)?;
-        let fc = run_capped_only(&cfg, &mix, PolicyKind::FastCap, 0.6, opts.epochs(), seed)?;
-        let mb = run_capped_only(&cfg, &mix, PolicyKind::MaxBips, 0.6, opts.epochs(), seed)?;
-        let fd = fc.degradation_vs(&baseline, opts.skip())?;
-        let md = mb.degradation_vs(&baseline, opts.skip())?;
-        let (fa, fw) = avg_worst(&fd)?;
-        let (ma, mw) = avg_worst(&md)?;
-        let fj = fairness::report(&fd)?.jain_index;
-        let mj = fairness::report(&md)?.jain_index;
-        t.push_row(vec![
-            mix.name.clone(),
-            f3(fa),
-            f3(fw),
-            f3(fj),
-            f3(ma),
-            f3(mw),
-            f3(mj),
-        ]);
+    for row in rows {
+        t.push_row(row);
     }
     Ok(vec![t])
 }

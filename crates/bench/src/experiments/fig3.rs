@@ -4,17 +4,31 @@
 //! Expected shape: every bar at or just below 0.60.
 
 use crate::harness::{run_capped, Opts, PolicyKind};
+use crate::sweep::par_sweep;
 use crate::table::{f3, pct, ResultTable};
 use fastcap_core::error::Result;
 use fastcap_workloads::mixes;
 
-/// Runs the experiment.
+/// Runs the experiment. Sweep: one point per mix (16 points).
 ///
 /// # Errors
 ///
 /// Propagates harness failures.
 pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     let cfg = opts.sim_config(16)?;
+    let rows = par_sweep(opts, &mixes::all(), |mix, ctx| {
+        let run = run_capped(&cfg, mix, PolicyKind::FastCap, 0.6, opts.epochs(), ctx.seed)?;
+        let avg = run.capped.avg_power(opts.skip());
+        let viol = run.capped.violations(run.budget, 0.05, opts.skip());
+        Ok(vec![
+            mix.name.clone(),
+            f3(avg.get()),
+            pct(avg / cfg.peak_power),
+            pct(0.6),
+            viol.to_string(),
+        ])
+    })?;
+
     let mut t = ResultTable::new(
         "fig3",
         "FastCap average power normalized to peak (16 cores, B = 60%)",
@@ -26,25 +40,8 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
             "violations >5%",
         ],
     );
-    for (i, mix) in mixes::all().into_iter().enumerate() {
-        let run = run_capped(
-            &cfg,
-            &mix,
-            PolicyKind::FastCap,
-            0.6,
-            opts.epochs(),
-            opts.seed + i as u64,
-        )?;
-        let avg = run.capped.avg_power(opts.skip());
-        let norm = avg / cfg.peak_power;
-        let viol = run.capped.violations(run.budget, 0.05, opts.skip());
-        t.push_row(vec![
-            mix.name.clone(),
-            f3(avg.get()),
-            pct(norm),
-            pct(0.6),
-            viol.to_string(),
-        ]);
+    for row in rows {
+        t.push_row(row);
     }
     Ok(vec![t])
 }

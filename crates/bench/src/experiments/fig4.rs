@@ -3,11 +3,13 @@
 //! workload's phases move.
 
 use crate::harness::{run_capped_only, Opts, PolicyKind};
+use crate::sweep::par_sweep;
 use crate::table::{f3, ResultTable};
 use fastcap_core::error::Result;
 use fastcap_workloads::mixes;
 
-/// Runs the experiment.
+/// Runs the experiment. Sweep: a single point (one MIX3 run) — declared
+/// through the harness for uniform seeding with the other artifacts.
 ///
 /// # Errors
 ///
@@ -15,14 +17,11 @@ use fastcap_workloads::mixes;
 pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     let cfg = opts.sim_config(16)?;
     let mix = mixes::by_name("MIX3").expect("MIX3 exists");
-    let capped = run_capped_only(
-        &cfg,
-        &mix,
-        PolicyKind::FastCap,
-        0.6,
-        opts.epochs(),
-        opts.seed,
-    )?;
+    let capped = par_sweep(opts, &[mix], |mix, ctx| {
+        run_capped_only(&cfg, mix, PolicyKind::FastCap, 0.6, opts.epochs(), ctx.seed)
+    })?
+    .pop()
+    .expect("one point");
 
     let mut t = ResultTable::new(
         "fig4",

@@ -4,11 +4,14 @@
 //! do not consume that much power at full speed).
 
 use crate::harness::{run_capped_only, Opts, PolicyKind};
+use crate::sweep::Sweep;
 use crate::table::{f2, f3, ResultTable};
 use fastcap_core::error::Result;
 use fastcap_workloads::mixes;
 
-/// Runs the experiment.
+/// Runs the experiment. Sweep: one point per budget (3 points) on a
+/// **shared** RNG stream, so every budget caps the same sampled MEM3
+/// trace and the series stay comparable.
 ///
 /// # Errors
 ///
@@ -18,11 +21,14 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     let mix = mixes::by_name("MEM3").expect("MEM3 exists");
     let budgets = [0.4, 0.6, 0.8];
 
-    let mut traces = Vec::new();
+    let mut sweep = Sweep::new();
     for &b in &budgets {
-        let run = run_capped_only(&cfg, &mix, PolicyKind::FastCap, b, opts.epochs(), opts.seed)?;
-        traces.push(run);
+        let (cfg, mix) = (&cfg, &mix);
+        sweep.push_with_stream(0, move |ctx| {
+            run_capped_only(cfg, mix, PolicyKind::FastCap, b, opts.epochs(), ctx.seed)
+        });
     }
+    let traces = sweep.run(opts)?;
 
     let mut t = ResultTable::new(
         "fig5",

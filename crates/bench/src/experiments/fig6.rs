@@ -5,19 +5,41 @@
 //! than ILP (they draw less power to begin with); tighter budgets degrade
 //! more.
 
-use crate::harness::{avg_worst, run_capped, Opts, PolicyKind};
+use crate::harness::{avg_worst, run_baseline, run_capped_only, Opts, PolicyKind};
+use crate::sweep::par_sweep;
 use crate::table::{f3, ResultTable};
 use fastcap_core::error::Result;
 use fastcap_workloads::{mixes, WorkloadClass};
 
-/// Runs the experiment.
+const BUDGETS: [f64; 3] = [0.4, 0.6, 0.8];
+
+/// Runs the experiment. Sweep: one point per (class, mix) — 16 points;
+/// each simulates one baseline plus the three budget runs against it and
+/// returns per-budget degradations. The reduce step pools by class.
 ///
 /// # Errors
 ///
 /// Propagates harness failures.
 pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     let cfg = opts.sim_config(16)?;
-    let budgets = [0.4, 0.6, 0.8];
+    let points: Vec<(WorkloadClass, fastcap_workloads::WorkloadSpec)> = WorkloadClass::ALL
+        .into_iter()
+        .flat_map(|class| mixes::by_class(class).into_iter().map(move |m| (class, m)))
+        .collect();
+
+    // Per point: degradations at each budget, all against one baseline.
+    let per_point: Vec<Vec<Vec<f64>>> = par_sweep(opts, &points, |(_, mix), ctx| {
+        let baseline = run_baseline(&cfg, mix, opts.epochs(), ctx.seed)?;
+        BUDGETS
+            .iter()
+            .map(|&b| {
+                let capped =
+                    run_capped_only(&cfg, mix, PolicyKind::FastCap, b, opts.epochs(), ctx.seed)?;
+                capped.degradation_vs(&baseline, opts.skip())
+            })
+            .collect()
+    })?;
+
     let mut t = ResultTable::new(
         "fig6",
         "Avg/worst normalized app performance per class (16 cores)",
@@ -33,19 +55,13 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     );
     for class in WorkloadClass::ALL {
         let mut cells = vec![class.to_string()];
-        for &b in &budgets {
-            let mut pooled = Vec::new();
-            for (i, mix) in mixes::by_class(class).into_iter().enumerate() {
-                let run = run_capped(
-                    &cfg,
-                    &mix,
-                    PolicyKind::FastCap,
-                    b,
-                    opts.epochs(),
-                    opts.seed + i as u64,
-                )?;
-                pooled.extend(run.capped.degradation_vs(&run.baseline, opts.skip())?);
-            }
+        for (bi, _) in BUDGETS.iter().enumerate() {
+            let pooled: Vec<f64> = points
+                .iter()
+                .zip(&per_point)
+                .filter(|((c, _), _)| *c == class)
+                .flat_map(|(_, degrs)| degrs[bi].iter().copied())
+                .collect();
             let (avg, worst) = avg_worst(&pooled)?;
             cells.push(f3(avg));
             cells.push(f3(worst));

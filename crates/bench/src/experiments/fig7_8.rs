@@ -16,6 +16,7 @@
 //! memory kept at maximum). See EXPERIMENTS.md.
 
 use crate::harness::{run_capped_only, Opts, PolicyKind};
+use crate::sweep::par_sweep;
 use crate::table::{f2, ResultTable};
 use fastcap_core::error::Result;
 use fastcap_core::freq::FreqLadder;
@@ -25,25 +26,9 @@ use fastcap_workloads::mixes;
 const WORKLOADS: [&str; 3] = ["ILP1", "MEM1", "MIX4"];
 const TRACED_APPS: [&str; 3] = ["vortex@ILP1", "swim@MEM1", "swim@MIX4"];
 
-fn runs_at(opts: &Opts, budget: f64) -> Result<Vec<RunResult>> {
-    let cfg = opts.sim_config(16)?;
-    WORKLOADS
-        .iter()
-        .map(|name| {
-            let mix = mixes::by_name(name).expect("mix exists");
-            run_capped_only(
-                &cfg,
-                &mix,
-                PolicyKind::FastCap,
-                budget,
-                opts.epochs(),
-                opts.seed,
-            )
-        })
-        .collect()
-}
-
-/// Runs both figures (they share the simulations).
+/// Runs both figures (they share the simulations). Sweep: one point per
+/// traced workload (3 points); each point simulates both budgets on the
+/// same seed so the B = 80% and B = 60% series see the same workload.
 ///
 /// # Errors
 ///
@@ -51,8 +36,28 @@ fn runs_at(opts: &Opts, budget: f64) -> Result<Vec<RunResult>> {
 pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     let core_ladder = FreqLadder::ispass_core();
     let mem_ladder = FreqLadder::ispass_memory_bus();
-    let runs80 = runs_at(opts, 0.8)?;
-    let runs60 = runs_at(opts, 0.6)?;
+    let cfg = opts.sim_config(16)?;
+    let pairs: Vec<(RunResult, RunResult)> = par_sweep(opts, &WORKLOADS, |name, ctx| {
+        let mix = mixes::by_name(name).expect("mix exists");
+        let r80 = run_capped_only(
+            &cfg,
+            &mix,
+            PolicyKind::FastCap,
+            0.8,
+            opts.epochs(),
+            ctx.seed,
+        )?;
+        let r60 = run_capped_only(
+            &cfg,
+            &mix,
+            PolicyKind::FastCap,
+            0.6,
+            opts.epochs(),
+            ctx.seed,
+        )?;
+        Ok((r80, r60))
+    })?;
+    let (runs80, runs60): (Vec<RunResult>, Vec<RunResult>) = pairs.into_iter().unzip();
 
     // Core 0 runs the first-listed app of each mix: vortex in ILP1, swim in
     // MEM1, swim in MIX4 (see mixes.rs ordering).

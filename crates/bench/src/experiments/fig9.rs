@@ -7,9 +7,10 @@
 //! on heterogeneous mixes.
 
 use crate::harness::{avg_worst, run_baseline, run_capped_only, Opts, PolicyKind};
+use crate::sweep::par_sweep;
 use crate::table::{f3, ResultTable};
 use fastcap_core::error::Result;
-use fastcap_workloads::{mixes, WorkloadClass};
+use fastcap_workloads::{mixes, WorkloadClass, WorkloadSpec};
 
 const POLICIES: [PolicyKind; 4] = [
     PolicyKind::FastCap,
@@ -18,13 +19,32 @@ const POLICIES: [PolicyKind; 4] = [
     PolicyKind::EqlPwr,
 ];
 
-/// Runs the experiment.
+/// Runs the experiment. Sweep: one point per (class, mix) — 16 points;
+/// each simulates one baseline and the four policies against it. The
+/// reduce step pools degradations per (class, policy).
 ///
 /// # Errors
 ///
 /// Propagates harness failures.
 pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     let cfg = opts.sim_config(16)?;
+    let points: Vec<(WorkloadClass, WorkloadSpec)> = WorkloadClass::ALL
+        .into_iter()
+        .flat_map(|class| mixes::by_class(class).into_iter().map(move |m| (class, m)))
+        .collect();
+
+    // Per point: degradations per policy, all against one baseline.
+    let per_point: Vec<Vec<Vec<f64>>> = par_sweep(opts, &points, |(_, mix), ctx| {
+        let baseline = run_baseline(&cfg, mix, opts.epochs(), ctx.seed)?;
+        POLICIES
+            .iter()
+            .map(|&kind| {
+                let capped = run_capped_only(&cfg, mix, kind, 0.6, opts.epochs(), ctx.seed)?;
+                capped.degradation_vs(&baseline, opts.skip())
+            })
+            .collect()
+    })?;
+
     let mut columns = vec!["class".to_string()];
     for p in POLICIES {
         columns.push(format!("{} avg", p.name()));
@@ -38,20 +58,15 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     );
 
     for class in WorkloadClass::ALL {
-        // Pool degradations per policy across the class's four mixes,
-        // reusing one baseline per mix.
-        let mut pooled: Vec<Vec<f64>> = vec![Vec::new(); POLICIES.len()];
-        for (i, mix) in mixes::by_class(class).into_iter().enumerate() {
-            let seed = opts.seed + i as u64;
-            let baseline = run_baseline(&cfg, &mix, opts.epochs(), seed)?;
-            for (pi, &kind) in POLICIES.iter().enumerate() {
-                let capped = run_capped_only(&cfg, &mix, kind, 0.6, opts.epochs(), seed)?;
-                pooled[pi].extend(capped.degradation_vs(&baseline, opts.skip())?);
-            }
-        }
         let mut cells = vec![class.to_string()];
-        for d in &pooled {
-            let (avg, worst) = avg_worst(d)?;
+        for (pi, _) in POLICIES.iter().enumerate() {
+            let pooled: Vec<f64> = points
+                .iter()
+                .zip(&per_point)
+                .filter(|((c, _), _)| *c == class)
+                .flat_map(|(_, by_policy)| by_policy[pi].iter().copied())
+                .collect();
+            let (avg, worst) = avg_worst(&pooled)?;
             cells.push(f3(avg));
             cells.push(f3(worst));
         }

@@ -1,6 +1,9 @@
 //! One module per paper artifact. Each exposes
-//! `run(&Opts) -> Result<Vec<ResultTable>>`; the `repro` binary dispatches
-//! on artifact id and prints/writes whatever comes back.
+//! `run(&Opts) -> Result<Vec<ResultTable>>`, declares its independent
+//! work as a [`crate::sweep::Sweep`] (sharded across `--jobs` workers,
+//! deterministic at any worker count — see DESIGN.md §5), and reduces
+//! the index-ordered point results into tables; the `repro` binary
+//! dispatches on artifact id and prints/writes whatever comes back.
 
 pub mod ablation;
 pub mod epochlen;

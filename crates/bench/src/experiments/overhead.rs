@@ -6,6 +6,7 @@
 //! depend on the host; the *linearity* is the claim to check.
 
 use crate::harness::{synthetic_controller_config, synthetic_observation, Opts};
+use crate::sweep::Sweep;
 use crate::table::{f2, pct, ResultTable};
 use fastcap_core::capper::FastCapController;
 use fastcap_core::error::Result;
@@ -54,13 +55,25 @@ pub fn points_evaluated(n_cores: usize) -> Result<usize> {
     Ok(algorithm1(&model, &cands)?.points_evaluated)
 }
 
-/// Runs the experiment.
+/// Runs the experiment. Sweep: a **timing** sweep (serial regardless of
+/// `--jobs`) over the three core counts; the "scaling vs 16 cores"
+/// column is computed in the reduce step from the measured latencies.
 ///
 /// # Errors
 ///
 /// Propagates measurement failures.
 pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
     let iters = if opts.quick { 2_000 } else { 20_000 };
+    let mut sweep = Sweep::timing();
+    for n in [16usize, 32, 64] {
+        sweep.push(move |_| {
+            let us = measure_decide_micros(n, iters)?;
+            let points = points_evaluated(n)?;
+            Ok((n, us, points))
+        });
+    }
+    let measured = sweep.run(opts)?;
+
     let mut t = ResultTable::new(
         "overhead",
         "FastCap decide() latency (paper: 33.5/64.9/133.5 µs at 16/32/64 cores)",
@@ -73,22 +86,13 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
             "µs / (core·point)",
         ],
     );
-    let mut base = None;
-    for n in [16usize, 32, 64] {
-        let us = measure_decide_micros(n, iters)?;
-        let points = points_evaluated(n)?;
-        let ratio = match base {
-            None => {
-                base = Some(us);
-                1.0
-            }
-            Some(b) => us / b,
-        };
+    let base = measured[0].1;
+    for (n, us, points) in measured {
         t.push_row(vec![
             n.to_string(),
             f2(us),
             pct(us / 5_000.0),
-            format!("{ratio:.2}x"),
+            format!("{:.2}x", us / base),
             points.to_string(),
             format!("{:.3}", us / (n as f64 * points as f64)),
         ]);

@@ -9,6 +9,7 @@
 //! latency stays far below the 5 ms epoch.
 
 use crate::harness::Opts;
+use crate::sweep::{par_sweep, Sweep};
 use crate::table::{f2, f3, pct, ResultTable};
 use fastcap_core::error::Result;
 use fastcap_core::fairness;
@@ -16,12 +17,53 @@ use fastcap_policies::{CappingPolicy, FastCapPolicy};
 use fastcap_sim::{AnalyticServer, SimConfig};
 use fastcap_workloads::mixes;
 
-/// Runs the experiment.
+const CORE_COUNTS: [usize; 5] = [16, 32, 64, 128, 256];
+
+/// Runs the experiment. Two sweeps over the same core-count ladder: a
+/// parallel one for the closed-loop quality metrics (the expensive
+/// analytic simulations), and a serial **timing** sweep for the
+/// decide-µs column so co-running work cannot inflate the latencies.
 ///
 /// # Errors
 ///
 /// Propagates simulator/policy construction failures.
 pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
+    let epochs = opts.epochs().min(60);
+    let mix = mixes::by_name("MIX2").expect("mix exists");
+
+    let quality = par_sweep(opts, &CORE_COUNTS, |&n, ctx| {
+        let cfg = SimConfig::ispass(n)?.with_meter_noise(0.0);
+        let ctl_cfg = cfg.controller_config(0.6)?;
+        let budget = ctl_cfg.budget();
+
+        let mut baseline = AnalyticServer::for_workload(cfg.clone(), &mix, ctx.seed)?;
+        let base = baseline.run(epochs, |_| None);
+
+        let mut policy = FastCapPolicy::new(ctl_cfg)?;
+        let mut server = AnalyticServer::for_workload(cfg, &mix, ctx.seed)?;
+        let run = server.run(epochs, |obs| policy.decide(obs).ok());
+
+        let d = run.degradation_vs(&base, opts.skip())?;
+        let rep = fairness::report(&d)?;
+        Ok(vec![
+            pct(run.avg_power(opts.skip()) / budget),
+            f3(rep.average),
+            f3(rep.worst),
+            f3(rep.jain_index),
+        ])
+    })?;
+
+    let mut timing = Sweep::timing();
+    for n in CORE_COUNTS {
+        timing.push(move |_| {
+            crate::experiments::overhead::measure_decide_micros(
+                n,
+                if opts.quick { 200 } else { 2_000 },
+            )
+        });
+    }
+    let latencies = timing.run(opts)?;
+
     let mut t = ResultTable::new(
         "scaling",
         "Closed-loop FastCap from 16 to 256 cores (analytic backend, MIX2, B = 60%)",
@@ -34,34 +76,11 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
             "decide µs",
         ],
     );
-    let epochs = opts.epochs().min(60);
-    let mix = mixes::by_name("MIX2").expect("mix exists");
-    for n in [16usize, 32, 64, 128, 256] {
-        let cfg = SimConfig::ispass(n)?.with_meter_noise(0.0);
-        let ctl_cfg = cfg.controller_config(0.6)?;
-        let budget = ctl_cfg.budget();
-
-        let mut baseline = AnalyticServer::for_workload(cfg.clone(), &mix, opts.seed)?;
-        let base = baseline.run(epochs, |_| None);
-
-        let mut policy = FastCapPolicy::new(ctl_cfg)?;
-        let mut server = AnalyticServer::for_workload(cfg, &mix, opts.seed)?;
-        let run = server.run(epochs, |obs| policy.decide(obs).ok());
-
-        let d = run.degradation_vs(&base, opts.skip())?;
-        let rep = fairness::report(&d)?;
-        let us = crate::experiments::overhead::measure_decide_micros(
-            n,
-            if opts.quick { 200 } else { 2_000 },
-        )?;
-        t.push_row(vec![
-            n.to_string(),
-            pct(run.avg_power(opts.skip()) / budget),
-            f3(rep.average),
-            f3(rep.worst),
-            f3(rep.jain_index),
-            f2(us),
-        ]);
+    for ((n, mut row), us) in CORE_COUNTS.into_iter().zip(quality).zip(latencies) {
+        let mut cells = vec![n.to_string()];
+        cells.append(&mut row);
+        cells.push(f2(us));
+        t.push_row(cells);
     }
     Ok(vec![t])
 }

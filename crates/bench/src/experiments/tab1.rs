@@ -3,6 +3,7 @@
 //! the theoretical rows for approaches we reproduce only analytically.
 
 use crate::harness::{synthetic_controller_config, synthetic_observation, Opts};
+use crate::sweep::Sweep;
 use crate::table::{f2, ResultTable};
 use fastcap_core::capper::FastCapConfig;
 use fastcap_core::error::Result;
@@ -29,7 +30,9 @@ fn small_cfg(n: usize, budget: f64) -> Result<FastCapConfig> {
         .build()
 }
 
-/// Runs the experiment.
+/// Runs the experiment. Sweep: a **timing** sweep (serial regardless of
+/// `--jobs` — co-running simulations would inflate the measured
+/// latencies) over the FastCap and MaxBIPS core-count ladders.
 ///
 /// # Errors
 ///
@@ -55,29 +58,41 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
 
     // Measured: FastCap scaling should be ~linear in N.
     let iters = if opts.quick { 1_000 } else { 10_000 };
+    let mut fast_sweep = Sweep::timing();
+    for n in [16usize, 32, 64, 128, 256] {
+        fast_sweep.push(move |_| {
+            let mut p = FastCapPolicy::new(synthetic_controller_config(n, 0.6)?)?;
+            let us = time_policy_micros(&mut p, n, iters)?;
+            Ok(vec![n.to_string(), f2(us), format!("{:.3}", us / n as f64)])
+        });
+    }
     let mut fast = ResultTable::new(
         "tab1_fastcap",
         "Measured FastCap decide() latency vs core count (expect linear)",
         &["cores", "µs per decide", "µs per core"],
     );
-    for n in [16usize, 32, 64, 128, 256] {
-        let mut p = FastCapPolicy::new(synthetic_controller_config(n, 0.6)?)?;
-        let us = time_policy_micros(&mut p, n, iters)?;
-        fast.push_row(vec![n.to_string(), f2(us), format!("{:.3}", us / n as f64)]);
+    for row in fast_sweep.run(opts)? {
+        fast.push_row(row);
     }
 
     // Measured: MaxBIPS explodes with N (F^N·M grid).
+    let mut mb_sweep = Sweep::timing();
+    for n in [1usize, 2, 3, 4] {
+        mb_sweep.push(move |_| {
+            let iters_mb = if n >= 4 { 3 } else { 50 };
+            let mut p = MaxBipsPolicy::new(small_cfg(n, 0.6)?)?;
+            let us = time_policy_micros(&mut p, n, iters_mb)?;
+            let grid = 10f64.powi(n as i32) * 10.0;
+            Ok(vec![n.to_string(), format!("{grid:.0}"), f2(us)])
+        });
+    }
     let mut mb = ResultTable::new(
         "tab1_maxbips",
         "Measured MaxBIPS decide() latency vs core count (expect exponential)",
         &["cores", "grid points (F^N·M)", "µs per decide"],
     );
-    for n in [1usize, 2, 3, 4] {
-        let iters_mb = if n >= 4 { 3 } else { 50 };
-        let mut p = MaxBipsPolicy::new(small_cfg(n, 0.6)?)?;
-        let us = time_policy_micros(&mut p, n, iters_mb)?;
-        let grid = 10f64.powi(n as i32) * 10.0;
-        mb.push_row(vec![n.to_string(), format!("{grid:.0}"), f2(us)]);
+    for row in mb_sweep.run(opts)? {
+        mb.push_row(row);
     }
 
     Ok(vec![theory, fast, mb])

@@ -3,23 +3,20 @@
 //! a unit test there).
 
 use crate::harness::Opts;
+use crate::sweep::par_sweep;
 use crate::table::{f2, ResultTable};
 use fastcap_core::error::Result;
 use fastcap_workloads::mixes;
 
-/// Runs the experiment.
+/// Runs the experiment. Sweep: one (cheap, RNG-free) point per mix —
+/// declared through the harness for uniformity with the other runners.
 ///
 /// # Errors
 ///
 /// Never fails in practice; signature matches the other runners.
-pub fn run(_opts: &Opts) -> Result<Vec<ResultTable>> {
-    let mut t = ResultTable::new(
-        "tab3",
-        "Table III — workload mixes (MPKI/WPKI are per-mix means, N/4 copies of each app)",
-        &["name", "MPKI", "WPKI", "applications"],
-    );
-    for w in mixes::all() {
-        t.push_row(vec![
+pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
+    let rows = par_sweep(opts, &mixes::all(), |w, _ctx| {
+        Ok(vec![
             w.name.clone(),
             f2(w.mean_mpki()),
             f2(w.mean_wpki()),
@@ -28,7 +25,16 @@ pub fn run(_opts: &Opts) -> Result<Vec<ResultTable>> {
                 .map(|a| a.name.as_str())
                 .collect::<Vec<_>>()
                 .join(" "),
-        ]);
+        ])
+    })?;
+
+    let mut t = ResultTable::new(
+        "tab3",
+        "Table III — workload mixes (MPKI/WPKI are per-mix means, N/4 copies of each app)",
+        &["name", "MPKI", "WPKI", "applications"],
+    );
+    for row in rows {
+        t.push_row(row);
     }
     Ok(vec![t])
 }

@@ -1,5 +1,7 @@
 //! Shared experiment machinery: policy construction, baseline/capped run
-//! pairs, and observation synthesis for algorithm microbenchmarks.
+//! pairs, and observation synthesis for algorithm microbenchmarks. The
+//! sweep execution engine that shards these runs across `--jobs` worker
+//! threads lives in [`crate::sweep`].
 
 use fastcap_core::capper::FastCapConfig;
 use fastcap_core::counters::{CoreSample, EpochObservation, MemorySample};
@@ -18,8 +20,12 @@ use std::path::PathBuf;
 pub struct Opts {
     /// Shrinks epochs and raises time dilation for fast turnarounds.
     pub quick: bool,
-    /// Base RNG seed (each run derives its own).
+    /// Base RNG seed (each sweep point derives its own — see
+    /// [`crate::sweep::derive_seed`]).
     pub seed: u64,
+    /// Worker threads for sweep execution (≥ 1). Artifact bytes are
+    /// independent of this value; only wall-clock changes.
+    pub jobs: usize,
     /// Output directory for CSV/JSON artifacts.
     pub out_dir: PathBuf,
 }
@@ -29,6 +35,7 @@ impl Default for Opts {
         Self {
             quick: false,
             seed: 42,
+            jobs: rayon::current_num_threads(),
             out_dir: PathBuf::from("results"),
         }
     }

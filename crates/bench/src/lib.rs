@@ -7,7 +7,7 @@
 //! Two entry points:
 //!
 //! * the `repro` binary — `cargo run -p fastcap-bench --release --bin repro
-//!   -- <artifact|all> [--quick] [--seed N] [--out DIR]`;
+//!   -- <artifact|all> [--quick] [--seed N] [--jobs N] [--out DIR]`;
 //! * Criterion benches (`alg_scaling`, `policy_overhead`, `solver`,
 //!   `sim_engine`) for the latency/complexity claims.
 
@@ -16,7 +16,9 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod sweep;
 pub mod table;
 
 pub use harness::{Opts, PolicyKind};
+pub use sweep::{PointCtx, Sweep};
 pub use table::ResultTable;

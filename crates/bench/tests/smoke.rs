@@ -11,6 +11,7 @@ fn quick_opts() -> Opts {
         quick: true,
         seed: 1,
         out_dir: std::env::temp_dir().join("fastcap_bench_smoke"),
+        ..Opts::default()
     }
 }
 
