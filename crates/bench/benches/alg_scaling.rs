@@ -10,7 +10,7 @@ use fastcap_core::capper::FastCapController;
 
 fn bench_decide_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fastcap_decide");
-    for n in [4usize, 16, 32, 64, 128, 256] {
+    for n in [4usize, 16, 32, 64, 128, 256, 512] {
         group.throughput(Throughput::Elements(n as u64));
         let cfg = synthetic_controller_config(n, 0.6).expect("valid config");
         let mut ctl = FastCapController::new(cfg).expect("valid controller");

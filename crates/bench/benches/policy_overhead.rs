@@ -30,7 +30,12 @@ fn bench_policies(c: &mut Criterion) {
 
     let mut group4 = c.benchmark_group("policy_decide_4c");
     group4.sample_size(10);
-    for kind in [PolicyKind::FastCap, PolicyKind::MaxBips] {
+    for kind in [
+        PolicyKind::FastCap,
+        PolicyKind::EqlPwr,
+        PolicyKind::EqlFreq,
+        PolicyKind::MaxBips,
+    ] {
         let cfg = synthetic_controller_config(4, 0.6).expect("valid config");
         let mut policy = kind.build(cfg).expect("policy builds");
         let obs = synthetic_observation(4);

@@ -1,7 +1,15 @@
 //! Criterion bench: simulator throughput — how fast one epoch of the
-//! closed-network simulation runs for light (ILP) and heavy (MEM) traffic.
+//! closed-network simulation runs for light (ILP) and heavy (MEM)
+//! traffic, plus the event-queue component in isolation (timing wheel vs
+//! the `HeapQueue` oracle) on an identical 16-core-shaped trace.
+//!
+//! The epoch benches are annotated with their measured events/epoch, so
+//! the report reads directly in events/s; `BENCH_pr3.json` pins both the
+//! end-to-end epoch medians and the queue-component medians (DESIGN.md
+//! §6 records the before/after numbers).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastcap_sim::engine::{Event, EventQueue, HeapQueue, Ps};
 use fastcap_sim::{Server, SimConfig};
 use fastcap_workloads::mixes;
 
@@ -16,8 +24,12 @@ fn bench_epochs(c: &mut Criterion) {
             .with_meter_noise(0.0);
         let mix = mixes::by_name(mix_name).expect("mix exists");
         let mut server = Server::for_workload(cfg, &mix, 7).expect("server builds");
-        // Warm up the network into steady state.
+        // Warm up the network into steady state, then count one epoch's
+        // events so the report shows events/s.
         server.run(2, |_| None);
+        let before = server.events_scheduled();
+        server.run_epoch(None);
+        group.throughput(Throughput::Elements(server.events_scheduled() - before));
         group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, ()| {
             b.iter(|| server.run_epoch(None));
         });
@@ -25,5 +37,70 @@ fn bench_epochs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_epochs);
+/// splitmix64 — dependency-free deterministic bits for the trace table.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A 16-core-shaped delta table: the simulator's event deltas are a
+/// mixture of bus transfers (~5 ns), bank services (15/45 ns), and
+/// think+L2 spans (exponential-ish tail) — reproduced here so the queue
+/// microbench churns at the densities the real `Server::run` produces.
+fn delta_table() -> Vec<Ps> {
+    let mut state = 0x0FA5_7CA9_u64;
+    (0..4096)
+        .map(|_| {
+            let r = splitmix(&mut state);
+            match r % 10 {
+                0..=2 => 5_000,                  // bus transfer at max mem freq
+                3..=5 => 15_000,                 // row-hit bank service
+                6 => 45_000,                     // row-miss bank service
+                _ => 8_000 + (r >> 32) % 60_000, // think + L2 span
+            }
+        })
+        .collect()
+}
+
+/// Steady-state hold-and-churn: `hold` events in flight, each iteration
+/// pops the earliest and schedules a replacement — the queue op pattern
+/// of one simulated event, without the model around it.
+fn bench_queue(c: &mut Criterion) {
+    let deltas = delta_table();
+    let hold = 48; // ~16 cores of in-flight work plus queued memory events
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(1));
+
+    let mut wheel = EventQueue::new();
+    for i in 0..hold {
+        wheel.push(1 + (i as Ps) * 977, Event::CoreReady { core: i % 16 });
+    }
+    let mut at = 0usize;
+    group.bench_function("wheel_16c", |b| {
+        b.iter(|| {
+            let (now, ev) = wheel.pop().expect("steady state");
+            wheel.push(now + deltas[at & 4095], ev);
+            at += 1;
+        })
+    });
+
+    let mut heap = HeapQueue::new();
+    for i in 0..hold {
+        heap.push(1 + (i as Ps) * 977, Event::CoreReady { core: i % 16 });
+    }
+    let mut at = 0usize;
+    group.bench_function("heap_16c", |b| {
+        b.iter(|| {
+            let (now, ev) = heap.pop().expect("steady state");
+            heap.push(now + deltas[at & 4095], ev);
+            at += 1;
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epochs, bench_queue);
 criterion_main!(benches);

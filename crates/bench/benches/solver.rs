@@ -1,7 +1,7 @@
 //! Criterion bench: the optimization core — Algorithm 1's binary search
 //! versus the exhaustive oracle, and the inner fixed-`s_b` solve.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fastcap_core::freq::FreqLadder;
 use fastcap_core::model::{CapModel, CoreModel, MemoryModel, ResponseModel};
 use fastcap_core::optimizer::{algorithm1, bus_candidates, exhaustive, solve_for_bus_time};
@@ -38,6 +38,9 @@ fn bench_solvers(c: &mut Criterion) {
     for n in [16usize, 64, 256] {
         let m = model(n);
         let cands = bus_candidates(m.memory.min_bus_transfer_time, ladder.levels());
+        // Per-core throughput makes the O(N log M) vs O(N·M) gap legible
+        // directly in the report (cores/s should stay flat for Algorithm 1).
+        group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |b, _| {
             b.iter(|| algorithm1(&m, &cands).expect("solves"));
         });

@@ -1,0 +1,130 @@
+//! `benchdiff` — compare two bench-harness JSON reports and gate on
+//! regressions.
+//!
+//! ```text
+//! benchdiff <reference.json> <current.json> [--max-ratio R]
+//! ```
+//!
+//! Reads two reports written by the criterion shim's `--json` mode,
+//! matches benchmarks by name, and prints a ratio table. Exits non-zero
+//! when any benchmark's current median exceeds `R ×` its reference median
+//! (default 3.0 — loose enough for CI-runner variance, tight enough to
+//! catch an accidental algorithmic regression). Benchmarks present in
+//! only one file are reported but never fail the gate, so adding or
+//! retiring benches does not break CI.
+
+use serde::Value;
+use std::process::ExitCode;
+
+struct Record {
+    name: String,
+    median_ns: f64,
+}
+
+fn load(path: &str) -> Result<Vec<Record>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v: Value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let Some(Value::Array(benches)) = v.get("benches") else {
+        return Err(format!("{path}: no `benches` array"));
+    };
+    let mut out = Vec::new();
+    for b in benches {
+        if let (Some(name), Some(median_ns)) = (
+            b.get("name").and_then(Value::as_str),
+            b.get("median_ns").and_then(Value::as_f64),
+        ) {
+            out.push(Record {
+                name: name.to_owned(),
+                median_ns,
+            });
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no usable bench records"));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let mut max_ratio = 3.0f64;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--max-ratio" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 => max_ratio = r,
+                _ => {
+                    eprintln!("--max-ratio needs a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: benchdiff <reference.json> <current.json> [--max-ratio R]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::from(2);
+            }
+            other => files.push(other.to_owned()),
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("usage: benchdiff <reference.json> <current.json> [--max-ratio R]");
+        return ExitCode::from(2);
+    }
+    let (reference, current) = match (load(&files[0]), load(&files[1])) {
+        (Ok(r), Ok(c)) => (r, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}",
+        "benchmark", "ref median", "cur median", "ratio"
+    );
+    let mut failures = Vec::new();
+    for r in &reference {
+        let Some(c) = current.iter().find(|c| c.name == r.name) else {
+            println!(
+                "{:<44} {:>12.0} {:>12} {:>8}",
+                r.name, r.median_ns, "-", "-"
+            );
+            continue;
+        };
+        let ratio = c.median_ns / r.median_ns;
+        let flag = if ratio > max_ratio { "  << FAIL" } else { "" };
+        println!(
+            "{:<44} {:>12.0} {:>12.0} {:>7.2}x{flag}",
+            r.name, r.median_ns, c.median_ns, ratio
+        );
+        if ratio > max_ratio {
+            failures.push((r.name.clone(), ratio));
+        }
+    }
+    for c in &current {
+        if !reference.iter().any(|r| r.name == c.name) {
+            println!(
+                "{:<44} {:>12} {:>12.0} {:>8}",
+                c.name, "-", c.median_ns, "new"
+            );
+        }
+    }
+    if failures.is_empty() {
+        println!("ok: no benchmark exceeded {max_ratio}x its reference median");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "FAIL: {} benchmark(s) regressed past {max_ratio}x: {}",
+            failures.len(),
+            failures
+                .iter()
+                .map(|(n, r)| format!("{n} ({r:.2}x)"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -103,27 +103,46 @@ fn main() -> ExitCode {
         opts.seed,
         opts.jobs
     );
-    for id in &targets {
-        let start = Instant::now();
-        match experiments::run(id, &opts) {
-            Ok(tables) => {
-                for t in &tables {
-                    print!("{}", t.to_markdown());
-                    if let Err(e) = t.write_to(&opts.out_dir) {
-                        eprintln!("warning: could not write {} artifacts: {e}", t.id);
-                    }
-                }
-                println!(
-                    "\n[{id}: {} table(s) in {:.1}s]",
-                    tables.len(),
-                    start.elapsed().as_secs_f64()
-                );
-            }
-            Err(e) => {
-                eprintln!("error running {id}: {e}");
-                return ExitCode::FAILURE;
+    // Two-level sharding: artifacts run concurrently on the outer pool
+    // while each one's sweep grid shards across the same worker budget;
+    // wall-clock artifacts run exclusively afterwards. Output (and bytes)
+    // are identical to a serial run — only the wall-clock changes.
+    let ids: Vec<&str> = targets.iter().map(String::as_str).collect();
+    let start = Instant::now();
+    // CSVs land on disk the moment each artifact completes (from the
+    // completion callback), so neither a later failure nor a panic in
+    // another runner can discard finished work; the markdown printout
+    // stays deferred so stdout keeps its stable input order.
+    let out_dir = opts.out_dir.clone();
+    let (runs, err) = experiments::run_many(&ids, &opts, |r| {
+        for t in &r.tables {
+            if let Err(e) = t.write_to(&out_dir) {
+                eprintln!("warning: could not write {} artifacts: {e}", t.id);
             }
         }
+    });
+    for r in &runs {
+        for t in &r.tables {
+            print!("{}", t.to_markdown());
+        }
+        println!(
+            "\n[{}: {} table(s) in {:.1}s]",
+            r.id,
+            r.tables.len(),
+            r.elapsed
+        );
     }
-    ExitCode::SUCCESS
+    println!(
+        "[total: {} of {} artifact(s) in {:.1}s wall-clock]",
+        runs.len(),
+        ids.len(),
+        start.elapsed().as_secs_f64()
+    );
+    match err {
+        None => ExitCode::SUCCESS,
+        Some(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

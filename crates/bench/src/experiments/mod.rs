@@ -22,14 +22,24 @@ pub mod tab1;
 pub mod tab3;
 
 use crate::harness::Opts;
+use crate::sweep::WorkBudget;
 use crate::table::ResultTable;
 use fastcap_core::error::Result;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
 
 /// All artifact ids, in paper order.
 pub const ALL: &[&str] = &[
     "tab1", "tab3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "fig13", "overhead", "epochlen", "ablation", "scaling",
 ];
+
+/// Artifacts that measure host wall-clock latency (Table I, the overhead
+/// table, the decide-µs column of `scaling`). Their sweeps already pin to
+/// one worker; at the artifact level they additionally run *exclusively*
+/// (after all concurrent artifacts finish), so co-running simulations
+/// cannot inflate the measured latencies.
+pub const WALL_CLOCK: &[&str] = &["tab1", "overhead", "scaling"];
 
 /// Dispatches one artifact id to its runner.
 ///
@@ -58,4 +68,141 @@ pub fn run(id: &str, opts: &Opts) -> Result<Vec<ResultTable>> {
             why: format!("unknown artifact `{other}`; known: {ALL:?}"),
         }),
     }
+}
+
+/// One artifact's outcome from [`run_many`].
+#[derive(Debug)]
+pub struct ArtifactRun {
+    /// The artifact id.
+    pub id: String,
+    /// Its result tables, exactly as [`run`] would return them.
+    pub tables: Vec<ResultTable>,
+    /// Wall-clock seconds this artifact took (its own work only).
+    pub elapsed: f64,
+}
+
+/// Runs several artifacts with **two-level** work sharding: whole
+/// artifacts shard across an outer worker pool while each artifact's
+/// sweep points shard across the same `opts.jobs` budget via a shared
+/// [`WorkBudget`] — so one long-running artifact at the tail still uses
+/// every core, and many small artifacts don't serialize on each other.
+///
+/// Results come back **in input order**, and every artifact's bytes are
+/// identical to a serial `run` at the same seed (sweeps are jobs- and
+/// schedule-invariant; see DESIGN.md §5). Wall-clock artifacts
+/// ([`WALL_CLOCK`]) are held back and run exclusively, in input order,
+/// after the concurrent batch.
+///
+/// Returns every artifact that completed plus the lowest-indexed
+/// *observed* failure, if any — so a late failure in a long `repro all`
+/// does not discard hours of finished tables. A failure stops unstarted
+/// artifacts (including the wall-clock batch) from launching.
+/// `on_complete` fires for each artifact as it finishes (completion
+/// order, possibly from worker threads): persist results there — e.g.
+/// write CSVs to disk — so even a panic in a later runner cannot discard
+/// finished work.
+pub fn run_many(
+    ids: &[&str],
+    opts: &Opts,
+    on_complete: impl Fn(&ArtifactRun) + Send + Sync,
+) -> (Vec<ArtifactRun>, Option<fastcap_core::error::Error>) {
+    let concurrent: Vec<usize> = (0..ids.len())
+        .filter(|&i| !WALL_CLOCK.contains(&ids[i]))
+        .collect();
+    let outer = opts.jobs.max(1).min(concurrent.len().max(1));
+    // Every outer worker carries one implicit token; the rest start as
+    // spare, borrowed by inner sweeps as their artifacts' parallelism
+    // allows. Once fewer artifacts remain in flight than there are
+    // outer workers, each further completion frees a worker for good —
+    // that completion donates one token, so the long tail's sweeps
+    // (which re-poll the pool at chunk boundaries) widen onto the freed
+    // cores. The arithmetic uses only the completion counter, so it
+    // cannot race with work claiming.
+    let budget = WorkBudget::new(opts.jobs.max(1) - outer);
+    let inner_opts = Opts {
+        budget: Some(budget.clone()),
+        ..opts.clone()
+    };
+    let failed = AtomicBool::new(false);
+    let completed = std::sync::atomic::AtomicUsize::new(0);
+    let slots = rayon::par_map_indexed(outer, concurrent.len(), |i| {
+        if failed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let id = ids[concurrent[i]];
+        let start = Instant::now();
+        let r = run(id, &inner_opts);
+        if r.is_err() {
+            failed.store(true, Ordering::Relaxed);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        // Liveness on stderr (stdout stays ordered and byte-stable).
+        match &r {
+            Ok(_) => eprintln!("[{id}: done in {elapsed:.1}s]"),
+            Err(e) => eprintln!("[{id}: FAILED after {elapsed:.1}s: {e}]"),
+        }
+        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if outer + done > concurrent.len() {
+            budget.put(1);
+        }
+        match r {
+            Ok(tables) => {
+                let run = ArtifactRun {
+                    id: id.to_string(),
+                    tables,
+                    elapsed,
+                };
+                on_complete(&run);
+                Some(Ok(run))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    });
+
+    let mut by_index: Vec<Option<ArtifactRun>> = (0..ids.len()).map(|_| None).collect();
+    let mut first_err = None;
+    for (slot, &at) in slots.into_iter().zip(&concurrent) {
+        match slot {
+            Some(Ok(run)) => {
+                by_index[at] = Some(run);
+            }
+            Some(Err(e)) if first_err.is_none() => {
+                // Name the failing artifact: with many concurrent runners
+                // the bare model error does not say which one died.
+                first_err = Some(fastcap_core::error::Error::InvalidConfig {
+                    what: "artifact",
+                    why: format!("{}: {e}", ids[at]),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    // Wall-clock artifacts: exclusive, serial, in input order; skipped
+    // once anything has failed.
+    for (at, &id) in ids.iter().enumerate() {
+        if !WALL_CLOCK.contains(&id) || first_err.is_some() {
+            continue;
+        }
+        let start = Instant::now();
+        match run(id, opts) {
+            Ok(tables) => {
+                let done = ArtifactRun {
+                    id: id.to_string(),
+                    tables,
+                    elapsed: start.elapsed().as_secs_f64(),
+                };
+                on_complete(&done);
+                by_index[at] = Some(done);
+            }
+            Err(e) => {
+                first_err = Some(fastcap_core::error::Error::InvalidConfig {
+                    what: "artifact",
+                    why: format!("{id}: {e}"),
+                });
+            }
+        }
+    }
+
+    (by_index.into_iter().flatten().collect(), first_err)
 }

@@ -28,6 +28,10 @@ pub struct Opts {
     pub jobs: usize,
     /// Output directory for CSV/JSON artifacts.
     pub out_dir: PathBuf,
+    /// Shared spare-worker pool when several artifacts run concurrently
+    /// (two-level `repro all` sharding — see [`crate::sweep::WorkBudget`]).
+    /// `None` (the default) gives every sweep its full `jobs` workers.
+    pub budget: Option<std::sync::Arc<crate::sweep::WorkBudget>>,
 }
 
 impl Default for Opts {
@@ -37,6 +41,7 @@ impl Default for Opts {
             seed: 42,
             jobs: rayon::current_num_threads(),
             out_dir: PathBuf::from("results"),
+            budget: None,
         }
     }
 }

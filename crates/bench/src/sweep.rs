@@ -27,7 +27,62 @@
 
 use crate::harness::Opts;
 use fastcap_core::error::Result;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
+use std::sync::Arc;
+
+/// A shared pool of spare worker tokens for **two-level** sharding
+/// (`repro all --jobs N`): the outer level runs whole artifacts in
+/// parallel, and every inner [`Sweep::run`] holds one implicit worker and
+/// borrows spare tokens from this budget for its extra threads. When an
+/// artifact finishes, its tokens return to the pool and still-running
+/// artifacts' subsequent sweeps widen — so the machine stays saturated
+/// through the long tail without ever oversubscribing `N`.
+///
+/// Purely a scheduling construct: artifact bytes are jobs-invariant, so
+/// how tokens migrate between levels can never change results.
+#[derive(Debug)]
+pub struct WorkBudget {
+    spare: AtomicIsize,
+}
+
+impl WorkBudget {
+    /// A budget with `spare` tokens beyond the holders' implicit workers.
+    pub fn new(spare: usize) -> Arc<Self> {
+        Arc::new(Self {
+            spare: AtomicIsize::new(spare as isize),
+        })
+    }
+
+    /// Takes up to `want` tokens, returning how many were granted.
+    pub(crate) fn take(&self, want: usize) -> usize {
+        if want == 0 {
+            return 0;
+        }
+        let mut cur = self.spare.load(Ordering::Relaxed);
+        loop {
+            let grant = cur.clamp(0, want as isize);
+            if grant == 0 {
+                return 0;
+            }
+            match self.spare.compare_exchange_weak(
+                cur,
+                cur - grant,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return grant as usize,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Returns `n` tokens to the pool.
+    pub(crate) fn put(&self, n: usize) {
+        if n > 0 {
+            self.spare.fetch_add(n as isize, Ordering::AcqRel);
+        }
+    }
+}
 
 /// What a point's closure receives: its position and derived seed.
 #[derive(Debug, Clone, Copy)]
@@ -116,12 +171,59 @@ impl<'a, T: Send> Sweep<'a, T> {
     ///
     /// Propagates the lowest-indexed observed point failure.
     pub fn run(&self, opts: &Opts) -> Result<Vec<T>> {
-        let jobs = if self.timing { 1 } else { opts.jobs.max(1) };
+        if self.timing {
+            return self.collect(self.run_span(
+                1,
+                opts,
+                0,
+                self.points.len(),
+                &AtomicBool::new(false),
+            ));
+        }
+        let Some(budget) = &opts.budget else {
+            let failed = AtomicBool::new(false);
+            let jobs = opts.jobs.max(1);
+            return self.collect(self.run_span(jobs, opts, 0, self.points.len(), &failed));
+        };
+        // Two-level mode: run in chunks, re-polling the shared pool at
+        // each chunk boundary — one implicit worker plus whatever spare
+        // tokens it can grant, never more than the chunk can use. A
+        // long grid started when the pool was empty widens as sibling
+        // artifacts finish and donate their workers back.
+        let n = self.points.len();
         let failed = AtomicBool::new(false);
-        let results = rayon::par_map_indexed(jobs, self.points.len(), |i| {
+        let mut slots = Vec::with_capacity(n);
+        let mut start = 0;
+        while start < n {
+            let remaining = n - start;
+            let cap = (opts.jobs.max(1) - 1).min(remaining - 1);
+            let jobs = 1 + budget.take(cap);
+            let end = start + remaining.min((jobs * 2).max(4));
+            slots.extend(self.run_span(jobs, opts, start, end, &failed));
+            budget.put(jobs - 1);
+            start = end;
+            if failed.load(Ordering::Relaxed) {
+                break; // surface the error; unclaimed chunks never start
+            }
+        }
+        self.collect(slots)
+    }
+
+    /// Runs points `[start, end)` on up to `jobs` workers; slots come
+    /// back in point order.
+    fn run_span(
+        &self,
+        jobs: usize,
+        opts: &Opts,
+        start: usize,
+        end: usize,
+        failed: &AtomicBool,
+    ) -> Vec<Option<Result<T>>> {
+        rayon::par_map_indexed(jobs, end - start, |i| {
             if failed.load(Ordering::Relaxed) {
                 return None; // a point already failed; don't start more work
             }
+            let i = start + i;
             let p = &self.points[i];
             let r = (p.run)(PointCtx {
                 index: i,
@@ -131,9 +233,12 @@ impl<'a, T: Send> Sweep<'a, T> {
                 failed.store(true, Ordering::Relaxed);
             }
             Some(r)
-        });
-        let mut out = Vec::with_capacity(results.len());
-        for r in results {
+        })
+    }
+
+    fn collect(&self, slots: Vec<Option<Result<T>>>) -> Result<Vec<T>> {
+        let mut out = Vec::with_capacity(slots.len());
+        for r in slots {
             match r {
                 Some(Ok(v)) => out.push(v),
                 // Lowest-indexed observed error; skipped slots (None) can
@@ -326,6 +431,58 @@ mod tests {
         let items = vec!["a", "bb", "ccc"];
         let out = par_sweep(&opts_with_jobs(4), &items, |it, _| Ok(it.len())).unwrap();
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn work_budget_grants_and_returns_tokens() {
+        let b = WorkBudget::new(3);
+        assert_eq!(b.take(2), 2);
+        assert_eq!(b.take(5), 1, "only one spare left");
+        assert_eq!(b.take(1), 0, "pool exhausted");
+        b.put(3);
+        assert_eq!(b.take(4), 3);
+        b.put(3);
+        assert_eq!(b.take(0), 0);
+    }
+
+    #[test]
+    fn budgeted_sweeps_stay_deterministic() {
+        // Results and seeds are identical whether a sweep runs with its
+        // full job count or borrows from a (possibly empty) budget pool.
+        let collect = |budget: Option<std::sync::Arc<WorkBudget>>| {
+            let opts = Opts {
+                jobs: 6,
+                budget,
+                ..Opts::default()
+            };
+            let mut s = Sweep::new();
+            for _ in 0..12 {
+                s.push(|ctx| Ok((ctx.index, ctx.seed)));
+            }
+            s.run(&opts).unwrap()
+        };
+        let plain = collect(None);
+        let starved = collect(Some(WorkBudget::new(0)));
+        let flush = collect(Some(WorkBudget::new(16)));
+        assert_eq!(plain, starved);
+        assert_eq!(plain, flush);
+    }
+
+    #[test]
+    fn budget_tokens_are_released_after_a_sweep() {
+        let budget = WorkBudget::new(4);
+        let opts = Opts {
+            jobs: 8,
+            budget: Some(budget.clone()),
+            ..Opts::default()
+        };
+        let mut s = Sweep::new();
+        for i in 0..6usize {
+            s.push(move |_| Ok(i));
+        }
+        s.run(&opts).unwrap();
+        // All 4 spare tokens must be back in the pool.
+        assert_eq!(budget.take(8), 4);
     }
 
     #[test]

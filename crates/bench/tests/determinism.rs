@@ -69,6 +69,7 @@ fn library_sweeps_are_jobs_invariant() {
             seed: 3,
             jobs,
             out_dir: std::env::temp_dir().join("fastcap_determinism_lib"),
+            ..Opts::default()
         };
         experiments::run("fig11", &opts).unwrap()
     };
@@ -107,4 +108,85 @@ fn jobs_flag_round_trips_through_help() {
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("--jobs N"), "{stdout}");
+}
+
+#[test]
+fn run_many_is_schedule_invariant_and_input_ordered() {
+    // Two-level sharding (artifacts × grid points) must return results in
+    // input order with bytes identical to one-at-a-time serial runs, for
+    // any worker count — including with a wall-clock artifact mixed in,
+    // which runs exclusively after the concurrent batch yet still comes
+    // back in its input position.
+    let ids = ["fig4", "tab1", "fig3"];
+    let runs_at = |jobs: usize| {
+        let opts = Opts {
+            quick: true,
+            seed: 9,
+            jobs,
+            out_dir: std::env::temp_dir().join("fastcap_run_many"),
+            ..Opts::default()
+        };
+        let (runs, err) = experiments::run_many(&ids, &opts, |_| {});
+        assert!(err.is_none(), "unexpected failure: {err:?}");
+        runs
+    };
+    let serial = runs_at(1);
+    let parallel = runs_at(6);
+    assert_eq!(serial.len(), 3);
+    assert_eq!(
+        serial.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+        ids.to_vec(),
+        "results must come back in input order"
+    );
+    assert_eq!(
+        parallel.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+        ids.to_vec()
+    );
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.tables.len(), p.tables.len(), "{}", s.id);
+        // Wall-clock tables (tab1) measure host latency and differ
+        // between any two runs; everything else must be byte-identical.
+        if experiments::WALL_CLOCK.contains(&s.id.as_str()) {
+            continue;
+        }
+        for (st, pt) in s.tables.iter().zip(&p.tables) {
+            assert_eq!(
+                st.to_csv(),
+                pt.to_csv(),
+                "{} differs across schedules",
+                st.id
+            );
+        }
+    }
+    // And against the single-artifact path.
+    let lone = experiments::run(
+        "fig3",
+        &Opts {
+            quick: true,
+            seed: 9,
+            jobs: 2,
+            out_dir: std::env::temp_dir().join("fastcap_run_many_lone"),
+            ..Opts::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(lone.len(), serial[2].tables.len());
+    for (lt, st) in lone.iter().zip(&serial[2].tables) {
+        assert_eq!(lt.to_csv(), st.to_csv(), "run vs run_many mismatch");
+    }
+}
+
+#[test]
+fn run_many_surfaces_unknown_artifact_errors() {
+    let opts = Opts {
+        quick: true,
+        ..Opts::default()
+    };
+    let (_, err) = experiments::run_many(&["fig3", "nope"], &opts, |_| {});
+    let err = err.expect("unknown artifact must surface an error");
+    assert!(err.to_string().contains("unknown artifact"), "{err}");
+    assert!(
+        err.to_string().contains("nope"),
+        "names the artifact: {err}"
+    );
 }

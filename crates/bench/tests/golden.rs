@@ -1,0 +1,104 @@
+//! Golden byte-equality regression for the DES hot-path overhaul.
+//!
+//! Pins the exact artifact bytes of `repro fig5 --quick` and
+//! `repro fig12 --quick` (which also emits fig13) at seed 42, via FNV-1a
+//! hashes taken on the pre-overhaul `BinaryHeap` engine. Any future
+//! change to the event queue, the epoch loop, or the sweep scheduler that
+//! perturbs event order, RNG draw order, or reduce order will flip these
+//! hashes — and must either be a deliberate, documented artifact change
+//! or a bug. `--jobs 1` and `--jobs 8` are both checked and must agree
+//! (two-level sharding may never leak into bytes).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+/// FNV-1a, 64-bit: tiny, dependency-free, stable.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The golden hashes, taken at the last commit before the timing-wheel
+/// swap and reverified after it (the overhaul is byte-exact).
+const GOLDEN: &[(&str, u64)] = &[
+    ("fig12.csv", 0xd584_59ca_98f2_3eb8),
+    ("fig12.json", 0x511f_d81a_ade5_0898),
+    ("fig13.csv", 0x03c7_21c3_c44e_1119),
+    ("fig13.json", 0xb0b5_f75d_4ce6_2624),
+    ("fig5.csv", 0x8e96_ed4e_af15_0e5a),
+    ("fig5.json", 0xa8ff_9b5f_2abc_645e),
+    ("fig5_recovery.csv", 0x4172_e1b5_ccc5_8758),
+    ("fig5_recovery.json", 0x8ec6_7d29_beb3_d477),
+];
+
+fn run_repro(args: &[&str]) {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "repro {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn hash_dir(dir: &Path) -> BTreeMap<String, u64> {
+    std::fs::read_dir(dir)
+        .expect("artifact dir exists")
+        .map(|e| {
+            let e = e.unwrap();
+            let bytes = std::fs::read(e.path()).unwrap();
+            (e.file_name().to_string_lossy().into_owned(), fnv1a(&bytes))
+        })
+        .collect()
+}
+
+#[test]
+fn fig5_and_fig12_13_bytes_are_pinned_at_any_job_count() {
+    let base = std::env::temp_dir().join("fastcap_golden");
+    let _ = std::fs::remove_dir_all(&base);
+    let mut per_jobs = Vec::new();
+    for jobs in ["1", "8"] {
+        let dir = base.join(format!("jobs{jobs}"));
+        run_repro(&[
+            "fig5",
+            "fig12",
+            "--quick",
+            "--seed",
+            "42",
+            "--jobs",
+            jobs,
+            "--out",
+            dir.to_str().unwrap(),
+        ]);
+        per_jobs.push(hash_dir(&dir));
+    }
+    assert_eq!(
+        per_jobs[0], per_jobs[1],
+        "artifact bytes differ between --jobs 1 and --jobs 8"
+    );
+
+    let got = &per_jobs[0];
+    assert_eq!(
+        got.len(),
+        GOLDEN.len(),
+        "artifact set changed: {:?}",
+        got.keys().collect::<Vec<_>>()
+    );
+    for &(name, want) in GOLDEN {
+        let have = got
+            .get(name)
+            .unwrap_or_else(|| panic!("missing artifact {name}"));
+        assert_eq!(
+            *have, want,
+            "{name}: bytes drifted from the golden hash \
+             (got {have:#018x}, want {want:#018x})"
+        );
+    }
+}

@@ -308,6 +308,28 @@ impl SimConfig {
                 why: "need at least one controller and one bank".into(),
             });
         }
+        // Upper bounds from the event queue's packed representation
+        // (engine.rs: 22 payload bits — 8 for the controller, 14 for the
+        // bank, 22 for the core). Far above any modeled platform (the
+        // paper tops out at 64 cores / 8 controllers), but enforced here
+        // so an out-of-range config fails loudly instead of silently
+        // mis-routing events.
+        if self.n_cores > 1 << 22 {
+            return Err(Error::InvalidConfig {
+                what: "n_cores",
+                why: format!("at most {} cores are supported", 1u32 << 22),
+            });
+        }
+        if self.n_controllers > 1 << 8 || self.banks_per_controller > 1 << 14 {
+            return Err(Error::InvalidConfig {
+                what: "memory layout",
+                why: format!(
+                    "at most {} controllers x {} banks are supported",
+                    1u32 << 8,
+                    1u32 << 14
+                ),
+            });
+        }
         if self.bus_burst_cycles == 0 {
             return Err(Error::InvalidConfig {
                 what: "bus_burst_cycles",
@@ -433,6 +455,17 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = SimConfig::ispass(16).unwrap();
         c.idle_activity = 1.5;
+        assert!(c.validate().is_err());
+        // Event-packing bounds (engine.rs): out-of-range layouts must be
+        // rejected, not silently mis-routed.
+        let mut c = SimConfig::ispass(16).unwrap();
+        c.n_controllers = 257;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::ispass(16).unwrap();
+        c.banks_per_controller = (1 << 14) + 1;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::ispass(16).unwrap();
+        c.n_cores = (1 << 22) + 1;
         assert!(c.validate().is_err());
     }
 }

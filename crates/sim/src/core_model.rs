@@ -31,10 +31,13 @@ impl CoreStats {
 }
 
 /// Simulation state for one core.
+///
+/// Field order groups everything the per-event hot path touches (counters,
+/// stalls, the epoch-effective behaviour) ahead of the cold application
+/// profile, so an interval's worth of accesses stays within the leading
+/// cache lines.
 #[derive(Debug)]
 pub struct CoreSim {
-    /// The application bound to this core.
-    pub app: AppInstance,
     /// Outstanding blocking requests (core stalls while > 0).
     pub outstanding: usize,
     /// DVFS transition stall: no new think may start before this.
@@ -42,36 +45,42 @@ pub struct CoreSim {
     /// Think time of the interval currently in flight (credited to the
     /// stats when the corresponding `CoreReady` fires).
     pub pending_think: Ps,
-    /// Epoch statistics.
-    pub stats: CoreStats,
-    // Epoch-effective behaviour (refreshed every epoch / frequency change):
-    /// Phase-modulated MPKI.
-    pub mpki_eff: f64,
-    /// Probability a miss carries a writeback.
-    pub wb_prob: f64,
-    /// Blocking requests issued per stall interval (1 = in-order).
-    pub burst: usize,
     /// Mean think time per stall interval at the current frequency, ps.
     pub think_mean: f64,
     /// Instructions executed per stall interval.
     pub instr_per_interval: f64,
+    /// Blocking requests issued per stall interval (1 = in-order).
+    pub burst: usize,
+    /// Probability a miss carries a writeback.
+    pub wb_prob: f64,
+    /// Row-hit probability (copied from the profile at refresh so the hot
+    /// path never walks into the cold profile data).
+    pub row_hit_p: f64,
+    /// Epoch statistics.
+    pub stats: CoreStats,
+    /// Phase-modulated MPKI.
+    pub mpki_eff: f64,
+    /// The application bound to this core.
+    pub app: AppInstance,
 }
 
 impl CoreSim {
     /// Creates the core at rest.
     pub fn new(app: AppInstance) -> Self {
         let wb = app.profile.writeback_probability();
+        let row_hit = app.profile.row_hit_ratio;
         Self {
-            app,
             outstanding: 0,
             stall_until: 0,
             pending_think: 0,
             stats: CoreStats::default(),
             mpki_eff: 1.0,
             wb_prob: wb,
+            row_hit_p: row_hit,
             burst: 1,
             think_mean: 1.0,
             instr_per_interval: 1.0,
+            app,
         }
     }
 
@@ -81,6 +90,7 @@ impl CoreSim {
         let intensity = self.app.profile.phase.intensity(epoch);
         self.mpki_eff = (self.app.profile.mpki * intensity).max(0.01);
         self.wb_prob = self.app.profile.writeback_probability();
+        self.row_hit_p = self.app.profile.row_hit_ratio;
         self.burst = match mode {
             CoreMode::InOrder => 1,
             CoreMode::OutOfOrder => (self.app.profile.mlp.round() as usize).clamp(1, 128),

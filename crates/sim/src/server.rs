@@ -32,15 +32,6 @@ use fastcap_workloads::{AppInstance, WorkloadSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// Snapshot of one epoch used to build the next observation.
-#[derive(Debug, Clone)]
-struct EpochSnapshot {
-    cores: Vec<CoreSample>,
-    memory: MemorySample,
-    controllers: Vec<MemorySample>,
-    total_power: Watts,
-}
-
 /// The simulated server.
 #[derive(Debug)]
 pub struct Server {
@@ -54,13 +45,27 @@ pub struct Server {
     mem_freq_idx: usize,
     bus_transfer: Ps,
     l2_ps: Ps,
+    // Hot-path tables, precomputed once at construction so the per-event
+    // and per-decision paths never re-derive them from `Secs` floats:
+    /// Bank service time for a row hit (`tCL`).
+    service_hit: Ps,
+    /// Bank service time for a row miss.
+    service_miss: Ps,
+    /// Bus transfer time per memory frequency index.
+    bus_tbl: Vec<Ps>,
+    /// Dilated core DVFS transition stall.
+    core_stall: Ps,
+    /// Dilated memory DVFS transition freeze.
+    mem_freeze: Ps,
     /// Cumulative controller-choice distribution.
     ctrl_cum: Vec<f64>,
-    /// Raw controller weights (reported to the policy in multi-MC mode).
-    ctrl_weights: Vec<f64>,
     mc_vcurve: VoltageCurve,
     epoch_index: u64,
-    prev: Option<EpochSnapshot>,
+    /// Reused observation buffer, refilled in place every epoch (the
+    /// `access_weights` rows are constant and written exactly once).
+    obs: EpochObservation,
+    /// Whether `obs` holds a completed epoch.
+    obs_ready: bool,
 }
 
 impl Server {
@@ -93,9 +98,35 @@ impl Server {
         let mc_vcurve = crate::power_model::mc_voltage_curve(&cfg)?;
         let max_core = cfg.core_ladder.len() - 1;
         let max_mem = cfg.mem_ladder.len() - 1;
+        let bus_tbl: Vec<Ps> = (0..cfg.mem_ladder.len())
+            .map(|i| to_ps(cfg.bus_transfer_time(i)))
+            .collect();
+        let dilate = |t: Secs| to_ps(Secs(t.get() / cfg.time_dilation));
+        let obs = EpochObservation {
+            cores: Vec::with_capacity(cfg.n_cores),
+            memory: MemorySample {
+                bus_freq: cfg.mem_ladder.at(max_mem),
+                bank_queue: 1.0,
+                bus_queue: 1.0,
+                bank_service_time: cfg.dram.t_cl,
+                power: Watts::ZERO,
+            },
+            controllers: Vec::with_capacity(cfg.n_controllers),
+            access_weights: if cfg.n_controllers > 1 {
+                vec![weights.clone(); cfg.n_cores]
+            } else {
+                Vec::new()
+            },
+            total_power: Watts::ZERO,
+        };
         let mut server = Self {
             l2_ps: to_ps(cfg.l2_time),
-            bus_transfer: to_ps(cfg.bus_transfer_time(max_mem)),
+            bus_transfer: bus_tbl[max_mem],
+            service_hit: to_ps(cfg.dram.bank_service_time(true)),
+            service_miss: to_ps(cfg.dram.bank_service_time(false)),
+            bus_tbl,
+            core_stall: dilate(cfg.core_transition),
+            mem_freeze: dilate(cfg.mem_transition),
             ctrls: (0..cfg.n_controllers)
                 .map(|i| MemController::new(i, cfg.banks_per_controller))
                 .collect(),
@@ -106,10 +137,10 @@ impl Server {
             queue: EventQueue::new(),
             now: 0,
             ctrl_cum: cum,
-            ctrl_weights: weights,
             mc_vcurve,
             epoch_index: 0,
-            prev: None,
+            obs,
+            obs_ready: false,
             cfg,
         };
         server.refresh_cores();
@@ -147,18 +178,19 @@ impl Server {
         self.epoch_index
     }
 
+    /// Total events scheduled since construction — the denominator for
+    /// per-event cost in the `sim_engine` bench and DESIGN.md §6.
+    pub fn events_scheduled(&self) -> u64 {
+        self.queue.scheduled()
+    }
+
     /// The observation a policy would receive right now (from the last
     /// completed epoch), if any epoch has completed.
+    ///
+    /// This clones the internal buffer; [`Server::run`] hands the policy a
+    /// reference instead, so the epoch loop itself never copies samples.
     pub fn observation(&self) -> Option<EpochObservation> {
-        self.prev.as_ref().map(|snap| {
-            let mut obs =
-                EpochObservation::single(snap.cores.clone(), snap.memory, snap.total_power);
-            if self.cfg.n_controllers > 1 {
-                obs.controllers = snap.controllers.clone();
-                obs.access_weights = vec![self.ctrl_weights.clone(); self.cfg.n_cores];
-            }
-            obs
-        })
+        self.obs_ready.then(|| self.obs.clone())
     }
 
     /// Runs `epochs` epochs under `policy` and returns the result. Epoch 0
@@ -169,7 +201,11 @@ impl Server {
     {
         let mut reports = Vec::with_capacity(epochs);
         for _ in 0..epochs {
-            let decision = self.observation().and_then(|obs| policy(&obs));
+            let decision = if self.obs_ready {
+                policy(&self.obs)
+            } else {
+                None
+            };
             reports.push(self.run_epoch(decision.as_ref()));
         }
         RunResult {
@@ -209,24 +245,19 @@ impl Server {
 
     // ---- internals -----------------------------------------------------
 
-    fn dilated(&self, t: Secs) -> Ps {
-        to_ps(Secs(t.get() / self.cfg.time_dilation))
-    }
-
     fn apply_decision(&mut self, d: &DvfsDecision) {
-        let core_stall = self.dilated(self.cfg.core_transition);
         for (i, &idx) in d.core_freqs.iter().enumerate().take(self.cfg.n_cores) {
             let idx = idx.min(self.cfg.core_ladder.len() - 1);
             if idx != self.core_freq_idx[i] {
                 self.core_freq_idx[i] = idx;
-                self.cores[i].stall_until = self.now + core_stall;
+                self.cores[i].stall_until = self.now + self.core_stall;
             }
         }
         let mem_idx = d.mem_freq.min(self.cfg.mem_ladder.len() - 1);
         if mem_idx != self.mem_freq_idx {
             self.mem_freq_idx = mem_idx;
-            self.bus_transfer = to_ps(self.cfg.bus_transfer_time(mem_idx));
-            let freeze = self.now + self.dilated(self.cfg.mem_transition);
+            self.bus_transfer = self.bus_tbl[mem_idx];
+            let freeze = self.now + self.mem_freeze;
             for ctl in &mut self.ctrls {
                 ctl.frozen_until = freeze;
             }
@@ -247,11 +278,7 @@ impl Server {
     }
 
     fn advance_until(&mut self, end: Ps) {
-        while let Some(t) = self.queue.peek_time() {
-            if t >= end {
-                break;
-            }
-            let (t, ev) = self.queue.pop().expect("peeked event exists");
+        while let Some((t, ev)) = self.queue.pop_if_before(end) {
             self.now = t;
             match ev {
                 Event::CoreReady { core } => self.on_core_ready(core),
@@ -304,7 +331,7 @@ impl Server {
     fn on_core_ready(&mut self, core: usize) {
         self.cores[core].credit_interval();
         let burst = self.cores[core].burst;
-        let row_hit_p = self.cores[core].app.profile.row_hit_ratio;
+        let row_hit_p = self.cores[core].row_hit_p;
         let wb_p = self.cores[core].wb_prob;
         let now = self.now;
         self.cores[core].outstanding = burst;
@@ -312,7 +339,11 @@ impl Server {
             let ctrl = self.pick_controller();
             let bank = self.rng.gen_range(0..self.cfg.banks_per_controller);
             let hit = self.rng.gen::<f64>() < row_hit_p;
-            let service = to_ps(self.cfg.dram.bank_service_time(hit));
+            let service = if hit {
+                self.service_hit
+            } else {
+                self.service_miss
+            };
             self.ctrls[ctrl].enqueue(
                 bank,
                 Request {
@@ -328,7 +359,11 @@ impl Server {
                 let wb_ctrl = self.pick_controller();
                 let wb_bank = self.rng.gen_range(0..self.cfg.banks_per_controller);
                 let wb_hit = self.rng.gen::<f64>() < row_hit_p;
-                let wb_service = to_ps(self.cfg.dram.bank_service_time(wb_hit));
+                let wb_service = if wb_hit {
+                    self.service_hit
+                } else {
+                    self.service_miss
+                };
                 self.ctrls[wb_ctrl].enqueue(
                     wb_bank,
                     Request {
@@ -358,10 +393,12 @@ impl Server {
     }
 
     fn measure(&mut self, _start: Ps, span: Ps, emergency: bool) -> EpochReport {
-        // Per-core power: dynamic (V²f × activity) + static.
+        // Per-core power: dynamic (V²f × activity) + static. The counter
+        // samples land directly in the reused observation buffer — no
+        // intermediate snapshot, no per-epoch clone.
         let mut core_power = Vec::with_capacity(self.cfg.n_cores);
-        let mut core_samples = Vec::with_capacity(self.cfg.n_cores);
         let mut instructions = Vec::with_capacity(self.cfg.n_cores);
+        self.obs.cores.clear();
         for i in 0..self.cfg.n_cores {
             let f = self.cfg.core_ladder.at(self.core_freq_idx[i]);
             let stats = self.cores[i].stats;
@@ -388,7 +425,7 @@ impl Server {
                     c.burst as u64,
                 )
             };
-            core_samples.push(CoreSample {
+            self.obs.cores.push(CoreSample {
                 freq: f,
                 busy_time_per_instruction: tpi,
                 instructions: tic,
@@ -399,10 +436,11 @@ impl Server {
 
         // Memory power: DRAM background + activity + controller V²f + bus IO.
         let f_mem = self.cfg.mem_ladder.at(self.mem_freq_idx);
-        let fallback_service = to_ps(self.cfg.dram.t_cl);
+        let fallback_service = self.service_hit; // row-hit `tCL`
 
         let mut mem_power_total = Watts::ZERO;
-        let mut ctrl_samples = Vec::with_capacity(self.cfg.n_controllers);
+        let multi = self.cfg.n_controllers > 1;
+        self.obs.controllers.clear();
         let mut agg = crate::memory::MemCounters::default();
         for ctl in &self.ctrls {
             let bank_util = (ctl.activity.bank_busy
@@ -422,15 +460,17 @@ impl Server {
                 share,
             );
             mem_power_total += p;
-            ctrl_samples.push(MemorySample {
-                bus_freq: f_mem,
-                bank_queue: ctl.counters.mean_q(),
-                bus_queue: ctl.counters.mean_u(),
-                bank_service_time: Secs(
-                    ctl.counters.mean_service_ps(fallback_service) / PS_PER_SEC,
-                ),
-                power: p,
-            });
+            if multi {
+                self.obs.controllers.push(MemorySample {
+                    bus_freq: f_mem,
+                    bank_queue: ctl.counters.mean_q(),
+                    bus_queue: ctl.counters.mean_u(),
+                    bank_service_time: Secs(
+                        ctl.counters.mean_service_ps(fallback_service) / PS_PER_SEC,
+                    ),
+                    power: p,
+                });
+            }
             agg.q_sum += ctl.counters.q_sum;
             agg.q_n += ctl.counters.q_n;
             agg.u_sum += ctl.counters.u_sum;
@@ -439,7 +479,7 @@ impl Server {
             agg.service_n += ctl.counters.service_n;
         }
         let mem_power = self.noisy(mem_power_total);
-        let mem_sample = MemorySample {
+        self.obs.memory = MemorySample {
             bus_freq: f_mem,
             bank_queue: agg.mean_q(),
             bus_queue: agg.mean_u(),
@@ -449,13 +489,8 @@ impl Server {
 
         let cores_total: Watts = core_power.iter().copied().sum();
         let total = cores_total + mem_power + self.cfg.other_power;
-
-        self.prev = Some(EpochSnapshot {
-            cores: core_samples,
-            memory: mem_sample,
-            controllers: ctrl_samples,
-            total_power: total,
-        });
+        self.obs.total_power = total;
+        self.obs_ready = true;
 
         EpochReport {
             epoch: self.epoch_index,

@@ -201,3 +201,124 @@ fn simulated_throughput_bounded_by_mva() {
         "sim {sim_rate:.3e} implausibly far below MVA {mva_rate:.3e}"
     );
 }
+
+// ---- timing wheel vs. binary-heap oracle -------------------------------
+//
+// The timing wheel (DESIGN.md §6) must pop in exactly the same
+// (time, FIFO-sequence) order as the pre-overhaul `BinaryHeap` — that
+// equivalence is what makes artifact bytes queue-implementation-invariant.
+// These properties drive both queues through identical push/pop schedules
+// spanning every wheel level, the overflow heap, cascades, and
+// behind-the-cursor pushes.
+
+use fastcap_sim::engine::HeapQueue;
+
+/// Event constructor covering all three variants from packed test data.
+fn event_for(i: usize) -> Event {
+    match i % 3 {
+        0 => Event::CoreReady { core: i % 64 },
+        1 => Event::BankDone {
+            ctrl: i % 4,
+            bank: i % 32,
+        },
+        _ => Event::BusDone { ctrl: i % 4 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pops match the heap oracle exactly for arbitrary interleaved
+    /// push/pop traces whose deltas span all wheel levels and overflow.
+    #[test]
+    fn wheel_matches_heap_oracle(
+        ops in proptest::collection::vec((1u64..1u64 << 38, 0u32..4), 1..400),
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut cursor: Ps = 0;
+        for (i, &(delta, kind)) in ops.iter().enumerate() {
+            // Skew deltas so most are near-future but some hit deep
+            // levels / overflow, like a simulation schedule.
+            let delta = match kind {
+                0 => delta % (1 << 14),
+                1 => delta % (1 << 20),
+                2 => delta % (1 << 27),
+                _ => delta, // up to ~2^38 ps: overflow territory
+            };
+            let ev = event_for(i);
+            wheel.push(cursor + delta, ev);
+            heap.push(cursor + delta, ev);
+            prop_assert_eq!(wheel.len(), heap.len());
+            if i % 3 == 0 {
+                let w = wheel.pop();
+                let h = heap.pop();
+                prop_assert_eq!(w, h);
+                if let Some((t, _)) = w {
+                    // Advance like a simulator: pops move the cursor, so
+                    // later pushes land behind, at, and ahead of it.
+                    cursor = cursor.max(t);
+                }
+            }
+        }
+        loop {
+            let w = wheel.pop();
+            let h = heap.pop();
+            prop_assert_eq!(w, h);
+            if w.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// `pop_if_before` is exactly "pop when earlier than the bound":
+    /// equivalent to the oracle's peek-then-pop at every epoch boundary.
+    #[test]
+    fn pop_if_before_matches_bounded_oracle(
+        pushes in proptest::collection::vec(1u64..1u64 << 22, 1..200),
+        spans in proptest::collection::vec(1u64..1u64 << 16, 1..40),
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        for (i, &t) in pushes.iter().enumerate() {
+            let ev = event_for(i);
+            wheel.push(t, ev);
+            heap.push(t, ev);
+        }
+        let mut end: Ps = 0;
+        for &span in &spans {
+            end += span;
+            loop {
+                let expected = match heap.peek_time() {
+                    Some(t) if t < end => heap.pop(),
+                    _ => None,
+                };
+                let got = wheel.pop_if_before(end);
+                prop_assert_eq!(got, expected);
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+        prop_assert_eq!(wheel.len(), heap.len());
+    }
+
+    /// Equal timestamps pop strictly in insertion order at any scale,
+    /// including across level boundaries after long idle fast-forwards.
+    #[test]
+    fn fifo_among_equal_timestamps_everywhere(
+        t in 1u64..1u64 << 36,
+        n in 2usize..40,
+    ) {
+        let mut wheel = EventQueue::new();
+        for i in 0..n {
+            wheel.push(t, Event::CoreReady { core: i });
+        }
+        for i in 0..n {
+            let (pt, ev) = wheel.pop().expect("n events pending");
+            prop_assert_eq!(pt, t);
+            prop_assert_eq!(ev, Event::CoreReady { core: i });
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Event-throughput profile of the DES hot path (DESIGN.md §6).
+//!
+//! Prints events/epoch, ns/event, and µs/epoch for the three
+//! `sim_engine` bench configurations — the denominator behind the
+//! per-event cost numbers quoted in DESIGN.md §6 and a quick way to see
+//! how a change moves the hot path without firing up criterion.
+//!
+//! ```text
+//! cargo run --release --example evcount
+//! ```
+
+use fastcap_sim::{Server, SimConfig};
+use fastcap_workloads::mixes;
+use std::time::Instant;
+
+fn main() {
+    println!(
+        "{:<10} {:>12} {:>10} {:>12}",
+        "config", "ev/epoch", "ns/event", "us/epoch"
+    );
+    for (mix, n) in [("ILP1", 16usize), ("MEM1", 16), ("MEM1", 64)] {
+        let cfg = SimConfig::ispass(n)
+            .expect("valid config")
+            .with_time_dilation(100.0)
+            .with_meter_noise(0.0);
+        let m = mixes::by_name(mix).expect("mix exists");
+        let mut s = Server::for_workload(cfg, &m, 7).expect("server builds");
+        // Warm into steady state, then measure.
+        s.run(2, |_| None);
+        let e0 = s.events_scheduled();
+        let epochs = 50;
+        let t = Instant::now();
+        for _ in 0..epochs {
+            s.run_epoch(None);
+        }
+        let dt = t.elapsed().as_secs_f64();
+        let ev = (s.events_scheduled() - e0) as f64;
+        println!(
+            "{:<10} {:>12.0} {:>10.1} {:>12.1}",
+            format!("{mix}_{n}c"),
+            ev / f64::from(epochs),
+            dt * 1e9 / ev,
+            dt * 1e6 / f64::from(epochs),
+        );
+    }
+}

@@ -2,19 +2,74 @@
 //!
 //! Implements the API subset this workspace's benches use — `Criterion`,
 //! benchmark groups, `BenchmarkId`, `Throughput`, `b.iter(..)`, and the
-//! `criterion_group!` / `criterion_main!` macros — with a simple wall-clock
-//! measurement loop (warm-up, then a fixed sample count, reporting the
-//! median and throughput). No statistics engine, plots, or saved baselines;
-//! good enough to compile `harness = false` bench targets and give usable
-//! relative numbers offline.
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! wall-clock measurement loop (warm-up, then a fixed sample count,
+//! reporting median/min/max and throughput). No statistics engine or
+//! plots; good enough to compile `harness = false` bench targets and give
+//! usable relative numbers offline.
+//!
+//! Beyond the plain-text report, the harness accepts a few CLI flags
+//! (anything after `cargo bench ... --`):
+//!
+//! * `--json PATH` — append this run's per-bench records to a
+//!   `save_baseline`-style JSON report (created if missing, merged by
+//!   bench name if present), so successive runs and different bench
+//!   binaries accumulate into one diffable file:
+//!   `{ schema, commit, cores, benches: [{name, median_ns, min_ns,
+//!   max_ns}] }`. The commit is taken from `$GITHUB_SHA` or
+//!   `$BENCH_COMMIT` (`"local"` otherwise).
+//! * `--quick` — shorter warm-up and fewer samples for CI smoke gates.
+//! * `--bench` and unrecognized flags are accepted and ignored (cargo
+//!   passes `--bench` through).
 
 use std::fmt;
 use std::hint::black_box as std_black_box;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Opaque hint preventing the optimizer from deleting a benchmark body.
 pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
+}
+
+// ---- harness configuration and the cross-group record registry --------
+
+#[derive(Debug, Clone, Default)]
+struct Config {
+    quick: bool,
+    json: Option<String>,
+}
+
+fn config() -> &'static Config {
+    static CONFIG: OnceLock<Config> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let mut cfg = Config::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => cfg.quick = true,
+                "--json" => cfg.json = args.next(),
+                _ => {} // `--bench`, filters, ...: accepted, ignored
+            }
+        }
+        cfg
+    })
+}
+
+/// One benchmark's measured statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    /// Median over the samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+fn registry() -> &'static Mutex<Vec<(String, Stats)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(String, Stats)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
 }
 
 /// Identifies one benchmark within a group.
@@ -64,24 +119,27 @@ pub enum Throughput {
 
 /// The per-benchmark timing driver handed to bench closures.
 pub struct Bencher {
-    /// Median nanoseconds per iteration, filled by `iter`.
-    median_ns: f64,
+    stats: Stats,
 }
 
 impl Bencher {
-    /// Times `f`, storing the median time per call.
+    /// Times `f`, storing median/min/max time per call over the samples.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let (warmup_ms, n_samples, sample_ms) = if config().quick {
+            (10, 5, 3.0e-3)
+        } else {
+            (50, 11, 10.0e-3)
+        };
         // Warm up and estimate a per-call cost to size the batches.
         let warmup_start = Instant::now();
         let mut warmup_iters: u64 = 0;
-        while warmup_start.elapsed() < Duration::from_millis(50) {
+        while warmup_start.elapsed() < Duration::from_millis(warmup_ms) {
             black_box(f());
             warmup_iters += 1;
         }
         let per_call = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
-        // Aim for ~10 ms per sample, 11 samples -> median is index 5.
-        let batch = ((0.010 / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
-        let mut samples: Vec<f64> = (0..11)
+        let batch = ((sample_ms / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let mut samples: Vec<f64> = (0..n_samples)
             .map(|_| {
                 let t = Instant::now();
                 for _ in 0..batch {
@@ -91,7 +149,11 @@ impl Bencher {
             })
             .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-        self.median_ns = samples[samples.len() / 2];
+        self.stats = Stats {
+            median_ns: samples[samples.len() / 2],
+            min_ns: samples[0],
+            max_ns: samples[samples.len() - 1],
+        };
     }
 }
 
@@ -107,7 +169,7 @@ fn human_ns(ns: f64) -> String {
     }
 }
 
-fn report(group: &str, label: &str, median_ns: f64, throughput: Option<Throughput>) {
+fn report(group: &str, label: &str, stats: Stats, throughput: Option<Throughput>) {
     let name = if group.is_empty() {
         label.to_owned()
     } else {
@@ -115,17 +177,26 @@ fn report(group: &str, label: &str, median_ns: f64, throughput: Option<Throughpu
     };
     let extra = match throughput {
         Some(Throughput::Elements(n)) => {
-            format!("  ({:.2} Melem/s)", n as f64 / median_ns * 1e3)
+            format!("  ({:.2} Melem/s)", n as f64 / stats.median_ns * 1e3)
         }
         Some(Throughput::Bytes(n)) => {
             format!(
                 "  ({:.2} MiB/s)",
-                n as f64 / median_ns * 1e9 / (1 << 20) as f64
+                n as f64 / stats.median_ns * 1e9 / (1 << 20) as f64
             )
         }
         None => String::new(),
     };
-    println!("{name:<50} time: {:>12}{extra}", human_ns(median_ns));
+    println!(
+        "{name:<50} time: {:>12}  [{} .. {}]{extra}",
+        human_ns(stats.median_ns),
+        human_ns(stats.min_ns),
+        human_ns(stats.max_ns),
+    );
+    registry()
+        .lock()
+        .expect("bench registry poisoned")
+        .push((name, stats));
 }
 
 /// A named collection of related benchmarks.
@@ -159,9 +230,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { median_ns: 0.0 };
+        let mut b = Bencher {
+            stats: Stats::default(),
+        };
         f(&mut b);
-        report(&self.name, &id.label, b.median_ns, self.throughput);
+        report(&self.name, &id.label, b.stats, self.throughput);
         self
     }
 
@@ -176,9 +249,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut b = Bencher { median_ns: 0.0 };
+        let mut b = Bencher {
+            stats: Stats::default(),
+        };
         f(&mut b, input);
-        report(&self.name, &id.label, b.median_ns, self.throughput);
+        report(&self.name, &id.label, b.stats, self.throughput);
         self
     }
 
@@ -206,10 +281,92 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { median_ns: 0.0 };
+        let mut b = Bencher {
+            stats: Stats::default(),
+        };
         f(&mut b);
-        report("", &id.label, b.median_ns, None);
+        report("", &id.label, b.stats, None);
         self
+    }
+}
+
+// ---- JSON report -------------------------------------------------------
+
+fn stats_value(name: &str, s: Stats) -> serde::Value {
+    serde::Value::Object(vec![
+        ("name".into(), serde::Value::Str(name.into())),
+        ("median_ns".into(), serde::Value::Float(s.median_ns)),
+        ("min_ns".into(), serde::Value::Float(s.min_ns)),
+        ("max_ns".into(), serde::Value::Float(s.max_ns)),
+    ])
+}
+
+/// Writes (or merges into) the `--json` report from every benchmark run
+/// so far in this process. Called by `criterion_main!` after all groups;
+/// a no-op without `--json`.
+pub fn finalize() {
+    let Some(path) = config().json.clone() else {
+        return;
+    };
+    let records = registry().lock().expect("bench registry poisoned").clone();
+    write_report(&path, records);
+}
+
+/// The config-independent body of [`finalize`]: merges `records` into the
+/// report at `path` (by bench name; existing records survive unless
+/// re-measured) and rewrites it.
+fn write_report(path: &str, records: Vec<(String, Stats)>) {
+    let mut merged: Vec<(String, Stats)> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if let Ok(v) = serde_json::from_str::<serde::Value>(&text) {
+            if let Some(serde::Value::Array(benches)) = v.get("benches") {
+                for b in benches {
+                    let (Some(name), Some(median), Some(min), Some(max)) = (
+                        b.get("name").and_then(serde::Value::as_str),
+                        b.get("median_ns").and_then(serde::Value::as_f64),
+                        b.get("min_ns").and_then(serde::Value::as_f64),
+                        b.get("max_ns").and_then(serde::Value::as_f64),
+                    ) else {
+                        continue;
+                    };
+                    merged.push((
+                        name.to_owned(),
+                        Stats {
+                            median_ns: median,
+                            min_ns: min,
+                            max_ns: max,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    for (name, stats) in records {
+        if let Some(slot) = merged.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = stats;
+        } else {
+            merged.push((name, stats));
+        }
+    }
+    let commit = std::env::var("GITHUB_SHA")
+        .or_else(|_| std::env::var("BENCH_COMMIT"))
+        .unwrap_or_else(|_| "local".into());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let doc = serde::Value::Object(vec![
+        (
+            "schema".into(),
+            serde::Value::Str("fastcap-bench-v1".into()),
+        ),
+        ("commit".into(), serde::Value::Str(commit)),
+        ("cores".into(), serde::Value::UInt(cores as u64)),
+        (
+            "benches".into(),
+            serde::Value::Array(merged.iter().map(|(n, s)| stats_value(n, *s)).collect()),
+        ),
+    ]);
+    let text = serde_json::to_string_pretty(&doc).expect("render bench report");
+    if let Err(e) = std::fs::write(path, text + "\n") {
+        eprintln!("warning: could not write bench report {path}: {e}");
     }
 }
 
@@ -230,6 +387,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -255,6 +413,14 @@ mod tests {
     #[test]
     fn group_macro_compiles_and_runs() {
         benches();
+        let reg = registry().lock().unwrap();
+        let got: Vec<&str> = reg.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(got.contains(&"g/sum/10"));
+        assert!(got.contains(&"g/4"));
+        for (_, s) in reg.iter() {
+            assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+            assert!(s.min_ns > 0.0);
+        }
     }
 
     #[test]
@@ -268,5 +434,82 @@ mod tests {
         assert_eq!(human_ns(12.0), "12.0 ns");
         assert_eq!(human_ns(1.5e3), "1.50 µs");
         assert_eq!(human_ns(2.5e6), "2.50 ms");
+    }
+
+    #[test]
+    fn json_report_writes_and_merges() {
+        let dir = std::env::temp_dir().join("fastcap_criterion_json");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        // Seed a file with one record to keep and one to re-measure.
+        std::fs::write(
+            &path,
+            r#"{"schema":"fastcap-bench-v1","commit":"old","cores":1,
+                "benches":[{"name":"keep/me","median_ns":5.0,"min_ns":4.0,"max_ns":6.0},
+                           {"name":"g/sum/10","median_ns":999.0,"min_ns":999.0,"max_ns":999.0}]}"#,
+        )
+        .unwrap();
+        write_report(
+            path.to_str().unwrap(),
+            vec![
+                (
+                    "g/sum/10".into(),
+                    Stats {
+                        median_ns: 1.0,
+                        min_ns: 0.5,
+                        max_ns: 2.0,
+                    },
+                ),
+                (
+                    "brand/new".into(),
+                    Stats {
+                        median_ns: 7.0,
+                        min_ns: 6.0,
+                        max_ns: 8.0,
+                    },
+                ),
+            ],
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde::Value = serde_json::from_str(&text).unwrap();
+        let Some(serde::Value::Array(benches)) = v.get("benches") else {
+            panic!("benches array");
+        };
+        // keep/me survived untouched, g/sum/10 was replaced (not
+        // duplicated), brand/new was appended.
+        assert_eq!(benches.len(), 3);
+        let by_name = |n: &str| {
+            benches
+                .iter()
+                .find(|b| b.get("name").and_then(serde::Value::as_str) == Some(n))
+                .unwrap_or_else(|| panic!("missing {n}"))
+        };
+        assert_eq!(
+            by_name("keep/me")
+                .get("median_ns")
+                .and_then(serde::Value::as_f64),
+            Some(5.0)
+        );
+        assert_eq!(
+            by_name("g/sum/10")
+                .get("median_ns")
+                .and_then(serde::Value::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            by_name("brand/new")
+                .get("median_ns")
+                .and_then(serde::Value::as_f64),
+            Some(7.0)
+        );
+        // A second write with no new records must be idempotent.
+        write_report(path.to_str().unwrap(), Vec::new());
+        let again: serde::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let Some(serde::Value::Array(benches2)) = again.get("benches") else {
+            panic!("benches array");
+        };
+        assert_eq!(benches2.len(), 3);
     }
 }
