@@ -1,8 +1,10 @@
-//! `repro` — regenerate the FastCap paper's tables and figures.
+//! `repro` — regenerate the FastCap paper's tables and figures, plus the
+//! scenario-engine transient artifacts.
 //!
 //! ```text
-//! repro <artifact>... [--quick] [--seed N] [--jobs N] [--out DIR]
+//! repro <artifact>... [--quick] [--seed N] [--jobs N] [--out DIR] [--scenario FILE]
 //! repro all [--quick] [--jobs N]
+//! repro scenario validate [DIR]
 //! repro --list
 //! ```
 //!
@@ -10,23 +12,83 @@
 //! (default: available parallelism). Artifacts are bit-identical at any
 //! job count for a fixed `--seed`; see DESIGN.md §5.
 //!
+//! `--scenario FILE` replaces the checked-in default scenario of the
+//! `scn_*` artifacts; `scenario validate` lints every `*.json` under a
+//! scenario directory (default `scenarios/`). See DESIGN.md §7.
+//!
 //! Artifacts: tab1 tab3 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-//! fig12 fig13 overhead epochlen ablation scaling. Results print as
-//! markdown and are written as CSV/JSON under `--out` (default
-//! `results/`).
+//! fig12 fig13 overhead epochlen ablation scaling scn_capstep
+//! scn_flashcrowd scn_hotplug. Results print as markdown and are written
+//! as CSV/JSON under `--out` (default `results/`).
 
 use fastcap_bench::experiments;
 use fastcap_bench::harness::Opts;
-use std::path::PathBuf;
+use fastcap_scenario::Scenario;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 fn usage() -> String {
     format!(
-        "usage: repro <artifact|all>... [--quick] [--seed N] [--jobs N] [--out DIR] [--list]\n\
+        "usage: repro <artifact|all>... [--quick] [--seed N] [--jobs N] [--out DIR] \
+         [--scenario FILE] [--list]\n\
+         \x20      repro scenario validate [DIR]\n\
          artifacts: {}",
         experiments::ALL.join(" ")
     )
+}
+
+/// `repro scenario validate [DIR]`: lints every scenario file under DIR.
+fn scenario_validate(dir: &Path) -> ExitCode {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read scenario directory {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("no *.json scenarios under {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut failed = 0usize;
+    for path in &files {
+        match Scenario::load(path) {
+            Ok(s) => {
+                let lints = s.lint();
+                if lints.is_empty() {
+                    println!(
+                        "ok   {} ({}, {} cores, {} event(s))",
+                        path.display(),
+                        s.name,
+                        s.n_cores,
+                        s.events.len()
+                    );
+                } else {
+                    failed += 1;
+                    println!("FAIL {}", path.display());
+                    for l in lints {
+                        println!("     - {l}");
+                    }
+                }
+            }
+            Err(e) => {
+                failed += 1;
+                println!("FAIL {e}");
+            }
+        }
+    }
+    println!("[{} scenario(s), {} failing]", files.len(), failed);
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -57,6 +119,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--scenario" => match args.next() {
+                Some(f) => opts.scenario = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("--scenario needs a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--list" => {
                 for id in experiments::ALL {
                     println!("{id}");
@@ -77,6 +146,24 @@ fn main() -> ExitCode {
     if targets.is_empty() {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
+    }
+    // `repro scenario validate [DIR]` — the scenario-file linter.
+    if targets[0] == "scenario" {
+        return match targets.get(1).map(String::as_str) {
+            Some("validate") if targets.len() <= 3 => {
+                let dir = targets
+                    .get(2)
+                    .map_or_else(|| PathBuf::from("scenarios"), PathBuf::from);
+                scenario_validate(&dir)
+            }
+            _ => {
+                eprintln!(
+                    "scenario subcommand: validate [DIR] (default DIR: scenarios)\n{}",
+                    usage()
+                );
+                ExitCode::FAILURE
+            }
+        };
     }
     // Validate artifact names before running anything, so a typo in a long
     // multi-artifact invocation fails fast instead of after hours of sim.

@@ -18,6 +18,9 @@ pub mod fig7_8;
 pub mod fig9;
 pub mod overhead;
 pub mod scaling;
+pub mod scn_capstep;
+pub mod scn_flashcrowd;
+pub mod scn_hotplug;
 pub mod tab1;
 pub mod tab3;
 
@@ -28,10 +31,30 @@ use fastcap_core::error::Result;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-/// All artifact ids, in paper order.
+/// All artifact ids: the paper's figures/tables in paper order, then the
+/// beyond-paper artifacts, then the scenario-engine transients (`scn_*`,
+/// scripted dynamic runs — see DESIGN.md §7).
 pub const ALL: &[&str] = &[
-    "tab1", "tab3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "overhead", "epochlen", "ablation", "scaling",
+    "tab1",
+    "tab3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "overhead",
+    "epochlen",
+    "ablation",
+    "scaling",
+    "scn_capstep",
+    "scn_flashcrowd",
+    "scn_hotplug",
 ];
 
 /// Artifacts that measure host wall-clock latency (Table I, the overhead
@@ -63,6 +86,9 @@ pub fn run(id: &str, opts: &Opts) -> Result<Vec<ResultTable>> {
         "epochlen" => epochlen::run(opts),
         "ablation" => ablation::run(opts),
         "scaling" => scaling::run(opts),
+        "scn_capstep" => scn_capstep::run(opts),
+        "scn_flashcrowd" => scn_flashcrowd::run(opts),
+        "scn_hotplug" => scn_hotplug::run(opts),
         other => Err(fastcap_core::error::Error::InvalidConfig {
             what: "experiment",
             why: format!("unknown artifact `{other}`; known: {ALL:?}"),

@@ -9,8 +9,9 @@ use fastcap_core::error::{Error, Result};
 use fastcap_core::units::{Hz, Secs, Watts};
 use fastcap_policies::{
     CappingPolicy, CpuOnlyPolicy, EqlFreqPolicy, EqlPwrPolicy, FastCapPolicy, FreqParPolicy,
-    MaxBipsPolicy,
+    MaxBipsBeamPolicy, MaxBipsPolicy,
 };
+use fastcap_scenario::{Scenario, ScenarioRunner};
 use fastcap_sim::{RunResult, Server, SimConfig};
 use fastcap_workloads::WorkloadSpec;
 use std::path::PathBuf;
@@ -32,6 +33,9 @@ pub struct Opts {
     /// (two-level `repro all` sharding — see [`crate::sweep::WorkBudget`]).
     /// `None` (the default) gives every sweep its full `jobs` workers.
     pub budget: Option<std::sync::Arc<crate::sweep::WorkBudget>>,
+    /// Scenario-file override for the `scn_*` artifacts (`--scenario`).
+    /// `None` runs each artifact's checked-in default scenario.
+    pub scenario: Option<PathBuf>,
 }
 
 impl Default for Opts {
@@ -42,6 +46,7 @@ impl Default for Opts {
             jobs: rayon::current_num_threads(),
             out_dir: PathBuf::from("results"),
             budget: None,
+            scenario: None,
         }
     }
 }
@@ -95,9 +100,24 @@ pub enum PolicyKind {
     EqlFreq,
     /// Exhaustive throughput maximization (Isci et al.).
     MaxBips,
+    /// Beam-search MaxBIPS: same objective, scales past 8 cores (used in
+    /// the 16-core `scn_*` scenario artifacts).
+    MaxBipsBeam,
 }
 
 impl PolicyKind {
+    /// The policy set the scenario artifacts compare, in display order:
+    /// every baseline that runs at 16 cores, with MaxBIPS represented by
+    /// its beam-search variant.
+    pub const SCENARIO_SET: [PolicyKind; 6] = [
+        PolicyKind::FastCap,
+        PolicyKind::CpuOnly,
+        PolicyKind::FreqPar,
+        PolicyKind::EqlPwr,
+        PolicyKind::EqlFreq,
+        PolicyKind::MaxBipsBeam,
+    ];
+
     /// Display name matching the paper's figures.
     pub fn name(self) -> &'static str {
         match self {
@@ -107,6 +127,7 @@ impl PolicyKind {
             PolicyKind::EqlPwr => "Eql-Pwr",
             PolicyKind::EqlFreq => "Eql-Freq",
             PolicyKind::MaxBips => "MaxBIPS",
+            PolicyKind::MaxBipsBeam => "MaxBIPS-beam",
         }
     }
 
@@ -124,6 +145,7 @@ impl PolicyKind {
             PolicyKind::EqlPwr => Box::new(EqlPwrPolicy::new(cfg)?),
             PolicyKind::EqlFreq => Box::new(EqlFreqPolicy::new(cfg)?),
             PolicyKind::MaxBips => Box::new(MaxBipsPolicy::new(cfg)?),
+            PolicyKind::MaxBipsBeam => Box::new(MaxBipsBeamPolicy::new(cfg)?),
         })
     }
 }
@@ -196,6 +218,59 @@ pub fn run_capped_only(
     let mut policy = kind.build(ctl_cfg)?;
     let mut server = Server::for_workload(sim_cfg.clone(), mix, seed)?;
     Ok(server.run(epochs, |obs| policy.decide(obs).ok()))
+}
+
+/// Resolves the scenario an `scn_*` artifact runs: the `--scenario` file
+/// override when given, otherwise the artifact's checked-in default
+/// (embedded at compile time from `scenarios/`). The scenario is linted
+/// before it is returned.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for unreadable, malformed or
+/// lint-failing scenarios.
+pub fn resolve_scenario(opts: &Opts, embedded_default: &str) -> Result<Scenario> {
+    let scenario = match &opts.scenario {
+        Some(path) => Scenario::load(path),
+        None => Scenario::from_json(embedded_default),
+    }
+    .map_err(|why| Error::InvalidConfig {
+        what: "scenario",
+        why,
+    })?;
+    scenario.validate().map_err(|why| Error::InvalidConfig {
+        what: "scenario",
+        why,
+    })?;
+    Ok(scenario)
+}
+
+/// Runs one policy (or, with `kind = None`, the uncapped baseline) under
+/// a compiled scenario: same seed ⇒ same sampled workload, with the
+/// scenario's perturbations applied identically.
+///
+/// # Errors
+///
+/// Propagates simulator/policy construction and scenario failures.
+pub fn run_scenario(
+    sim_cfg: &SimConfig,
+    mix: &WorkloadSpec,
+    kind: Option<PolicyKind>,
+    runner: &ScenarioRunner,
+    epochs: usize,
+    seed: u64,
+) -> Result<RunResult> {
+    let mut server = Server::for_workload(sim_cfg.clone(), mix, seed)?;
+    runner.install(&mut server)?;
+    match kind {
+        None => runner.run(&mut server, epochs, None),
+        Some(kind) => {
+            let mut factory = |n_active: usize, budget: f64| {
+                kind.build(sim_cfg.controller_config_n(budget, n_active)?)
+            };
+            runner.run(&mut server, epochs, Some(&mut factory))
+        }
+    }
 }
 
 /// Pools per-application degradations from several runs and returns
@@ -281,17 +356,55 @@ mod tests {
             PolicyKind::FreqPar,
             PolicyKind::EqlPwr,
             PolicyKind::EqlFreq,
+            PolicyKind::MaxBipsBeam,
         ] {
             let cfg = synthetic_controller_config(16, 0.6).unwrap();
             assert!(kind.build(cfg).is_ok(), "{}", kind.name());
         }
-        // MaxBIPS rejects 16 cores but accepts 4.
+        // MaxBIPS rejects 16 cores but accepts 4; the beam variant covers
+        // 16 cores in the scenario comparison set.
         assert!(PolicyKind::MaxBips
             .build(synthetic_controller_config(16, 0.6).unwrap())
             .is_err());
         assert!(PolicyKind::MaxBips
             .build(synthetic_controller_config(4, 0.6).unwrap())
             .is_ok());
+        assert!(PolicyKind::SCENARIO_SET.contains(&PolicyKind::MaxBipsBeam));
+    }
+
+    #[test]
+    fn resolve_scenario_prefers_the_override() {
+        let embedded = r#"{"name":"embedded","description":"d","n_cores":16,"events":[]}"#;
+        let opts = Opts {
+            quick: true,
+            ..Opts::default()
+        };
+        assert_eq!(resolve_scenario(&opts, embedded).unwrap().name, "embedded");
+        // Broken embedded JSON surfaces as a config error.
+        assert!(resolve_scenario(&opts, "{").is_err());
+        // An override path that does not exist fails loudly.
+        let opts = Opts {
+            scenario: Some(std::path::PathBuf::from("/nonexistent/scn.json")),
+            ..Opts::default()
+        };
+        assert!(resolve_scenario(&opts, embedded).is_err());
+    }
+
+    #[test]
+    fn scenario_runs_share_the_workload_draw() {
+        let opts = Opts {
+            quick: true,
+            ..Opts::default()
+        };
+        let cfg = opts.sim_config(16).unwrap().with_time_dilation(200.0);
+        let mix = mixes::by_name("MID1").unwrap();
+        let runner = ScenarioRunner::new(&Scenario::empty(16), 0.6).unwrap();
+        let base = run_scenario(&cfg, &mix, None, &runner, 8, 3).unwrap();
+        let capped = run_scenario(&cfg, &mix, Some(PolicyKind::FastCap), &runner, 8, 3).unwrap();
+        assert!(capped.avg_power(2) < base.avg_power(2));
+        // Same seed: warm-up epoch 0 (no decision on either side) draws
+        // the identical trace.
+        assert_eq!(base.epochs[0], capped.epochs[0]);
     }
 
     #[test]

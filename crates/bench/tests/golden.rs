@@ -1,13 +1,19 @@
-//! Golden byte-equality regression for the DES hot-path overhaul.
+//! Golden byte-equality regression for the DES hot path and the scenario
+//! engine.
 //!
-//! Pins the exact artifact bytes of `repro fig5 --quick` and
-//! `repro fig12 --quick` (which also emits fig13) at seed 42, via FNV-1a
-//! hashes taken on the pre-overhaul `BinaryHeap` engine. Any future
-//! change to the event queue, the epoch loop, or the sweep scheduler that
-//! perturbs event order, RNG draw order, or reduce order will flip these
-//! hashes — and must either be a deliberate, documented artifact change
-//! or a bug. `--jobs 1` and `--jobs 8` are both checked and must agree
-//! (two-level sharding may never leak into bytes).
+//! Pins the exact artifact bytes of `repro fig5 --quick`, `repro fig12
+//! --quick` (which also emits fig13) and the three `scn_*` scenario
+//! artifacts at seed 42, via FNV-1a hashes. The fig5/fig12 hashes were
+//! taken on the pre-overhaul `BinaryHeap` engine and reverified
+//! unchanged after both the timing-wheel swap (PR 3) and the
+//! scenario-engine hooks (PR 4) — static artifacts must never move. The
+//! scn_* hashes pin the scenario engine itself: injected-event order,
+//! the budget re-solve path, hotplug projection/scatter, and the policy
+//! comparison set (incl. beam-search MaxBIPS). Any future change that perturbs
+//! event order, RNG draw order, or reduce order will flip these hashes —
+//! and must either be a deliberate, documented artifact change or a bug.
+//! `--jobs 1` and `--jobs 8` are both checked and must agree (two-level
+//! sharding may never leak into bytes).
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -23,8 +29,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The golden hashes, taken at the last commit before the timing-wheel
-/// swap and reverified after it (the overhaul is byte-exact).
+/// The golden hashes. fig5/fig12/fig13: taken at the last commit before
+/// the timing-wheel swap and reverified after it and after the scenario
+/// hooks (both byte-exact). scn_capstep: taken when the scenario engine
+/// landed.
 const GOLDEN: &[(&str, u64)] = &[
     ("fig12.csv", 0xd584_59ca_98f2_3eb8),
     ("fig12.json", 0x511f_d81a_ade5_0898),
@@ -34,6 +42,22 @@ const GOLDEN: &[(&str, u64)] = &[
     ("fig5.json", 0xa8ff_9b5f_2abc_645e),
     ("fig5_recovery.csv", 0x4172_e1b5_ccc5_8758),
     ("fig5_recovery.json", 0x8ec6_7d29_beb3_d477),
+    ("scn_capstep.csv", 0xb5e2_5d66_aaaa_d2ad),
+    ("scn_capstep.json", 0xeb28_84fa_f0eb_47c8),
+    ("scn_capstep_recovery.csv", 0xad2a_a48b_8f50_2fc8),
+    ("scn_capstep_recovery.json", 0x63b8_c96c_48b3_93c0),
+    ("scn_capstep_trace.csv", 0x547e_94b7_0e00_6dbe),
+    ("scn_capstep_trace.json", 0xf849_c237_1539_5aad),
+    ("scn_flashcrowd.csv", 0x2909_54ac_74d0_0392),
+    ("scn_flashcrowd.json", 0x0f30_c22d_d4af_7adb),
+    ("scn_flashcrowd_pre.csv", 0x3151_103f_336d_c6bb),
+    ("scn_flashcrowd_pre.json", 0xa43f_1e90_9eeb_7101),
+    ("scn_flashcrowd_trace.csv", 0x7dcd_c566_2fa9_145c),
+    ("scn_flashcrowd_trace.json", 0xce14_ef22_c6bf_3e3b),
+    ("scn_hotplug.csv", 0x1a61_fd1b_599b_b422),
+    ("scn_hotplug.json", 0xda2a_6455_ee63_b004),
+    ("scn_hotplug_trace.csv", 0x85c8_fac6_5712_a593),
+    ("scn_hotplug_trace.json", 0xf271_9c4d_6e71_2b19),
 ];
 
 fn run_repro(args: &[&str]) {
@@ -69,6 +93,9 @@ fn fig5_and_fig12_13_bytes_are_pinned_at_any_job_count() {
         run_repro(&[
             "fig5",
             "fig12",
+            "scn_capstep",
+            "scn_flashcrowd",
+            "scn_hotplug",
             "--quick",
             "--seed",
             "42",

@@ -1,0 +1,180 @@
+//! Scenario-engine regression at the bench layer: the `scn_*` artifacts
+//! are jobs-invariant (byte-identical at `--jobs 1` vs `--jobs 8`), the
+//! checked-in `scenarios/` directory lints clean, and the `repro`
+//! scenario CLI (`--scenario`, `scenario validate`) follows the binary's
+//! conventions (non-zero exit + usage on bad input).
+
+use fastcap_bench::experiments;
+use fastcap_bench::harness::Opts;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn run_repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn scn_artifacts_are_jobs_invariant() {
+    // In-process check over all three scenario artifacts: the sweep
+    // worker count must never leak into bytes (the capstep artifact is
+    // additionally pinned by golden FNV hashes through the binary).
+    for id in ["scn_capstep", "scn_flashcrowd", "scn_hotplug"] {
+        let tables_at = |jobs: usize| {
+            let opts = Opts {
+                quick: true,
+                seed: 5,
+                jobs,
+                out_dir: std::env::temp_dir().join("fastcap_scn_determinism"),
+                ..Opts::default()
+            };
+            experiments::run(id, &opts).unwrap()
+        };
+        let serial = tables_at(1);
+        let parallel = tables_at(8);
+        assert_eq!(serial.len(), parallel.len(), "{id}");
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.id, p.id);
+            assert_eq!(
+                s.to_csv(),
+                p.to_csv(),
+                "{}: differs across job counts",
+                s.id
+            );
+        }
+    }
+}
+
+#[test]
+fn checked_in_scenarios_validate_clean() {
+    let dir = repo_scenarios_dir();
+    let out = run_repro(&["scenario", "validate", dir.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{stdout}");
+    // All four examples are listed and none fail.
+    for name in [
+        "scn_capstep.json",
+        "scn_flashcrowd.json",
+        "scn_hotplug.json",
+        "scn_diurnal_churn.json",
+    ] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+    assert!(stdout.contains("0 failing"), "{stdout}");
+    assert!(!stdout.contains("FAIL"), "{stdout}");
+}
+
+#[test]
+fn scenario_validate_flags_broken_files() {
+    let dir = std::env::temp_dir().join("fastcap_scn_validate_bad");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("broken.json"), "{ not json").unwrap();
+    std::fs::write(
+        dir.join("bad_lint.json"),
+        r#"{"name":"bad","description":"d","n_cores":16,
+           "events":[{"at_epoch":1,"action":{"kind":"budget_step","fraction":2.0}}]}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("good.json"),
+        r#"{"name":"good","description":"d","n_cores":16,"events":[]}"#,
+    )
+    .unwrap();
+    let out = run_repro(&["scenario", "validate", dir.to_str().unwrap()]);
+    assert!(!out.status.success(), "broken scenarios must fail the lint");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2 failing"), "{stdout}");
+    assert!(
+        stdout.contains("ok   ") && stdout.contains("good.json"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("outside (0, 1]"), "{stdout}");
+}
+
+#[test]
+fn scenario_cli_rejects_bad_usage() {
+    // Unknown subcommand, missing subcommand, unreadable dir.
+    for args in [
+        &["scenario"][..],
+        &["scenario", "explode"][..],
+        &["scenario", "validate", "a", "b"][..],
+    ] {
+        let out = run_repro(args);
+        assert!(!out.status.success(), "{args:?} must exit non-zero");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("usage: repro"), "{args:?}: {stderr}");
+    }
+    let out = run_repro(&["scenario", "validate", "/nonexistent_dir_xyz"]);
+    assert!(!out.status.success());
+    // Flag errors.
+    let out = run_repro(&["scn_capstep", "--scenario"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("--scenario needs a file"));
+}
+
+#[test]
+fn scenario_override_is_honoured_and_checked() {
+    // A missing override file fails the artifact up front.
+    let out = run_repro(&[
+        "scn_capstep",
+        "--quick",
+        "--scenario",
+        "/nonexistent/scn.json",
+        "--out",
+        std::env::temp_dir()
+            .join("fastcap_scn_override_missing")
+            .to_str()
+            .unwrap(),
+    ]);
+    assert!(!out.status.success(), "missing override must fail");
+
+    // A valid override replaces the default: run capstep under the
+    // hotplug scenario (no budget moves → no step-summary table, but the
+    // trace still renders) and confirm it differs from the default run.
+    let dir_default = std::env::temp_dir().join("fastcap_scn_override_a");
+    let dir_override = std::env::temp_dir().join("fastcap_scn_override_b");
+    for d in [&dir_default, &dir_override] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let out = run_repro(&[
+        "scn_capstep",
+        "--quick",
+        "--seed",
+        "3",
+        "--out",
+        dir_default.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let hotplug = repo_scenarios_dir().join("scn_hotplug.json");
+    let out = run_repro(&[
+        "scn_capstep",
+        "--quick",
+        "--seed",
+        "3",
+        "--scenario",
+        hotplug.to_str().unwrap(),
+        "--out",
+        dir_override.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let a = std::fs::read_to_string(dir_default.join("scn_capstep_trace.csv")).unwrap();
+    let b = std::fs::read_to_string(dir_override.join("scn_capstep_trace.csv")).unwrap();
+    assert_ne!(a, b, "override must change the run");
+    // The default run emits the step summary; the override (no budget
+    // events) cannot.
+    assert!(dir_default.join("scn_capstep.csv").exists());
+    assert!(!dir_override.join("scn_capstep.csv").exists());
+}

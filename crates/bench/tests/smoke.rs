@@ -28,7 +28,10 @@ fn all_ids_are_known_to_the_dispatcher() {
     assert!(experiments::ALL.contains(&"fig3"));
     assert!(experiments::ALL.contains(&"overhead"));
     assert!(experiments::ALL.contains(&"scaling"));
-    assert_eq!(experiments::ALL.len(), 17);
+    assert!(experiments::ALL.contains(&"scn_capstep"));
+    assert!(experiments::ALL.contains(&"scn_flashcrowd"));
+    assert!(experiments::ALL.contains(&"scn_hotplug"));
+    assert_eq!(experiments::ALL.len(), 20);
 }
 
 #[test]

@@ -66,6 +66,21 @@ impl FastCapConfig {
             + self.other_static_power
     }
 
+    /// Returns a copy with a new budget fraction, revalidated — the one
+    /// validation path for mid-run budget moves (used by every policy's
+    /// `on_budget_change`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the fraction is outside
+    /// `(0, 1]`.
+    pub fn with_budget_fraction(&self, fraction: f64) -> Result<Self> {
+        let mut cfg = self.clone();
+        cfg.budget_fraction = fraction;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
     fn validate(&self) -> Result<()> {
         if self.n_cores == 0 {
             return Err(Error::InvalidConfig {
@@ -295,6 +310,22 @@ impl FastCapController {
     #[inline]
     pub fn epochs_seen(&self) -> u64 {
         self.epochs_seen
+    }
+
+    /// Changes the budget fraction `B` mid-run (a datacenter power
+    /// emergency, or its end). This is the explicit re-solve path for
+    /// scripted budget steps and ramps: the fitted power models and all
+    /// other state are kept — only the cap moves — so the very next
+    /// [`FastCapController::decide`] call solves against the new budget
+    /// with fully warm models instead of re-converging from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the new fraction is outside
+    /// `(0, 1]`; the controller is left unchanged.
+    pub fn set_budget_fraction(&mut self, fraction: f64) -> Result<()> {
+        self.cfg = self.cfg.with_budget_fraction(fraction)?;
+        Ok(())
     }
 
     /// Builds the optimization instance from an observation (exposed for
@@ -618,6 +649,46 @@ mod tests {
         assert!(d.core_freqs.iter().all(|&i| i == 0));
         assert_eq!(d.mem_freq, 0);
         assert_eq!(d.degradation, 0.0);
+    }
+
+    #[test]
+    fn budget_changes_resolve_immediately_with_warm_models() {
+        let mut ctl = controller(0.9);
+        let obs = obs_16(true);
+        // Warm the fitters for a few epochs under the loose budget.
+        for _ in 0..3 {
+            ctl.decide(&obs).unwrap();
+        }
+        let epochs_before = ctl.epochs_seen();
+        // Power emergency: cap drops to 50%.
+        ctl.set_budget_fraction(0.5).unwrap();
+        assert_eq!(ctl.config().budget(), Watts(60.0));
+        assert_eq!(ctl.epochs_seen(), epochs_before, "state preserved");
+        let d = ctl.decide(&obs).unwrap();
+        // The very next decision solves against the new cap.
+        assert!(
+            d.predicted_power.get() <= 60.0 + 1e-6,
+            "predicted {} over the stepped budget",
+            d.predicted_power
+        );
+        // And the mean core level must drop vs the loose-budget solution.
+        let mut loose = controller(0.9);
+        for _ in 0..3 {
+            loose.decide(&obs).unwrap();
+        }
+        let dl = loose.decide(&obs).unwrap();
+        let sum = |d: &DvfsDecision| -> usize { d.core_freqs.iter().sum() };
+        assert!(sum(&d) < sum(&dl));
+    }
+
+    #[test]
+    fn budget_change_rejects_bad_fractions() {
+        let mut ctl = controller(0.6);
+        assert!(ctl.set_budget_fraction(0.0).is_err());
+        assert!(ctl.set_budget_fraction(1.5).is_err());
+        assert!(ctl.set_budget_fraction(f64::NAN).is_err());
+        // Unchanged after a rejected update.
+        assert!((ctl.config().budget_fraction - 0.6).abs() < 1e-12);
     }
 
     #[test]

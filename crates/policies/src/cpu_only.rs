@@ -46,6 +46,10 @@ impl CappingPolicy for CpuOnlyPolicy {
         d.mem_freq = self.mem_max_idx;
         Ok(d)
     }
+
+    fn on_budget_change(&mut self, fraction: f64) -> Result<()> {
+        self.controller.set_budget_fraction(fraction)
+    }
 }
 
 #[cfg(test)]

@@ -82,6 +82,10 @@ impl CappingPolicy for EqlFreqPolicy {
             },
         })
     }
+
+    fn on_budget_change(&mut self, fraction: f64) -> Result<()> {
+        self.controller.set_budget_fraction(fraction)
+    }
 }
 
 #[cfg(test)]

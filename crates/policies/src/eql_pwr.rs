@@ -96,6 +96,10 @@ impl CappingPolicy for EqlPwrPolicy {
             },
         })
     }
+
+    fn on_budget_change(&mut self, fraction: f64) -> Result<()> {
+        self.controller.set_budget_fraction(fraction)
+    }
 }
 
 #[cfg(test)]

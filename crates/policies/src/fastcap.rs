@@ -38,6 +38,10 @@ impl CappingPolicy for FastCapPolicy {
     fn decide(&mut self, obs: &EpochObservation) -> Result<DvfsDecision> {
         self.controller.decide(obs)
     }
+
+    fn on_budget_change(&mut self, fraction: f64) -> Result<()> {
+        self.controller.set_budget_fraction(fraction)
+    }
 }
 
 #[cfg(test)]

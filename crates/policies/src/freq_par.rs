@@ -121,6 +121,14 @@ impl CappingPolicy for FreqParPolicy {
             emergency: false,
         })
     }
+
+    fn on_budget_change(&mut self, fraction: f64) -> Result<()> {
+        // The feedback loop keeps its quota: the next error term against
+        // the moved setpoint corrects it (that transient is the policy's
+        // documented oscillation, not a bug).
+        self.cfg = self.cfg.with_budget_fraction(fraction)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 //! | [`EqlPwrPolicy`] | Sharkey et al. \[16\] | yes (grid) | equal per-core power split |
 //! | [`EqlFreqPolicy`] | Herbert & Marculescu \[42\] | yes (grid) | single global core frequency |
 //! | [`MaxBipsPolicy`] | Isci et al. \[14\] | yes (grid) | exhaustive `O(Fᴺ·M)` |
+//! | [`MaxBipsBeamPolicy`] | beam-search MaxBIPS | yes (grid) | width-`W` beam, `O(N·W·F·M)` |
 //!
 //! The baselines marked "grid" are the paper's extended variants: they get
 //! FastCap's counter-driven performance/power models and the ability to
@@ -48,7 +49,7 @@ pub use eql_freq::EqlFreqPolicy;
 pub use eql_pwr::EqlPwrPolicy;
 pub use fastcap::FastCapPolicy;
 pub use freq_par::FreqParPolicy;
-pub use maxbips::MaxBipsPolicy;
+pub use maxbips::{MaxBipsBeamPolicy, MaxBipsPolicy};
 pub use policy::{CappingPolicy, UncappedPolicy};
 
 #[cfg(test)]

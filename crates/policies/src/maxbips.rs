@@ -26,11 +26,20 @@ use fastcap_core::units::Watts;
 #[derive(Debug, Clone)]
 pub struct MaxBipsPolicy {
     controller: FastCapController,
+    /// Objective value of the last decision (test/diagnostic hook shared
+    /// with the beam variant so the two can be pinned against each other).
+    last_total_bips: f64,
 }
 
 /// Cap on `F^N · M` grid size (keeps per-epoch latency finite; the paper
 /// faced the same wall and evaluated MaxBIPS on 4 cores only).
 const MAX_GRID: f64 = 1e8;
+
+/// Default beam width of [`MaxBipsBeamPolicy`]. With Pareto-dominance
+/// pruning inside each expansion, 64 survivors per core recover the
+/// exhaustive optimum on every pinned instance (see the `beam_matches_*`
+/// tests) at `O(N · W · F)` per memory candidate instead of `O(F^N)`.
+const DEFAULT_BEAM_WIDTH: usize = 64;
 
 impl MaxBipsPolicy {
     /// Creates the policy.
@@ -56,8 +65,35 @@ impl MaxBipsPolicy {
         }
         Ok(Self {
             controller: FastCapController::new(cfg)?,
+            last_total_bips: 0.0,
         })
     }
+}
+
+/// Per-core BIPS contributions at one memory operating point: row `i`,
+/// column `l` is core `i`'s predicted instruction throughput at core
+/// ladder level `l` (shared by the exhaustive and beam searches).
+fn bips_table(
+    model: &fastcap_core::model::CapModel,
+    scales: &[f64],
+    ipm: &[f64],
+    sb: fastcap_core::units::Secs,
+) -> Vec<Vec<f64>> {
+    model
+        .cores
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let r = model.memory.response.response_time(i, sb).get();
+            scales
+                .iter()
+                .map(|&s| {
+                    let turn = c.min_think_time.get() / s + c.cache_time.get() + r;
+                    ipm[i] / turn
+                })
+                .collect()
+        })
+        .collect()
 }
 
 impl CappingPolicy for MaxBipsPolicy {
@@ -103,21 +139,7 @@ impl CappingPolicy for MaxBipsPolicy {
                 continue;
             }
             // Per-core BIPS table at this memory point.
-            let bips: Vec<Vec<f64>> = model
-                .cores
-                .iter()
-                .enumerate()
-                .map(|(i, c)| {
-                    let r = model.memory.response.response_time(i, sb).get();
-                    scales
-                        .iter()
-                        .map(|&s| {
-                            let turn = c.min_think_time.get() / s + c.cache_time.get() + r;
-                            ipm[i] / turn
-                        })
-                        .collect()
-                })
-                .collect();
+            let bips = bips_table(&model, &scales, &ipm, sb);
 
             // Exhaustive odometer over F^N combinations.
             let mut combo = vec![0usize; n];
@@ -160,23 +182,236 @@ impl CappingPolicy for MaxBipsPolicy {
         }
 
         Ok(match best {
-            Some((_, d, power, core_freqs, mem_freq)) => DvfsDecision {
-                core_freqs,
-                mem_freq,
-                predicted_power: power,
-                degradation: d,
-                budget_bound: true,
-                emergency: false,
-            },
-            None => DvfsDecision {
-                core_freqs: vec![0; n],
-                mem_freq: 0,
-                predicted_power: model.static_power,
-                degradation: 0.0,
-                budget_bound: true,
-                emergency: true,
-            },
+            Some((bips, d, power, core_freqs, mem_freq)) => {
+                self.last_total_bips = bips;
+                DvfsDecision {
+                    core_freqs,
+                    mem_freq,
+                    predicted_power: power,
+                    degradation: d,
+                    budget_bound: true,
+                    emergency: false,
+                }
+            }
+            None => {
+                self.last_total_bips = 0.0;
+                DvfsDecision {
+                    core_freqs: vec![0; n],
+                    mem_freq: 0,
+                    predicted_power: model.static_power,
+                    degradation: 0.0,
+                    budget_bound: true,
+                    emergency: true,
+                }
+            }
         })
+    }
+
+    fn on_budget_change(&mut self, fraction: f64) -> Result<()> {
+        self.controller.set_budget_fraction(fraction)
+    }
+}
+
+/// One partial assignment in the beam: power and BIPS accumulated over the
+/// first `combo.len()` cores.
+#[derive(Debug, Clone)]
+struct BeamState {
+    power: f64,
+    bips: f64,
+    combo: Vec<usize>,
+}
+
+/// Beam-search MaxBIPS: the same objective as [`MaxBipsPolicy`] —
+/// maximize total predicted BIPS within the budget, over all core and
+/// memory frequencies — but searched with a width-`W` beam per memory
+/// candidate instead of the `O(Fᴺ)` exhaustive odometer, so it runs at
+/// any core count (the exhaustive baseline rejects `N > 8` at the paper's
+/// ladder sizes and 16-core scenario artifacts would otherwise have to
+/// exclude MaxBIPS).
+///
+/// Cores are assigned in index order. After extending every surviving
+/// state by all `F` levels of the next core, states that cannot be
+/// completed within the core power budget (checked against the exact
+/// minimum power of the remaining cores) are dropped, the rest are
+/// Pareto-pruned — a state survives only if no state with at least its
+/// BIPS has strictly less power — and the frontier is truncated to the
+/// beam width. The search is deterministic: expansion order, the
+/// total-order float sort, and truncation depend only on the model.
+#[derive(Debug, Clone)]
+pub struct MaxBipsBeamPolicy {
+    controller: FastCapController,
+    width: usize,
+    last_total_bips: f64,
+}
+
+impl MaxBipsBeamPolicy {
+    /// Creates the policy with the default beam width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn new(cfg: FastCapConfig) -> Result<Self> {
+        Self::with_width(cfg, DEFAULT_BEAM_WIDTH)
+    }
+
+    /// Creates the policy with an explicit beam width (≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for a zero width, and propagates
+    /// configuration validation failures.
+    pub fn with_width(cfg: FastCapConfig, width: usize) -> Result<Self> {
+        if width == 0 {
+            return Err(Error::InvalidConfig {
+                what: "MaxBipsBeam::width",
+                why: "beam width must be at least 1".into(),
+            });
+        }
+        Ok(Self {
+            controller: FastCapController::new(cfg)?,
+            width,
+            last_total_bips: 0.0,
+        })
+    }
+}
+
+impl CappingPolicy for MaxBipsBeamPolicy {
+    fn name(&self) -> &'static str {
+        "MaxBIPS-beam"
+    }
+
+    fn decide(&mut self, obs: &EpochObservation) -> Result<DvfsDecision> {
+        self.controller.observe(obs);
+        let model = self.controller.build_model(obs)?;
+        let cfg = self.controller.config();
+        let n = model.n_cores();
+        let f_levels = cfg.core_ladder.len();
+        let candidates = self.controller.candidates().to_vec();
+
+        let ipm: Vec<f64> = obs
+            .cores
+            .iter()
+            .map(|c| c.instructions_per_miss())
+            .collect();
+        let scales: Vec<f64> = (0..f_levels).map(|l| cfg.core_ladder.scale(l)).collect();
+        let pcost: Vec<Vec<f64>> = model
+            .cores
+            .iter()
+            .map(|c| {
+                scales
+                    .iter()
+                    .map(|&s| c.power.dynamic_power(s).get())
+                    .collect()
+            })
+            .collect();
+        // Exact minimum power of cores `i..`: the feasibility bound for
+        // partial assignments (a state is kept only if the cheapest
+        // completion still fits the core budget).
+        let mut min_suffix = vec![0.0f64; n + 1];
+        for i in (0..n).rev() {
+            let row_min = pcost[i].iter().cloned().fold(f64::MAX, f64::min);
+            min_suffix[i] = min_suffix[i + 1] + row_min;
+        }
+
+        let mut best: Option<(f64, Vec<usize>, fastcap_core::units::Secs, usize)> = None;
+        for &sb in &candidates {
+            let bus_scale = model.memory.min_bus_transfer_time / sb;
+            let mem_dyn = model.memory.power.dynamic_power(bus_scale);
+            let core_budget = model.budget.get() - model.static_power.get() - mem_dyn.get();
+            if core_budget <= 0.0 || min_suffix[0] > core_budget {
+                continue;
+            }
+            let bips = bips_table(&model, &scales, &ipm, sb);
+
+            let mut beam = vec![BeamState {
+                power: 0.0,
+                bips: 0.0,
+                combo: Vec::new(),
+            }];
+            for i in 0..n {
+                let mut next = Vec::with_capacity(beam.len() * f_levels);
+                for s in &beam {
+                    for l in 0..f_levels {
+                        let power = s.power + pcost[i][l];
+                        if power + min_suffix[i + 1] > core_budget {
+                            continue;
+                        }
+                        let mut combo = Vec::with_capacity(n);
+                        combo.extend_from_slice(&s.combo);
+                        combo.push(l);
+                        next.push(BeamState {
+                            power,
+                            bips: s.bips + bips[i][l],
+                            combo,
+                        });
+                    }
+                }
+                // Pareto prune: sorted by BIPS descending (power ascending
+                // among ties), a state survives only if it is strictly
+                // cheaper than everything at least as good before it.
+                next.sort_unstable_by(|a, b| {
+                    b.bips
+                        .total_cmp(&a.bips)
+                        .then_with(|| a.power.total_cmp(&b.power))
+                });
+                let mut frontier: Vec<BeamState> = Vec::with_capacity(self.width);
+                let mut cheapest = f64::MAX;
+                for s in next {
+                    if s.power < cheapest {
+                        cheapest = s.power;
+                        frontier.push(s);
+                        if frontier.len() == self.width {
+                            break;
+                        }
+                    }
+                }
+                beam = frontier;
+                if beam.is_empty() {
+                    break;
+                }
+            }
+            if let Some(top) = beam.first() {
+                if best.as_ref().is_none_or(|(b, ..)| top.bips > *b) {
+                    best = Some((
+                        top.bips,
+                        top.combo.clone(),
+                        sb,
+                        cfg.mem_ladder.nearest_scale(bus_scale),
+                    ));
+                }
+            }
+        }
+
+        Ok(match best {
+            Some((bips, combo, sb, mem_freq)) => {
+                let scales_now: Vec<f64> = combo.iter().map(|&l| scales[l]).collect();
+                let (d, power) = evaluate_point(&model, &scales_now, sb)?;
+                self.last_total_bips = bips;
+                DvfsDecision {
+                    core_freqs: combo,
+                    mem_freq,
+                    predicted_power: power,
+                    degradation: d,
+                    budget_bound: true,
+                    emergency: false,
+                }
+            }
+            None => {
+                self.last_total_bips = 0.0;
+                DvfsDecision {
+                    core_freqs: vec![0; n],
+                    mem_freq: 0,
+                    predicted_power: model.static_power,
+                    degradation: 0.0,
+                    budget_bound: true,
+                    emergency: true,
+                }
+            }
+        })
+    }
+
+    fn on_budget_change(&mut self, fraction: f64) -> Result<()> {
+        self.controller.set_budget_fraction(fraction)
     }
 }
 
@@ -271,5 +506,141 @@ mod tests {
         let mut p = MaxBipsPolicy::new(cfg).unwrap();
         let d = p.decide(&obs_4()).unwrap();
         assert!(d.emergency);
+        let mut b = MaxBipsBeamPolicy::new(cfg_4(0.2)).unwrap();
+        let d = b.decide(&obs_4()).unwrap();
+        assert!(d.emergency, "beam variant takes the same emergency floor");
+    }
+
+    // ---- beam variant ---------------------------------------------------
+
+    use crate::MaxBipsBeamPolicy;
+    use fastcap_core::freq::FreqLadder;
+
+    /// An 8-core configuration with 5-level ladders, small enough
+    /// (`5^8 · 5 ≈ 2·10^6`) for the exhaustive baseline to accept.
+    fn cfg_8(budget: f64) -> FastCapConfig {
+        FastCapConfig::builder(8)
+            .budget_fraction(budget)
+            .core_ladder(
+                FreqLadder::equally_spaced(Hz::from_ghz(2.2), Hz::from_ghz(4.0), 5).unwrap(),
+            )
+            .mem_ladder(
+                FreqLadder::equally_spaced(Hz::from_mhz(200.0), Hz::from_mhz(800.0), 5).unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn obs_8() -> EpochObservation {
+        let cores = (0..8)
+            .map(|i| CoreSample {
+                freq: Hz::from_ghz(4.0),
+                busy_time_per_instruction: Secs::from_nanos(0.25 + 0.015 * (i % 5) as f64),
+                instructions: 1_000_000,
+                last_level_misses: [300, 900, 3_000, 9_000][i % 4],
+                power: Watts(3.9 + 0.2 * (i % 3) as f64),
+            })
+            .collect();
+        EpochObservation::single(
+            cores,
+            MemorySample {
+                bus_freq: Hz::from_mhz(800.0),
+                bank_queue: 1.5,
+                bus_queue: 1.3,
+                bank_service_time: Secs::from_nanos(27.0),
+                power: Watts(28.0),
+            },
+            Watts(62.0),
+        )
+    }
+
+    #[test]
+    fn beam_matches_exhaustive_objective_at_4_cores() {
+        for budget in [0.6, 0.75, 0.9] {
+            let obs = obs_4();
+            let mut exact = MaxBipsPolicy::new(cfg_4(budget)).unwrap();
+            let mut beam = MaxBipsBeamPolicy::new(cfg_4(budget)).unwrap();
+            let de = exact.decide(&obs).unwrap();
+            let db = beam.decide(&obs).unwrap();
+            assert!(!de.emergency && !db.emergency, "B={budget}");
+            let tol = 1e-9 * exact.last_total_bips.max(1.0);
+            assert!(
+                (beam.last_total_bips - exact.last_total_bips).abs() <= tol,
+                "B={budget}: beam {} vs exhaustive {}",
+                beam.last_total_bips,
+                exact.last_total_bips
+            );
+            assert!(db.predicted_power.get() <= 60.0 * budget + 1e-6);
+        }
+    }
+
+    #[test]
+    fn beam_matches_exhaustive_objective_at_8_cores() {
+        for budget in [0.55, 0.7] {
+            let obs = obs_8();
+            let mut exact = MaxBipsPolicy::new(cfg_8(budget)).unwrap();
+            let mut beam = MaxBipsBeamPolicy::new(cfg_8(budget)).unwrap();
+            exact.decide(&obs).unwrap();
+            beam.decide(&obs).unwrap();
+            assert!(
+                exact.last_total_bips > 0.0,
+                "B={budget}: exhaustive found a feasible point"
+            );
+            let tol = 1e-9 * exact.last_total_bips.max(1.0);
+            assert!(
+                (beam.last_total_bips - exact.last_total_bips).abs() <= tol,
+                "B={budget}: beam {} vs exhaustive {}",
+                beam.last_total_bips,
+                exact.last_total_bips
+            );
+            // The beam can never beat the exhaustive optimum.
+            assert!(beam.last_total_bips <= exact.last_total_bips + tol);
+        }
+    }
+
+    #[test]
+    fn beam_scales_to_16_cores_where_exhaustive_refuses() {
+        let cfg = FastCapConfig::builder(16)
+            .budget_fraction(0.6)
+            .peak_power(Watts(120.0))
+            .build()
+            .unwrap();
+        assert!(MaxBipsPolicy::new(cfg.clone()).is_err());
+        let mut beam = MaxBipsBeamPolicy::new(cfg).unwrap();
+        let d = beam.decide(&crate::tests::obs_16()).unwrap();
+        assert!(!d.emergency);
+        assert_eq!(d.core_freqs.len(), 16);
+        assert!(d.predicted_power.get() <= 72.0 + 1e-6);
+        assert!(beam.last_total_bips > 0.0);
+    }
+
+    #[test]
+    fn narrow_beams_stay_feasible_and_monotone() {
+        // Widening the beam can only improve (or tie) the objective.
+        let obs = obs_4();
+        let mut last = 0.0;
+        for width in [1, 4, 64] {
+            let mut p = MaxBipsBeamPolicy::with_width(cfg_4(0.6), width).unwrap();
+            let d = p.decide(&obs).unwrap();
+            assert!(!d.emergency, "width {width}");
+            assert!(d.predicted_power.get() <= 36.0 + 1e-6, "width {width}");
+            assert!(
+                p.last_total_bips >= last - 1e-12,
+                "width {width} regressed: {} < {last}",
+                p.last_total_bips
+            );
+            last = p.last_total_bips;
+        }
+        assert!(MaxBipsBeamPolicy::with_width(cfg_4(0.6), 0).is_err());
+    }
+
+    #[test]
+    fn beam_is_deterministic() {
+        let obs = obs_8();
+        let run = || {
+            let mut p = MaxBipsBeamPolicy::new(cfg_8(0.6)).unwrap();
+            p.decide(&obs).unwrap()
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -20,6 +20,18 @@ pub trait CappingPolicy {
     /// observations; transient infeasibility must be handled internally
     /// (emergency minimum-frequency decisions), not reported as an error.
     fn decide(&mut self, obs: &EpochObservation) -> Result<DvfsDecision>;
+
+    /// Applies a mid-run power-budget change (scenario budget steps and
+    /// ramps — datacenter power emergencies). Implementations keep all
+    /// learned state (fitted power models, feedback state) and only move
+    /// the cap, so the next [`CappingPolicy::decide`] re-solves against
+    /// the new budget immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`fastcap_core::error::Error`] when the fraction is outside
+    /// `(0, 1]`; the policy must be left unchanged.
+    fn on_budget_change(&mut self, fraction: f64) -> Result<()>;
 }
 
 /// The no-op baseline: always run at maximum frequencies (used to measure
@@ -54,6 +66,10 @@ impl CappingPolicy for UncappedPolicy {
             budget_bound: false,
             emergency: false,
         })
+    }
+
+    fn on_budget_change(&mut self, _fraction: f64) -> Result<()> {
+        Ok(()) // uncapped: there is no budget to move
     }
 }
 

@@ -1,0 +1,479 @@
+//! The declarative scenario format.
+//!
+//! A [`Scenario`] is a named list of timed [`ScenarioEvent`]s, loaded from
+//! JSON (see `scenarios/*.json` for checked-in examples and DESIGN.md §7
+//! for the format contract). Every event fires at the **start** of its
+//! epoch: budget actions reach the capping policy before that epoch's
+//! decision, platform actions are injected into the simulator's timing
+//! wheel at the epoch-boundary timestamp.
+//!
+//! The empty scenario is the degenerate case: running it is byte-identical
+//! to a plain (static) run.
+
+use fastcap_workloads::spec;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One timed mutation of the running system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Action {
+    /// Step the power budget to `fraction` of peak (a datacenter power
+    /// emergency, or its end).
+    BudgetStep {
+        /// New budget fraction in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Ramp the budget linearly from its current value to `to_fraction`
+    /// over `over_epochs` epochs (one step per epoch; the target is
+    /// reached at `at_epoch + over_epochs - 1`).
+    BudgetRamp {
+        /// Final budget fraction in `(0, 1]`.
+        to_fraction: f64,
+        /// Ramp length in epochs (≥ 1; 1 degenerates to a step).
+        over_epochs: u64,
+    },
+    /// Hotplug: take the listed cores offline (they drain, stop issuing,
+    /// and are power-gated).
+    CoresOffline {
+        /// Core indices (non-empty, in range, distinct).
+        cores: Vec<usize>,
+    },
+    /// Hotplug: bring the listed cores back online.
+    CoresOnline {
+        /// Core indices (non-empty, in range, distinct).
+        cores: Vec<usize>,
+    },
+    /// Set the workload-intensity multiplier on the listed cores (empty
+    /// list = every core). `factor` is absolute: 10.0 starts a 10× flash
+    /// crowd, 1.0 ends it.
+    IntensityScale {
+        /// Absolute intensity multiplier (> 0).
+        factor: f64,
+        /// Target cores; empty means all.
+        cores: Vec<usize>,
+    },
+    /// Layer a sinusoidal load envelope (e.g. a diurnal cycle) over the
+    /// listed cores' own phase behaviour.
+    Overlay {
+        /// Envelope period in epochs (> 0).
+        period_epochs: f64,
+        /// Envelope amplitude as a fraction of nominal load, in `[0, 1)`.
+        amplitude: f64,
+        /// Target cores; empty means all.
+        cores: Vec<usize>,
+    },
+    /// Workload churn: the application on `core` departs and `app` (a
+    /// Table III SPEC name) arrives in its place.
+    SwapApp {
+        /// Core index.
+        core: usize,
+        /// Arriving application name (must have a base profile).
+        app: String,
+    },
+}
+
+/// One scheduled event: an [`Action`] firing at the start of an epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioEvent {
+    /// Epoch index at whose start the action fires.
+    pub at_epoch: u64,
+    /// The mutation to apply.
+    pub action: Action,
+}
+
+/// A scripted dynamic run: metadata plus timed events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (used in diagnostics).
+    pub name: String,
+    /// Human-readable description of what the scenario exercises.
+    pub description: String,
+    /// The platform core count the events are written against; runs on a
+    /// server with a different core count are rejected.
+    pub n_cores: usize,
+    /// The timed events, in any order (sorted by epoch when compiled).
+    pub events: Vec<ScenarioEvent>,
+}
+
+impl Scenario {
+    /// The empty (static) scenario for an `n_cores` platform.
+    pub fn empty(n_cores: usize) -> Self {
+        Self {
+            name: "empty".into(),
+            description: "static run (no events)".into(),
+            n_cores,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether the scenario has no events (a static run).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Parses a scenario from JSON text (shape only; call
+    /// [`Scenario::validate`] for the semantic lints).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformation.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Renders the scenario as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Loads and parses a scenario file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the path for I/O or parse failures.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Lints the scenario and returns every complaint (empty = clean).
+    /// Checks value ranges, core indices, duplicate cores per event,
+    /// unknown applications, budget events overlapping an active ramp,
+    /// and an impossible hotplug timeline (offlining an offline core,
+    /// onlining an online one, or emptying the machine).
+    pub fn lint(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        if self.name.is_empty() {
+            errs.push("scenario name is empty".into());
+        }
+        if self.n_cores == 0 {
+            errs.push("n_cores must be positive".into());
+            return errs;
+        }
+        let check_cores =
+            |errs: &mut Vec<String>, at: u64, what: &str, cores: &[usize], may_be_empty: bool| {
+                if cores.is_empty() && !may_be_empty {
+                    errs.push(format!("epoch {at}: {what}: empty core list"));
+                }
+                let mut seen = vec![false; self.n_cores];
+                for &c in cores {
+                    if c >= self.n_cores {
+                        errs.push(format!(
+                            "epoch {at}: {what}: core {c} out of range for {} cores",
+                            self.n_cores
+                        ));
+                    } else if std::mem::replace(&mut seen[c], true) {
+                        errs.push(format!("epoch {at}: {what}: core {c} listed twice"));
+                    }
+                }
+            };
+
+        // Per-event value lints.
+        for ev in &self.events {
+            let at = ev.at_epoch;
+            match &ev.action {
+                Action::BudgetStep { fraction } => {
+                    if !(*fraction > 0.0 && *fraction <= 1.0) {
+                        errs.push(format!(
+                            "epoch {at}: budget_step: fraction {fraction} outside (0, 1]"
+                        ));
+                    }
+                }
+                Action::BudgetRamp {
+                    to_fraction,
+                    over_epochs,
+                } => {
+                    if !(*to_fraction > 0.0 && *to_fraction <= 1.0) {
+                        errs.push(format!(
+                            "epoch {at}: budget_ramp: to_fraction {to_fraction} outside (0, 1]"
+                        ));
+                    }
+                    if *over_epochs == 0 {
+                        errs.push(format!("epoch {at}: budget_ramp: over_epochs must be >= 1"));
+                    }
+                }
+                Action::CoresOffline { cores } => {
+                    check_cores(&mut errs, at, "cores_offline", cores, false);
+                }
+                Action::CoresOnline { cores } => {
+                    check_cores(&mut errs, at, "cores_online", cores, false);
+                }
+                Action::IntensityScale { factor, cores } => {
+                    if !(*factor > 0.0 && factor.is_finite()) {
+                        errs.push(format!(
+                            "epoch {at}: intensity_scale: factor {factor} must be positive"
+                        ));
+                    }
+                    check_cores(&mut errs, at, "intensity_scale", cores, true);
+                }
+                Action::Overlay {
+                    period_epochs,
+                    amplitude,
+                    cores,
+                } => {
+                    if !(*period_epochs > 0.0 && period_epochs.is_finite()) {
+                        errs.push(format!(
+                            "epoch {at}: overlay: period_epochs {period_epochs} must be positive"
+                        ));
+                    }
+                    if !(0.0..1.0).contains(amplitude) {
+                        errs.push(format!(
+                            "epoch {at}: overlay: amplitude {amplitude} outside [0, 1)"
+                        ));
+                    }
+                    check_cores(&mut errs, at, "overlay", cores, true);
+                }
+                Action::SwapApp { core, app } => {
+                    check_cores(&mut errs, at, "swap_app", std::slice::from_ref(core), false);
+                    if spec::base(app).is_none() {
+                        errs.push(format!("epoch {at}: swap_app: unknown application `{app}`"));
+                    }
+                }
+            }
+        }
+        if !errs.is_empty() {
+            return errs; // timeline lints assume per-event sanity
+        }
+
+        // Timeline lints over the epoch-sorted event sequence.
+        let mut sorted: Vec<&ScenarioEvent> = self.events.iter().collect();
+        sorted.sort_by_key(|e| e.at_epoch);
+        let mut online = vec![true; self.n_cores];
+        let mut ramp_until: Option<u64> = None; // first epoch after the ramp
+        for ev in sorted {
+            let at = ev.at_epoch;
+            match &ev.action {
+                Action::BudgetStep { .. } | Action::BudgetRamp { .. } => {
+                    if let Some(end) = ramp_until {
+                        if at < end {
+                            errs.push(format!(
+                                "epoch {at}: budget event fires inside a ramp still \
+                                 running until epoch {end}"
+                            ));
+                        }
+                    }
+                    if let Action::BudgetRamp { over_epochs, .. } = ev.action {
+                        ramp_until = Some(at + over_epochs);
+                    }
+                }
+                Action::CoresOffline { cores } => {
+                    for &c in cores {
+                        if !std::mem::replace(&mut online[c], false) {
+                            errs.push(format!("epoch {at}: core {c} is already offline"));
+                        }
+                    }
+                    if online.iter().all(|&a| !a) {
+                        errs.push(format!("epoch {at}: every core is offline"));
+                    }
+                }
+                Action::CoresOnline { cores } => {
+                    for &c in cores {
+                        if std::mem::replace(&mut online[c], true) {
+                            errs.push(format!("epoch {at}: core {c} is already online"));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        errs
+    }
+
+    /// [`Scenario::lint`] as a single pass/fail result.
+    ///
+    /// # Errors
+    ///
+    /// Returns every lint complaint joined into one message.
+    pub fn validate(&self) -> Result<(), String> {
+        let errs = self.lint();
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs.join("; "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(at_epoch: u64, fraction: f64) -> ScenarioEvent {
+        ScenarioEvent {
+            at_epoch,
+            action: Action::BudgetStep { fraction },
+        }
+    }
+
+    fn scenario(events: Vec<ScenarioEvent>) -> Scenario {
+        Scenario {
+            name: "test".into(),
+            description: "test scenario".into(),
+            n_cores: 16,
+            events,
+        }
+    }
+
+    #[test]
+    fn empty_scenario_is_clean() {
+        assert!(Scenario::empty(16).validate().is_ok());
+        assert!(Scenario::empty(16).is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_covers_every_action() {
+        let s = scenario(vec![
+            step(5, 0.5),
+            ScenarioEvent {
+                at_epoch: 10,
+                action: Action::BudgetRamp {
+                    to_fraction: 0.9,
+                    over_epochs: 8,
+                },
+            },
+            ScenarioEvent {
+                at_epoch: 30,
+                action: Action::CoresOffline { cores: vec![0, 1] },
+            },
+            ScenarioEvent {
+                at_epoch: 40,
+                action: Action::CoresOnline { cores: vec![0, 1] },
+            },
+            ScenarioEvent {
+                at_epoch: 50,
+                action: Action::IntensityScale {
+                    factor: 10.0,
+                    cores: vec![],
+                },
+            },
+            ScenarioEvent {
+                at_epoch: 60,
+                action: Action::Overlay {
+                    period_epochs: 48.0,
+                    amplitude: 0.4,
+                    cores: vec![3],
+                },
+            },
+            ScenarioEvent {
+                at_epoch: 70,
+                action: Action::SwapApp {
+                    core: 2,
+                    app: "swim".into(),
+                },
+            },
+        ]);
+        assert!(s.validate().is_ok(), "{:?}", s.lint());
+        let json = s.to_json();
+        // The wire format is internally tagged with snake_case kinds.
+        assert!(json.contains("\"kind\": \"budget_step\""), "{json}");
+        assert!(json.contains("\"kind\": \"swap_app\""), "{json}");
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(Scenario::from_json("{").is_err());
+        assert!(Scenario::from_json("{\"name\": \"x\"}").is_err());
+        let bad_kind = r#"{"name":"x","description":"d","n_cores":4,
+            "events":[{"at_epoch":1,"action":{"kind":"explode"}}]}"#;
+        let err = Scenario::from_json(bad_kind).unwrap_err();
+        assert!(err.contains("explode"), "{err}");
+    }
+
+    #[test]
+    fn lint_catches_value_errors() {
+        let bad = scenario(vec![
+            step(1, 0.0),
+            step(2, 1.5),
+            ScenarioEvent {
+                at_epoch: 3,
+                action: Action::CoresOffline { cores: vec![16] },
+            },
+            ScenarioEvent {
+                at_epoch: 4,
+                action: Action::CoresOffline { cores: vec![1, 1] },
+            },
+            ScenarioEvent {
+                at_epoch: 5,
+                action: Action::CoresOnline { cores: vec![] },
+            },
+            ScenarioEvent {
+                at_epoch: 6,
+                action: Action::IntensityScale {
+                    factor: -2.0,
+                    cores: vec![],
+                },
+            },
+            ScenarioEvent {
+                at_epoch: 7,
+                action: Action::Overlay {
+                    period_epochs: 0.0,
+                    amplitude: 1.5,
+                    cores: vec![],
+                },
+            },
+            ScenarioEvent {
+                at_epoch: 8,
+                action: Action::SwapApp {
+                    core: 0,
+                    app: "doom".into(),
+                },
+            },
+        ]);
+        let errs = bad.lint();
+        assert!(errs.len() >= 9, "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("outside (0, 1]")));
+        assert!(errs.iter().any(|e| e.contains("out of range")));
+        assert!(errs.iter().any(|e| e.contains("listed twice")));
+        assert!(errs.iter().any(|e| e.contains("empty core list")));
+        assert!(errs.iter().any(|e| e.contains("unknown application")));
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn lint_catches_timeline_errors() {
+        // Offline an already-offline core.
+        let s = scenario(vec![
+            ScenarioEvent {
+                at_epoch: 2,
+                action: Action::CoresOffline { cores: vec![1] },
+            },
+            ScenarioEvent {
+                at_epoch: 5,
+                action: Action::CoresOffline { cores: vec![1] },
+            },
+        ]);
+        assert!(s.lint().iter().any(|e| e.contains("already offline")));
+
+        // Online an online core.
+        let s = scenario(vec![ScenarioEvent {
+            at_epoch: 2,
+            action: Action::CoresOnline { cores: vec![1] },
+        }]);
+        assert!(s.lint().iter().any(|e| e.contains("already online")));
+
+        // Empty machine.
+        let s = scenario(vec![ScenarioEvent {
+            at_epoch: 2,
+            action: Action::CoresOffline {
+                cores: (0..16).collect(),
+            },
+        }]);
+        assert!(s.lint().iter().any(|e| e.contains("every core is offline")));
+
+        // Budget step inside a running ramp.
+        let s = scenario(vec![
+            ScenarioEvent {
+                at_epoch: 2,
+                action: Action::BudgetRamp {
+                    to_fraction: 0.5,
+                    over_epochs: 10,
+                },
+            },
+            step(6, 0.9),
+        ]);
+        assert!(s.lint().iter().any(|e| e.contains("inside a ramp")));
+    }
+}

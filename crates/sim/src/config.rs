@@ -266,7 +266,23 @@ impl SimConfig {
     ///
     /// Propagates [`Error::InvalidConfig`] from the controller builder.
     pub fn controller_config(&self, budget_fraction: f64) -> Result<FastCapConfig> {
-        FastCapConfig::builder(self.n_cores)
+        self.controller_config_n(budget_fraction, self.n_cores)
+    }
+
+    /// Builds a controller configuration for a subset of `n_cores` online
+    /// cores (scenario hotplug): the full machine's peak power and budget
+    /// stay in force, but the controller models — and spends static power
+    /// for — only the online cores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::InvalidConfig`] from the controller builder.
+    pub fn controller_config_n(
+        &self,
+        budget_fraction: f64,
+        n_cores: usize,
+    ) -> Result<FastCapConfig> {
+        FastCapConfig::builder(n_cores)
             .budget_fraction(budget_fraction)
             .peak_power(self.peak_power)
             .core_ladder(self.core_ladder.clone())
@@ -443,6 +459,20 @@ mod tests {
         assert_eq!(cc.budget(), Watts(72.0));
         assert!((cc.min_bus_transfer_time.nanos() - 5.0).abs() < 1e-9);
         assert!(c.controller_config(0.0).is_err());
+    }
+
+    #[test]
+    fn controller_config_n_keeps_machine_budget() {
+        // Hotplug rebuild: 12 online cores still see the full machine's
+        // peak power and absolute budget, but less core static power.
+        let c = SimConfig::ispass(16).unwrap();
+        let full = c.controller_config(0.6).unwrap();
+        let sub = c.controller_config_n(0.6, 12).unwrap();
+        assert_eq!(sub.n_cores, 12);
+        assert_eq!(sub.peak_power, full.peak_power);
+        assert_eq!(sub.budget(), full.budget());
+        let delta = full.total_static_power().get() - sub.total_static_power().get();
+        assert!((delta - 4.0 * c.core_static.get()).abs() < 1e-9);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::config::CoreMode;
 use crate::engine::Ps;
 use fastcap_core::units::Hz;
-use fastcap_workloads::AppInstance;
+use fastcap_workloads::{AppInstance, PhaseSpec};
 
 /// Epoch-scoped statistics for one core.
 #[derive(Debug, Default, Clone, Copy)]
@@ -56,10 +56,23 @@ pub struct CoreSim {
     /// Row-hit probability (copied from the profile at refresh so the hot
     /// path never walks into the cold profile data).
     pub row_hit_p: f64,
+    /// Whether the core is online (scenario hotplug). Offline cores issue
+    /// no new work and are power-gated.
+    pub active: bool,
+    /// Whether the core's event chain has died (its pending `CoreReady`
+    /// was swallowed, or a reschedule was gated, while offline). A core
+    /// whose chain died needs a fresh kick when it comes back online.
+    pub chain_dead: bool,
     /// Epoch statistics.
     pub stats: CoreStats,
     /// Phase-modulated MPKI.
     pub mpki_eff: f64,
+    /// Scenario intensity multiplier (1.0 = nominal; flash crowds scale
+    /// this up, layered multiplicatively over the phase model).
+    pub intensity_scale: f64,
+    /// Optional scenario overlay (e.g. a diurnal load envelope) layered
+    /// multiplicatively over the application's own [`PhaseSpec`].
+    pub overlay: Option<PhaseSpec>,
     /// The application bound to this core.
     pub app: AppInstance,
 }
@@ -77,17 +90,25 @@ impl CoreSim {
             mpki_eff: 1.0,
             wb_prob: wb,
             row_hit_p: row_hit,
+            active: true,
+            chain_dead: false,
             burst: 1,
             think_mean: 1.0,
             instr_per_interval: 1.0,
+            intensity_scale: 1.0,
+            overlay: None,
             app,
         }
     }
 
     /// Recomputes the epoch-effective behaviour from the application's
-    /// phase model, the execution mode and the core's current frequency.
+    /// phase model (plus any scenario intensity overlay), the execution
+    /// mode and the core's current frequency.
     pub fn refresh(&mut self, epoch: f64, mode: CoreMode, freq: Hz) {
-        let intensity = self.app.profile.phase.intensity(epoch);
+        let mut intensity = self.app.profile.phase.intensity(epoch) * self.intensity_scale;
+        if let Some(overlay) = &self.overlay {
+            intensity *= overlay.intensity(epoch);
+        }
         self.mpki_eff = (self.app.profile.mpki * intensity).max(0.01);
         self.wb_prob = self.app.profile.writeback_probability();
         self.row_hit_p = self.app.profile.row_hit_ratio;
@@ -187,5 +208,49 @@ mod tests {
         let c = core("swim");
         let p = &c.app.profile;
         assert!((c.wb_prob - p.wpki / p.mpki).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intensity_scale_multiplies_memory_pressure() {
+        let mut c = core("gcc");
+        c.app.profile.phase = fastcap_workloads::PhaseSpec::STEADY;
+        c.refresh(0.0, CoreMode::InOrder, Hz::from_ghz(4.0));
+        let base_mpki = c.mpki_eff;
+        let base_think = c.think_mean;
+        c.intensity_scale = 10.0;
+        c.refresh(0.0, CoreMode::InOrder, Hz::from_ghz(4.0));
+        assert!((c.mpki_eff / base_mpki - 10.0).abs() < 1e-9);
+        // 10x the miss rate → 10x shorter intervals between misses.
+        assert!((base_think / c.think_mean - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlay_layers_multiplicatively_over_phase() {
+        let mut c = core("swim");
+        c.app.profile.phase = fastcap_workloads::PhaseSpec::STEADY;
+        let overlay = fastcap_workloads::PhaseSpec {
+            period_epochs: 40.0,
+            amplitude: 0.5,
+            ripple_period_epochs: 1.0,
+            ripple_amplitude: 0.0,
+            offset: 0.0,
+            mode_period_epochs: 0.0,
+            mode_amplitude: 0.0,
+        };
+        c.overlay = Some(overlay);
+        // Peak of the sinusoid is at a quarter period: intensity 1.5.
+        c.refresh(10.0, CoreMode::InOrder, Hz::from_ghz(4.0));
+        let expect = c.app.profile.mpki * overlay.intensity(10.0);
+        assert!((c.mpki_eff - expect).abs() < 1e-9);
+        assert!(c.mpki_eff > c.app.profile.mpki * 1.4);
+    }
+
+    #[test]
+    fn cores_start_active_with_live_chains() {
+        let c = core("gzip");
+        assert!(c.active);
+        assert!(!c.chain_dead);
+        assert_eq!(c.intensity_scale, 1.0);
+        assert!(c.overlay.is_none());
     }
 }

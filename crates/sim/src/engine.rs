@@ -63,6 +63,14 @@ pub enum Event {
         /// Memory controller index.
         ctrl: usize,
     },
+    /// A scheduled scenario mutation fires (see
+    /// [`crate::server::ControlAction`]); `slot` indexes the server's
+    /// control table. Ordered in the wheel exactly like simulation events,
+    /// so injected mutations are deterministic and `--jobs`-invariant.
+    Control {
+        /// Index into the server's scheduled-control table.
+        slot: usize,
+    },
 }
 
 // ---- packed event representation ---------------------------------------
@@ -77,6 +85,7 @@ const TAG_SHIFT: u32 = 22;
 const TAG_CORE: u64 = 0;
 const TAG_BANK: u64 = 1;
 const TAG_BUS: u64 = 2;
+const TAG_CONTROL: u64 = 3;
 const EV_MASK: u64 = (1 << EV_BITS) - 1;
 
 #[inline]
@@ -94,6 +103,10 @@ fn pack(ev: Event) -> u64 {
             debug_assert!(ctrl < 1 << TAG_SHIFT);
             (TAG_BUS << TAG_SHIFT) | ctrl as u64
         }
+        Event::Control { slot } => {
+            debug_assert!(slot < 1 << TAG_SHIFT);
+            (TAG_CONTROL << TAG_SHIFT) | slot as u64
+        }
     }
 }
 
@@ -109,8 +122,11 @@ fn unpack(meta: u64) -> Event {
             ctrl: (payload & 0xFF) as usize,
             bank: (payload >> 8) as usize,
         },
-        _ => Event::BusDone {
+        TAG_BUS => Event::BusDone {
             ctrl: payload as usize,
+        },
+        _ => Event::Control {
+            slot: payload as usize,
         },
     }
 }
@@ -549,6 +565,8 @@ mod tests {
             },
             Event::BusDone { ctrl: 0 },
             Event::BusDone { ctrl: 255 },
+            Event::Control { slot: 0 },
+            Event::Control { slot: 4_000_000 },
         ] {
             assert_eq!(unpack(pack(ev)), ev, "{ev:?}");
         }

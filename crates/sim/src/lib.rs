@@ -54,4 +54,4 @@ pub mod server;
 pub use analytic::AnalyticServer;
 pub use config::{CoreMode, Interleaving, SimConfig};
 pub use metrics::{EpochReport, RunResult};
-pub use server::Server;
+pub use server::{ControlAction, Server};

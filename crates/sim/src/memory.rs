@@ -313,7 +313,7 @@ mod tests {
                     let r = ctl.on_bus_done(t, sb, queue);
                     done.push((t, r));
                 }
-                Event::CoreReady { .. } => unreachable!(),
+                Event::CoreReady { .. } | Event::Control { .. } => unreachable!(),
             }
         }
         done

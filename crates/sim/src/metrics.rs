@@ -90,7 +90,16 @@ impl RunResult {
     /// Mean instruction throughput per core (instructions per simulated
     /// second) over epochs `skip..`.
     pub fn throughput(&self, skip: usize) -> Vec<f64> {
-        let es = &self.epochs[skip.min(self.epochs.len())..];
+        self.throughput_in(skip, self.epochs.len())
+    }
+
+    /// Mean instruction throughput per core over the epoch window
+    /// `[start, end)` — the per-phase metric of the scenario artifacts
+    /// (pre-surge vs in-surge vs recovered). Out-of-range bounds clamp.
+    pub fn throughput_in(&self, start: usize, end: usize) -> Vec<f64> {
+        let end = end.min(self.epochs.len());
+        let start = start.min(end);
+        let es = &self.epochs[start..end];
         let span = es.len() as f64 * self.sim_epoch_length.get();
         (0..self.n_cores)
             .map(|i| {
@@ -226,6 +235,21 @@ mod tests {
             e.instructions = vec![0.0, 0.0];
         }
         assert!(zero.degradation_vs(&base, 0).is_err());
+    }
+
+    #[test]
+    fn windowed_throughput() {
+        let mut r = run(&[100.0, 100.0, 100.0, 100.0]);
+        r.epochs[2].instructions = vec![2000.0, 1000.0];
+        r.epochs[3].instructions = vec![2000.0, 1000.0];
+        let early = r.throughput_in(0, 2);
+        let late = r.throughput_in(2, 4);
+        assert!((late[0] / early[0] - 2.0).abs() < 1e-9);
+        assert!((late[1] / early[1] - 2.0).abs() < 1e-9);
+        // Full-window form agrees with `throughput`.
+        assert_eq!(r.throughput_in(1, r.epochs.len()), r.throughput(1));
+        // Degenerate windows clamp to zero throughput.
+        assert!(r.throughput_in(9, 12).iter().all(|&t| t == 0.0));
     }
 
     #[test]

@@ -28,9 +28,67 @@ use fastcap_core::counters::{CoreSample, EpochObservation, MemorySample};
 use fastcap_core::error::{Error, Result};
 use fastcap_core::freq::VoltageCurve;
 use fastcap_core::units::{Secs, Watts};
-use fastcap_workloads::{AppInstance, WorkloadSpec};
+use fastcap_workloads::{AppInstance, PhaseSpec, WorkloadSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// A scheduled mid-run mutation of the simulated platform, injected into
+/// the DES event stream by [`Server::schedule_control`] (the scenario
+/// engine's server-side actions). Each action targets one core; scenario
+/// events naming several cores expand to one action per core.
+///
+/// Controls fire in the timing wheel exactly like simulation events —
+/// `(time, FIFO-seq)` ordered — so a scenario perturbs the simulation
+/// deterministically and identically at any `--jobs` count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlAction {
+    /// Hotplug: bring a core online (`true`) or take it offline (`false`).
+    /// Offline cores stop issuing work once their in-flight requests drain
+    /// and are power-gated (zero measured power).
+    SetOnline {
+        /// Core index.
+        core: usize,
+        /// Desired state.
+        online: bool,
+    },
+    /// Set the core's workload-intensity multiplier (1.0 = nominal). A
+    /// flash crowd is a large factor over a window of epochs.
+    SetIntensity {
+        /// Core index.
+        core: usize,
+        /// Absolute multiplier applied over the phase model.
+        factor: f64,
+    },
+    /// Install (or clear) a load-envelope overlay layered over the
+    /// application's own phase model — e.g. a diurnal sinusoid.
+    SetOverlay {
+        /// Core index.
+        core: usize,
+        /// The overlay; `None` removes any installed overlay.
+        phase: Option<PhaseSpec>,
+    },
+    /// Workload churn: the application on `core` departs and `app` arrives
+    /// in its place. In-flight requests of the departing application drain
+    /// normally.
+    SwapApp {
+        /// Core index.
+        core: usize,
+        /// The arriving application.
+        app: Box<AppInstance>,
+    },
+}
+
+impl ControlAction {
+    /// The core this action targets.
+    pub fn core(&self) -> usize {
+        match *self {
+            ControlAction::SetOnline { core, .. }
+            | ControlAction::SetIntensity { core, .. }
+            | ControlAction::SetOverlay { core, .. }
+            | ControlAction::SwapApp { core, .. } => core,
+        }
+    }
+}
 
 /// The simulated server.
 #[derive(Debug)]
@@ -66,6 +124,9 @@ pub struct Server {
     obs: EpochObservation,
     /// Whether `obs` holds a completed epoch.
     obs_ready: bool,
+    /// Scheduled scenario mutations; `Event::Control { slot }` indexes
+    /// this table. Empty for plain (non-scenario) runs.
+    controls: Vec<ControlAction>,
 }
 
 impl Server {
@@ -141,6 +202,7 @@ impl Server {
             epoch_index: 0,
             obs,
             obs_ready: false,
+            controls: Vec::new(),
             cfg,
         };
         server.refresh_cores();
@@ -182,6 +244,60 @@ impl Server {
     /// per-event cost in the `sim_engine` bench and DESIGN.md §6.
     pub fn events_scheduled(&self) -> u64 {
         self.queue.scheduled()
+    }
+
+    /// Whether a core is currently online (scenario hotplug state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_active(&self, core: usize) -> bool {
+        self.cores[core].active
+    }
+
+    /// Schedules a scenario mutation to fire at the **start** of epoch
+    /// `at_epoch`, injected into the timing wheel as a regular event: it
+    /// is `(time, FIFO-seq)`-ordered against simulation events, fires
+    /// inside that epoch's event loop (after the epoch's DVFS decision is
+    /// applied), and therefore perturbs the simulation identically at any
+    /// `--jobs` count. A server with no scheduled controls behaves — byte
+    /// for byte — like one built before this API existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for an out-of-range core, an epoch
+    /// that already started, or too many scheduled controls.
+    pub fn schedule_control(&mut self, at_epoch: u64, action: ControlAction) -> Result<()> {
+        if action.core() >= self.cfg.n_cores {
+            return Err(Error::InvalidConfig {
+                what: "control",
+                why: format!(
+                    "core {} out of range for {} cores",
+                    action.core(),
+                    self.cfg.n_cores
+                ),
+            });
+        }
+        if at_epoch < self.epoch_index {
+            return Err(Error::InvalidConfig {
+                what: "control",
+                why: format!(
+                    "epoch {at_epoch} already simulated (at epoch {})",
+                    self.epoch_index
+                ),
+            });
+        }
+        let slot = self.controls.len();
+        if slot >= 1 << 22 {
+            return Err(Error::InvalidConfig {
+                what: "control",
+                why: "at most 2^22 controls can be scheduled".into(),
+            });
+        }
+        let span = to_ps(self.cfg.sim_epoch_length());
+        self.controls.push(action);
+        self.queue.push(at_epoch * span, Event::Control { slot });
+        Ok(())
     }
 
     /// The observation a policy would receive right now (from the last
@@ -264,13 +380,18 @@ impl Server {
         }
     }
 
-    fn refresh_cores(&mut self) {
-        // Phase models are calibrated in units of the paper's 5 ms quantum.
-        // Anchor them to (undilated) wall time so studies that change the
-        // epoch length (Sec. IV-B: 10 ms, 20 ms) see the same application
-        // behaviour per unit time.
+    /// The phase-model clock at the current simulation time: phase models
+    /// are calibrated in units of the paper's 5 ms quantum, anchored to
+    /// (undilated) wall time so studies that change the epoch length
+    /// (Sec. IV-B: 10 ms, 20 ms) see the same application behaviour per
+    /// unit time.
+    fn phase_epoch(&self) -> f64 {
         let wall = self.now as f64 / PS_PER_SEC * self.cfg.time_dilation;
-        let epoch = wall / 5.0e-3;
+        wall / 5.0e-3
+    }
+
+    fn refresh_cores(&mut self) {
+        let epoch = self.phase_epoch();
         for (i, core) in self.cores.iter_mut().enumerate() {
             let f = self.cfg.core_ladder.at(self.core_freq_idx[i]);
             core.refresh(epoch, self.cfg.core_mode, f);
@@ -296,9 +417,50 @@ impl Server {
                         }
                     }
                 }
+                Event::Control { slot } => self.apply_control(slot),
             }
         }
         self.now = end;
+    }
+
+    /// Applies one scheduled scenario mutation at its event time.
+    fn apply_control(&mut self, slot: usize) {
+        let action = self.controls[slot].clone();
+        match action {
+            ControlAction::SetOnline { core, online } => {
+                let was = self.cores[core].active;
+                self.cores[core].active = online;
+                if online && !was && self.cores[core].chain_dead {
+                    // Fresh kick: the chain died while offline. Uses the
+                    // same think-sampling path as the initial schedule.
+                    self.cores[core].chain_dead = false;
+                    let now = self.now;
+                    self.schedule_core(core, now);
+                }
+            }
+            ControlAction::SetIntensity { core, factor } => {
+                self.cores[core].intensity_scale = factor;
+                self.refresh_core(core);
+            }
+            ControlAction::SetOverlay { core, phase } => {
+                self.cores[core].overlay = phase;
+                self.refresh_core(core);
+            }
+            ControlAction::SwapApp { core, app } => {
+                // Only the application changes: outstanding counters and
+                // the chain state stay, so in-flight requests drain safely.
+                self.cores[core].app = *app;
+                self.refresh_core(core);
+            }
+        }
+    }
+
+    /// Re-derives one core's epoch-effective behaviour at the current
+    /// simulation time (mid-epoch variant of [`Server::refresh_cores`]).
+    fn refresh_core(&mut self, core: usize) {
+        let epoch = self.phase_epoch();
+        let f = self.cfg.core_ladder.at(self.core_freq_idx[core]);
+        self.cores[core].refresh(epoch, self.cfg.core_mode, f);
     }
 
     /// Samples an exponential think time (mean `mean` ps).
@@ -308,6 +470,12 @@ impl Server {
     }
 
     fn schedule_core(&mut self, core: usize, now: Ps) {
+        if !self.cores[core].active {
+            // Offline: the chain dies here (no reschedule, no RNG draw);
+            // coming back online re-kicks it.
+            self.cores[core].chain_dead = true;
+            return;
+        }
         let mean = self.cores[core].think_mean;
         let z = self.sample_exp(mean);
         let c = &mut self.cores[core];
@@ -329,6 +497,12 @@ impl Server {
     }
 
     fn on_core_ready(&mut self, core: usize) {
+        if !self.cores[core].active {
+            // The interval completed while the core was hot-unplugged: the
+            // work is discarded, nothing is credited, the chain dies.
+            self.cores[core].chain_dead = true;
+            return;
+        }
         self.cores[core].credit_interval();
         let burst = self.cores[core].burst;
         let row_hit_p = self.cores[core].row_hit_p;
@@ -403,8 +577,14 @@ impl Server {
             let f = self.cfg.core_ladder.at(self.core_freq_idx[i]);
             let stats = self.cores[i].stats;
             let busy_frac = (stats.busy / span as f64).min(1.0);
-            let p_true = crate::power_model::core_power(&self.cfg, f, busy_frac);
-            let p = self.noisy(p_true);
+            let p = if self.cores[i].active {
+                let p_true = crate::power_model::core_power(&self.cfg, f, busy_frac);
+                self.noisy(p_true)
+            } else {
+                // Hot-unplugged cores are power-gated: no dynamic, no
+                // static, no meter sample (and no RNG draw).
+                Watts::ZERO
+            };
             core_power.push(p);
             instructions.push(stats.instructions);
 
@@ -686,6 +866,202 @@ mod tests {
             obs.controllers[0].bank_queue,
             obs.controllers[3].bank_queue
         );
+    }
+
+    #[test]
+    fn scheduling_no_controls_changes_nothing() {
+        // The control machinery must be invisible to plain runs: a server
+        // that never schedules a control is byte-identical to the
+        // pre-scenario engine (also pinned repo-wide by the golden tests).
+        let mut plain = server("MIX2", 16, 77);
+        let mut silent = server("MIX2", 16, 77);
+        // Scheduling for an epoch past the run's end also changes nothing
+        // observable within the run.
+        silent
+            .schedule_control(
+                1_000,
+                ControlAction::SetIntensity {
+                    core: 0,
+                    factor: 5.0,
+                },
+            )
+            .unwrap();
+        assert_eq!(plain.run(5, |_| None), silent.run(5, |_| None));
+    }
+
+    #[test]
+    fn control_validation_rejects_bad_input() {
+        let mut s = server("MIX1", 16, 1);
+        assert!(s
+            .schedule_control(
+                0,
+                ControlAction::SetIntensity {
+                    core: 16,
+                    factor: 2.0
+                }
+            )
+            .is_err());
+        s.run(3, |_| None);
+        // Epoch 2 already simulated.
+        assert!(s
+            .schedule_control(
+                2,
+                ControlAction::SetIntensity {
+                    core: 0,
+                    factor: 2.0
+                }
+            )
+            .is_err());
+        assert!(s
+            .schedule_control(
+                3,
+                ControlAction::SetIntensity {
+                    core: 0,
+                    factor: 2.0
+                }
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn controls_fire_at_their_epoch_boundary_not_before() {
+        // An intensity surge scheduled for epoch 3 must leave epochs 0..3
+        // byte-identical to an unperturbed run and visibly change epoch 3+.
+        let mut plain = server("MEM1", 16, 9);
+        let r_plain = plain.run(6, |_| None);
+        let mut surged = server("MEM1", 16, 9);
+        for core in 0..16 {
+            surged
+                .schedule_control(3, ControlAction::SetIntensity { core, factor: 8.0 })
+                .unwrap();
+        }
+        let r_surged = surged.run(6, |_| None);
+        for e in 0..3 {
+            assert_eq!(
+                r_plain.epochs[e], r_surged.epochs[e],
+                "epoch {e} perturbed before the event"
+            );
+        }
+        // 8x the miss intensity → far fewer instructions per epoch.
+        let i_plain: f64 = r_plain.epochs[4].instructions.iter().sum();
+        let i_surged: f64 = r_surged.epochs[4].instructions.iter().sum();
+        assert!(
+            i_surged < i_plain * 0.5,
+            "surge must bite: {i_surged} vs {i_plain}"
+        );
+    }
+
+    #[test]
+    fn offline_cores_are_power_gated_and_idle() {
+        let mut s = server("MID1", 16, 21);
+        for core in 0..4 {
+            s.schedule_control(
+                2,
+                ControlAction::SetOnline {
+                    core,
+                    online: false,
+                },
+            )
+            .unwrap();
+        }
+        let r = s.run(6, |_| None);
+        for core in 0..4 {
+            assert!(!s.core_active(core));
+            // Power-gated from the hotplug epoch onward.
+            assert_eq!(r.epochs[3].core_power[core], Watts::ZERO);
+            assert_eq!(r.epochs[5].core_power[core], Watts::ZERO);
+            // No instructions retire once the in-flight interval drains.
+            assert_eq!(r.epochs[5].instructions[core], 0.0);
+        }
+        // Online cores keep drawing power and retiring work.
+        assert!(r.epochs[5].core_power[8].get() > 0.5);
+        assert!(r.epochs[5].instructions[8] > 0.0);
+    }
+
+    #[test]
+    fn hotplug_round_trip_restarts_the_chain() {
+        let mut s = server("MID1", 16, 22);
+        s.schedule_control(
+            1,
+            ControlAction::SetOnline {
+                core: 5,
+                online: false,
+            },
+        )
+        .unwrap();
+        s.schedule_control(
+            4,
+            ControlAction::SetOnline {
+                core: 5,
+                online: true,
+            },
+        )
+        .unwrap();
+        let r = s.run(8, |_| None);
+        assert!(s.core_active(5));
+        assert_eq!(r.epochs[3].instructions[5], 0.0, "offline window");
+        assert!(
+            r.epochs[6].instructions[5] > 0.0,
+            "core must resume after coming back online"
+        );
+        assert!(r.epochs[6].core_power[5].get() > 0.5);
+    }
+
+    #[test]
+    fn swap_app_changes_behaviour_mid_run() {
+        let mut s = server("ILP2", 16, 23);
+        // Swap a compute-bound core to the most memory-intensive profile.
+        let swim = fastcap_workloads::spec::base("swim").unwrap();
+        s.schedule_control(
+            3,
+            ControlAction::SwapApp {
+                core: 0,
+                app: Box::new(AppInstance::new(&swim, 0)),
+            },
+        )
+        .unwrap();
+        let r = s.run(6, |_| None);
+        // swim misses ~50x more: far fewer instructions per epoch after.
+        assert!(
+            r.epochs[5].instructions[0] < r.epochs[1].instructions[0] * 0.5,
+            "after swap {} vs before {}",
+            r.epochs[5].instructions[0],
+            r.epochs[1].instructions[0]
+        );
+    }
+
+    #[test]
+    fn overlay_control_modulates_load() {
+        let mut s = server("MEM2", 16, 24);
+        let envelope = PhaseSpec {
+            period_epochs: 8.0,
+            amplitude: 0.9,
+            ripple_period_epochs: 1.0,
+            ripple_amplitude: 0.0,
+            offset: 0.0,
+            mode_period_epochs: 0.0,
+            mode_amplitude: 0.0,
+        };
+        for core in 0..16 {
+            s.schedule_control(
+                0,
+                ControlAction::SetOverlay {
+                    core,
+                    phase: Some(envelope),
+                },
+            )
+            .unwrap();
+        }
+        let r = s.run(10, |_| None);
+        // The envelope must visibly move per-epoch throughput.
+        let sums: Vec<f64> = r
+            .epochs
+            .iter()
+            .map(|e| e.instructions.iter().sum())
+            .collect();
+        let min = sums.iter().cloned().fold(f64::MAX, f64::min);
+        let max = sums.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max / min > 1.3, "envelope too flat: {min}..{max}");
     }
 
     #[test]

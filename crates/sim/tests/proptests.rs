@@ -21,7 +21,9 @@ fn drain(ctl: &mut MemController, queue: &mut EventQueue, sb: Ps) -> Vec<(Ps, Re
                 let r = ctl.on_bus_done(t, sb, queue);
                 done.push((t, r));
             }
-            Event::CoreReady { .. } => unreachable!("no cores in this harness"),
+            Event::CoreReady { .. } | Event::Control { .. } => {
+                unreachable!("no cores or controls in this harness")
+            }
         }
     }
     done

@@ -16,6 +16,11 @@ use std::fmt;
 
 pub use serde_derive::{Deserialize, Serialize};
 
+// Let this crate's own tests exercise the derive macros, whose expansion
+// refers to `::serde::...`.
+#[cfg(test)]
+extern crate self as serde;
+
 /// A JSON-like value tree, the intermediate representation of this shim.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -434,5 +439,60 @@ mod tests {
         let obj = Value::Object(vec![("a".into(), Value::Int(1))]);
         assert_eq!(obj.get("a"), Some(&Value::Int(1)));
         assert_eq!(obj.get("b"), None);
+    }
+
+    #[derive(Debug, PartialEq, serde_derive::Serialize, serde_derive::Deserialize)]
+    #[serde(tag = "kind", rename_all = "snake_case")]
+    enum TaggedAction {
+        BudgetStep { fraction: f64 },
+        CoresOffline { cores: Vec<usize> },
+        Noop,
+    }
+
+    #[test]
+    fn internally_tagged_enum_serializes_flat() {
+        let v = TaggedAction::BudgetStep { fraction: 0.5 }.to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("kind".into(), Value::Str("budget_step".into())),
+                ("fraction".into(), Value::Float(0.5)),
+            ])
+        );
+        assert_eq!(
+            TaggedAction::Noop.to_value(),
+            Value::Object(vec![("kind".into(), Value::Str("noop".into()))])
+        );
+    }
+
+    #[test]
+    fn internally_tagged_enum_round_trips() {
+        for a in [
+            TaggedAction::BudgetStep { fraction: 0.25 },
+            TaggedAction::CoresOffline { cores: vec![0, 3] },
+            TaggedAction::Noop,
+        ] {
+            assert_eq!(TaggedAction::from_value(&a.to_value()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn internally_tagged_enum_rejects_bad_shapes() {
+        // Unknown tag value.
+        let v = Value::Object(vec![("kind".into(), Value::Str("explode".into()))]);
+        let err = TaggedAction::from_value(&v).unwrap_err();
+        assert!(
+            err.0.contains("unknown TaggedAction variant `explode`"),
+            "{err}"
+        );
+        // Missing tag key.
+        let v = Value::Object(vec![("fraction".into(), Value::Float(0.5))]);
+        assert!(TaggedAction::from_value(&v).is_err());
+        // Missing variant field.
+        let v = Value::Object(vec![("kind".into(), Value::Str("budget_step".into()))]);
+        let err = TaggedAction::from_value(&v).unwrap_err();
+        assert!(err.0.contains("missing field `fraction`"), "{err}");
+        // Not an object at all.
+        assert!(TaggedAction::from_value(&Value::Str("noop".into())).is_err());
     }
 }

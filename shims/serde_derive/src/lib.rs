@@ -6,13 +6,25 @@
 //! structs with named fields, tuple structs, unit structs, and enums with
 //! unit / tuple / struct variants. Generic types are not supported.
 //!
-//! `#[serde(...)]` container and field attributes are accepted and ignored;
-//! the only one appearing in-tree is `#[serde(transparent)]` on newtype
+//! `#[serde(...)]` container attributes: `tag = "..."` (internally tagged
+//! enums, used by the scenario event format) and `rename_all =
+//! "snake_case"` (enum variant names) are honoured; everything else —
+//! including all field attributes — is accepted and ignored. The only
+//! ignored one appearing in-tree is `#[serde(transparent)]` on newtype
 //! structs, whose semantics (serialize as the inner value) are this shim's
 //! default for single-field tuple structs anyway, matching real serde.
 
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 use std::fmt::Write as _;
+
+/// Parsed `#[serde(...)]` container attributes.
+#[derive(Default)]
+struct ContainerAttrs {
+    /// `tag = "..."`: internally-tagged enum representation.
+    tag: Option<String>,
+    /// `rename_all = "snake_case"`: variant-name casing.
+    snake_case: bool,
+}
 
 /// One parsed enum variant.
 struct Variant {
@@ -74,6 +86,69 @@ fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
         // in derive input.
         *i += 2;
     }
+}
+
+/// Advances past the container's outer attributes, extracting the
+/// `#[serde(...)]` options this shim honours (`tag`, `rename_all`).
+fn parse_container_attrs(toks: &[TokenTree], i: &mut usize) -> ContainerAttrs {
+    let mut out = ContainerAttrs::default();
+    while is_punct(toks.get(*i), '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    collect_serde_options(args, &mut out);
+                }
+            }
+        }
+        *i += 2;
+    }
+    out
+}
+
+/// Reads `key = "value"` pairs out of one `serde(...)` argument list.
+fn collect_serde_options(args: &Group, out: &mut ContainerAttrs) {
+    let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < toks.len() {
+        let key = ident_str(&toks[j]);
+        if key.is_some() && is_punct(toks.get(j + 1), '=') {
+            if let Some(TokenTree::Literal(lit)) = toks.get(j + 2) {
+                let value = lit.to_string().trim_matches('"').to_owned();
+                match key.as_deref() {
+                    Some("tag") => out.tag = Some(value),
+                    Some("rename_all") => {
+                        assert_eq!(
+                            value, "snake_case",
+                            "serde shim derive: only rename_all = \"snake_case\" is supported"
+                        );
+                        out.snake_case = true;
+                    }
+                    _ => {}
+                }
+                j += 3;
+                continue;
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Converts a `CamelCase` variant name to `snake_case` (the only
+/// `rename_all` casing the shim supports).
+fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (k, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if k > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
 }
 
 /// Advances past `pub` / `pub(crate)` / `pub(in ...)`.
@@ -178,10 +253,10 @@ fn parse_variants(g: &Group) -> Vec<Variant> {
     out
 }
 
-fn parse_shape(input: TokenStream) -> Shape {
+fn parse_shape(input: TokenStream) -> (Shape, ContainerAttrs) {
     let toks: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
-    skip_attrs(&toks, &mut i);
+    let attrs = parse_container_attrs(&toks, &mut i);
     skip_vis(&toks, &mut i);
     let kw = ident_str(&toks[i]).expect("serde shim derive: expected `struct` or `enum`");
     i += 1;
@@ -191,7 +266,7 @@ fn parse_shape(input: TokenStream) -> Shape {
         !is_punct(toks.get(i), '<'),
         "serde shim derive: generic type `{name}` is not supported"
     );
-    match kw.as_str() {
+    let shape = match kw.as_str() {
         "struct" => match toks.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
                 name,
@@ -213,13 +288,35 @@ fn parse_shape(input: TokenStream) -> Shape {
             other => panic!("serde shim derive: malformed enum body: {other:?}"),
         },
         other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    if attrs.tag.is_some() {
+        let Shape::Enum { name, variants } = &shape else {
+            panic!("serde shim derive: `tag` is only supported on enums");
+        };
+        for v in variants {
+            assert!(
+                !matches!(v.kind, VariantKind::Tuple(_)),
+                "serde shim derive: tuple variant `{name}::{}` cannot be internally tagged",
+                v.name
+            );
+        }
+    }
+    (shape, attrs)
+}
+
+/// The on-the-wire name of a variant under the container's casing rule.
+fn wire_name(attrs: &ContainerAttrs, variant: &str) -> String {
+    if attrs.snake_case {
+        snake_case(variant)
+    } else {
+        variant.to_owned()
     }
 }
 
 /// Derives the shim's `Serialize` trait.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let shape = parse_shape(input);
+    let (shape, attrs) = parse_shape(input);
     let name = shape.name().to_owned();
     let body = match &shape {
         Shape::NamedStruct { fields, .. } => {
@@ -249,19 +346,55 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let mut arms = String::new();
             for v in variants {
                 let vn = &v.name;
+                let wn = wire_name(&attrs, vn);
+                if let Some(tag) = &attrs.tag {
+                    // Internally tagged: one flat object, tag key first.
+                    let tag_entry = format!(
+                        "(::std::string::String::from(\"{tag}\"), \
+                         ::serde::Value::Str(::std::string::String::from(\"{wn}\"))),"
+                    );
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            let _ = write!(
+                                arms,
+                                "{name}::{vn} => \
+                                 ::serde::Value::Object(::std::vec![{tag_entry}]),"
+                            );
+                        }
+                        VariantKind::Named(fields) => {
+                            let pat = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            let _ = write!(
+                                arms,
+                                "{name}::{vn} {{ {pat} }} => ::serde::Value::Object(\
+                                 ::std::vec![{tag_entry}{entries}]),"
+                            );
+                        }
+                        VariantKind::Tuple(_) => unreachable!("rejected by parse_shape"),
+                    }
+                    continue;
+                }
                 match &v.kind {
                     VariantKind::Unit => {
                         let _ = write!(
                             arms,
                             "{name}::{vn} => \
-                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                             ::serde::Value::Str(::std::string::String::from(\"{wn}\")),"
                         );
                     }
                     VariantKind::Tuple(1) => {
                         let _ = write!(
                             arms,
                             "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![(\
-                             ::std::string::String::from(\"{vn}\"), \
+                             ::std::string::String::from(\"{wn}\"), \
                              ::serde::Serialize::to_value(__f0))]),"
                         );
                     }
@@ -275,7 +408,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         let _ = write!(
                             arms,
                             "{name}::{vn}({pat}) => ::serde::Value::Object(::std::vec![(\
-                             ::std::string::String::from(\"{vn}\"), \
+                             ::std::string::String::from(\"{wn}\"), \
                              ::serde::Value::Array(::std::vec![{items}]))]),"
                         );
                     }
@@ -293,7 +426,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         let _ = write!(
                             arms,
                             "{name}::{vn} {{ {pat} }} => ::serde::Value::Object(::std::vec![(\
-                             ::std::string::String::from(\"{vn}\"), \
+                             ::std::string::String::from(\"{wn}\"), \
                              ::serde::Value::Object(::std::vec![{entries}]))]),"
                         );
                     }
@@ -315,7 +448,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 /// Derives the shim's `Deserialize` trait.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let shape = parse_shape(input);
+    let (shape, attrs) = parse_shape(input);
     let name = shape.name().to_owned();
     let body = match &shape {
         Shape::NamedStruct { fields, .. } => {
@@ -346,22 +479,72 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
         Shape::UnitStruct { .. } => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum { variants, .. } if attrs.tag.is_some() => {
+            // Internally tagged: the tag key selects the variant and the
+            // remaining keys of the *same* object are its fields.
+            let tag = attrs.tag.as_deref().expect("guarded by match arm");
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let wn = wire_name(&attrs, vn);
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ =
+                            write!(arms, "\"{wn}\" => ::std::result::Result::Ok({name}::{vn}),");
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::__get_field(__v, \"{f}\", \
+                                     \"{name}::{vn}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "\"{wn}\" => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),"
+                        );
+                    }
+                    VariantKind::Tuple(_) => unreachable!("rejected by parse_shape"),
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Object(_) => {{\n\
+                         match ::serde::__get_field(__v, \"{tag}\", \"{name}\")? {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                     ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                             }},\n\
+                             __other => ::serde::__type_error(\
+                                 \"string `{tag}` tag for {name}\", __other),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::serde::__type_error(\"object for enum {name}\", __other),\n\
+                 }}"
+            )
+        }
         Shape::Enum { variants, .. } => {
             let mut unit_arms = String::new();
             let mut data_arms = String::new();
             for v in variants {
                 let vn = &v.name;
+                let wn = wire_name(&attrs, vn);
                 match &v.kind {
                     VariantKind::Unit => {
                         let _ = write!(
                             unit_arms,
-                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                            "\"{wn}\" => ::std::result::Result::Ok({name}::{vn}),"
                         );
                     }
                     VariantKind::Tuple(1) => {
                         let _ = write!(
                             data_arms,
-                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                            "\"{wn}\" => ::std::result::Result::Ok({name}::{vn}(\
                              ::serde::Deserialize::from_value(__payload)?)),"
                         );
                     }
@@ -371,7 +554,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             .collect();
                         let _ = write!(
                             data_arms,
-                            "\"{vn}\" => match __payload {{\n\
+                            "\"{wn}\" => match __payload {{\n\
                                  ::serde::Value::Array(__items) if __items.len() == {k} => \
                                      ::std::result::Result::Ok({name}::{vn}({inits})),\n\
                                  __other => ::serde::__type_error(\
@@ -392,7 +575,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             .collect();
                         let _ = write!(
                             data_arms,
-                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),"
+                            "\"{wn}\" => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),"
                         );
                     }
                 }
