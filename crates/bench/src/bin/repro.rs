@@ -4,6 +4,7 @@
 //! ```text
 //! repro <artifact>... [--quick] [--seed N] [--jobs N] [--out DIR] [--scenario FILE]
 //! repro all [--quick] [--jobs N]
+//! repro matrix [--count K] [--mixes LIST|all] [--policies LIST|all] [--quick] [--jobs N]
 //! repro scenario validate [DIR]
 //! repro --list
 //! ```
@@ -15,6 +16,12 @@
 //! `--scenario FILE` replaces the checked-in default scenario of the
 //! `scn_*` artifacts; `scenario validate` lints every `*.json` under a
 //! scenario directory (default `scenarios/`). See DESIGN.md §7.
+//!
+//! `repro matrix` sweeps {generated scenarios × mixes × policies} with
+//! the invariant oracle evaluated on every cell (DESIGN.md §8):
+//! `--count K` generated scenarios (default 2, seeds derived from
+//! `--seed`), `--mixes`/`--policies` comma-separated subsets or `all`.
+//! Matrix tables are byte-identical at any `--jobs` value.
 //!
 //! Artifacts: tab1 tab3 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //! fig12 fig13 overhead epochlen ablation scaling scn_capstep
@@ -32,6 +39,7 @@ fn usage() -> String {
     format!(
         "usage: repro <artifact|all>... [--quick] [--seed N] [--jobs N] [--out DIR] \
          [--scenario FILE] [--list]\n\
+         \x20      repro matrix [--count K] [--mixes LIST|all] [--policies LIST|all]\n\
          \x20      repro scenario validate [DIR]\n\
          artifacts: {}",
         experiments::ALL.join(" ")
@@ -94,6 +102,10 @@ fn scenario_validate(dir: &Path) -> ExitCode {
 fn main() -> ExitCode {
     let mut opts = Opts::default();
     let mut targets: Vec<String> = Vec::new();
+    // `repro matrix` subsets (only valid with the matrix subcommand).
+    let mut matrix_mixes: Option<String> = None;
+    let mut matrix_policies: Option<String> = None;
+    let mut matrix_count: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -126,6 +138,30 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--mixes" => match args.next() {
+                Some(list) => matrix_mixes = Some(list),
+                None => {
+                    eprintln!("--mixes needs a comma-separated list or `all`\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--policies" => match args.next() {
+                Some(list) => matrix_policies = Some(list),
+                None => {
+                    eprintln!(
+                        "--policies needs a comma-separated list or `all`\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--count" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(k) if k >= 1 => matrix_count = Some(k),
+                _ => {
+                    eprintln!("--count needs an integer >= 1\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--list" => {
                 for id in experiments::ALL {
                     println!("{id}");
@@ -149,6 +185,13 @@ fn main() -> ExitCode {
     }
     // `repro scenario validate [DIR]` — the scenario-file linter.
     if targets[0] == "scenario" {
+        if matrix_mixes.is_some() || matrix_policies.is_some() || matrix_count.is_some() {
+            eprintln!(
+                "--mixes/--policies/--count are only valid with `repro matrix`\n{}",
+                usage()
+            );
+            return ExitCode::FAILURE;
+        }
         return match targets.get(1).map(String::as_str) {
             Some("validate") if targets.len() <= 3 => {
                 let dir = targets
@@ -164,6 +207,75 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+    // `repro matrix [--count K] [--mixes ...] [--policies ...]` — the
+    // scenario-matrix sweep (DESIGN.md §8).
+    if targets[0] == "matrix" {
+        if targets.len() > 1 {
+            eprintln!(
+                "matrix takes no further targets (got {:?})\n{}",
+                &targets[1..],
+                usage()
+            );
+            return ExitCode::FAILURE;
+        }
+        if opts.scenario.is_some() {
+            eprintln!(
+                "--scenario is only valid with the scn_* artifacts; the matrix runs \
+                 generated scenarios (use --count/--seed)\n{}",
+                usage()
+            );
+            return ExitCode::FAILURE;
+        }
+        let spec = match experiments::scn_matrix::MatrixSpec::parse(
+            matrix_mixes.as_deref().unwrap_or("all"),
+            matrix_policies.as_deref().unwrap_or("all"),
+            matrix_count.unwrap_or(2),
+        ) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("{e}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "# FastCap scenario matrix — {} scenario(s) x {} mix(es) x {} policy(ies), \
+             {} mode, seed {}, {} job(s)",
+            spec.scenario_count,
+            spec.mixes.len(),
+            spec.policies.len(),
+            if opts.quick { "quick" } else { "full" },
+            opts.seed,
+            opts.jobs
+        );
+        let start = Instant::now();
+        return match experiments::scn_matrix::run_matrix(&spec, &opts) {
+            Ok(tables) => {
+                for t in &tables {
+                    if let Err(e) = t.write_to(&opts.out_dir) {
+                        eprintln!("warning: could not write {} artifacts: {e}", t.id);
+                    }
+                    print!("{}", t.to_markdown());
+                }
+                println!(
+                    "\n[matrix: {} table(s) in {:.1}s]",
+                    tables.len(),
+                    start.elapsed().as_secs_f64()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if matrix_mixes.is_some() || matrix_policies.is_some() || matrix_count.is_some() {
+        eprintln!(
+            "--mixes/--policies/--count are only valid with `repro matrix`\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
     }
     // Validate artifact names before running anything, so a typo in a long
     // multi-artifact invocation fails fast instead of after hours of sim.

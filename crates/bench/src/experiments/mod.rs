@@ -21,6 +21,7 @@ pub mod scaling;
 pub mod scn_capstep;
 pub mod scn_flashcrowd;
 pub mod scn_hotplug;
+pub mod scn_matrix;
 pub mod tab1;
 pub mod tab3;
 
@@ -33,7 +34,10 @@ use std::time::Instant;
 
 /// All artifact ids: the paper's figures/tables in paper order, then the
 /// beyond-paper artifacts, then the scenario-engine transients (`scn_*`,
-/// scripted dynamic runs — see DESIGN.md §7).
+/// scripted dynamic runs — see DESIGN.md §7). The scenario matrix
+/// ([`scn_matrix`]) is *not* listed: its grid shape is an input, so it
+/// runs through the `repro matrix` subcommand instead of an artifact id
+/// (DESIGN.md §8).
 pub const ALL: &[&str] = &[
     "tab1",
     "tab3",

@@ -118,6 +118,16 @@ impl PolicyKind {
         PolicyKind::MaxBipsBeam,
     ];
 
+    /// Resolves a display name (case-insensitive) to a member of the
+    /// 16-core-capable policy set — the `repro matrix --policies` parser.
+    /// Exhaustive MaxBIPS is deliberately absent: it cannot build at the
+    /// matrix's 16-core platform (its beam variant can).
+    pub fn from_name(name: &str) -> Option<PolicyKind> {
+        PolicyKind::SCENARIO_SET
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+
     /// Display name matching the paper's figures.
     pub fn name(self) -> &'static str {
         match self {

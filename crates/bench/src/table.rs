@@ -101,6 +101,39 @@ impl ResultTable {
         out
     }
 
+    /// Table-level invariant oracle: the artifact-shape checks every
+    /// emitted table must satisfy regardless of which experiment built it.
+    /// Returns one message per violation (empty = green): a table must
+    /// have at least one row, no blank cells, and every numeric-looking
+    /// cell (plain floats and `%`-suffixed percentages) must be finite —
+    /// a `NaN`/`inf` in a published artifact always means an upstream
+    /// metric divided through zero instead of guarding the window.
+    pub fn oracle_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.rows.is_empty() {
+            v.push(format!("table {}: no rows", self.id));
+        }
+        for (r, row) in self.rows.iter().enumerate() {
+            for (c, cell) in row.iter().enumerate() {
+                let cell = cell.trim();
+                if cell.is_empty() {
+                    v.push(format!("table {}: row {r} col {c} is blank", self.id));
+                    continue;
+                }
+                let numeric = cell.strip_suffix('%').unwrap_or(cell);
+                if let Ok(x) = numeric.parse::<f64>() {
+                    if !x.is_finite() {
+                        v.push(format!(
+                            "table {}: row {r} col {c} ({}): non-finite value `{cell}`",
+                            self.id, self.columns[c]
+                        ));
+                    }
+                }
+            }
+        }
+        v
+    }
+
     /// Writes `<dir>/<id>.csv` and `<dir>/<id>.json`.
     ///
     /// # Errors
@@ -172,6 +205,26 @@ mod tests {
         assert!(csv.contains("a,b"));
         let json = std::fs::read_to_string(dir.join("figX.json")).unwrap();
         assert!(json.contains("\"figX\""));
+    }
+
+    #[test]
+    fn table_oracle_flags_bad_shapes() {
+        assert!(table().oracle_violations().is_empty());
+        let empty = ResultTable::new("t", "t", &["a"]);
+        assert!(!empty.oracle_violations().is_empty(), "no rows");
+        let mut nan = ResultTable::new("t", "t", &["a", "b"]);
+        nan.push_row(vec!["NaN".into(), "1.0".into()]);
+        assert_eq!(nan.oracle_violations().len(), 1);
+        let mut infpct = ResultTable::new("t", "t", &["a"]);
+        infpct.push_row(vec!["inf%".into()]);
+        assert_eq!(infpct.oracle_violations().len(), 1);
+        let mut blank = ResultTable::new("t", "t", &["a"]);
+        blank.push_row(vec!["  ".into()]);
+        assert_eq!(blank.oracle_violations().len(), 1);
+        // Non-numeric text cells are fine.
+        let mut text = ResultTable::new("t", "t", &["a"]);
+        text.push_row(vec!["n/a".into()]);
+        assert!(text.oracle_violations().is_empty());
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Invariant-oracle coverage over the whole artifact set plus the
+//! run-level oracle on the checked-in scenarios.
+//!
+//! The all-artifact pass runs every pre-existing artifact in quick mode
+//! (in-process, two-level sharded like `repro all`) and asserts each
+//! emitted table is oracle-green at the table level: non-empty, no blank
+//! cells, no non-finite numerics. The run-level pass replays the three
+//! checked-in `scn_*` scenarios under FastCap and asserts the full
+//! invariant set (budget-after-settle, conservation, offline gating,
+//! degradation bounds) on the raw runs.
+
+use fastcap_bench::experiments;
+use fastcap_bench::harness::{resolve_scenario, run_scenario, Opts, PolicyKind};
+use fastcap_scenario::{oracle, ScenarioRunner};
+use std::path::Path;
+
+#[test]
+fn all_artifacts_are_table_oracle_green() {
+    // Every runner once (fig8/fig13 ride with fig7/fig12), quick mode,
+    // exactly how `repro all --quick` drives them.
+    let ids: Vec<&str> = experiments::ALL
+        .iter()
+        .copied()
+        .filter(|&id| id != "fig8" && id != "fig13")
+        .collect();
+    let opts = Opts {
+        quick: true,
+        seed: 42,
+        out_dir: std::env::temp_dir().join("fastcap_oracle_all"),
+        ..Opts::default()
+    };
+    let (runs, err) = experiments::run_many(&ids, &opts, |_| {});
+    assert!(err.is_none(), "artifact failed: {err:?}");
+    assert_eq!(runs.len(), ids.len(), "every artifact must complete");
+    let mut tables = 0usize;
+    for run in &runs {
+        assert!(!run.tables.is_empty(), "{}: no tables", run.id);
+        for t in &run.tables {
+            let v = t.oracle_violations();
+            assert!(v.is_empty(), "{}/{}: {v:?}", run.id, t.id);
+            tables += 1;
+        }
+    }
+    // The 20-artifact set currently emits 30+ tables; a collapse in that
+    // number means a runner silently stopped publishing.
+    assert!(tables >= 25, "only {tables} tables emitted");
+}
+
+#[test]
+fn checked_in_scenarios_run_oracle_green_under_fastcap() {
+    let scenarios_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let opts = Opts {
+        quick: true,
+        seed: 42,
+        ..Opts::default()
+    };
+    let cfg = opts.sim_config(16).unwrap();
+    // (file, initial budget) as the scn_* artifacts run them.
+    for (file, budget) in [
+        ("scn_capstep.json", 0.9),
+        ("scn_flashcrowd.json", 0.6),
+        ("scn_hotplug.json", 0.6),
+        ("scn_diurnal_churn.json", 0.7),
+    ] {
+        let path = scenarios_dir.join(file);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let scenario = resolve_scenario(&opts, &text).unwrap();
+        let runner = ScenarioRunner::new(&scenario, budget).unwrap();
+        let mix = match file {
+            "scn_capstep.json" => "MID1",
+            "scn_flashcrowd.json" => "MIX2",
+            "scn_hotplug.json" => "MIX3",
+            _ => "MID3",
+        };
+        let mix = fastcap_workloads::mixes::by_name(mix).unwrap();
+        let epochs = opts.epochs();
+        let base = run_scenario(&cfg, &mix, None, &runner, epochs, 7).unwrap();
+        let capped =
+            run_scenario(&cfg, &mix, Some(PolicyKind::FastCap), &runner, epochs, 7).unwrap();
+        let report = oracle::check_run(
+            &capped,
+            &runner,
+            cfg.other_power,
+            Some(&base),
+            &oracle::OracleConfig::default(),
+        );
+        assert!(report.is_green(), "{file}: {:?}", report.violations);
+    }
+}
+
+#[test]
+fn oracle_flags_a_policyless_run_over_a_tight_cap() {
+    // Negative control: an *uncapped* run pretending to be capped at 50%
+    // must trip the budget invariant — proving the oracle has teeth on
+    // real simulator output, not just synthetic fixtures.
+    let opts = Opts {
+        quick: true,
+        seed: 3,
+        ..Opts::default()
+    };
+    let cfg = opts.sim_config(16).unwrap();
+    let scenario = fastcap_scenario::Scenario::empty(16);
+    let runner = ScenarioRunner::new(&scenario, 0.5).unwrap();
+    let mix = fastcap_workloads::mixes::by_name("ILP1").unwrap();
+    let run = run_scenario(&cfg, &mix, None, &runner, 30, 3).unwrap();
+    let report = oracle::check_run(
+        &run,
+        &runner,
+        cfg.other_power,
+        None,
+        &oracle::OracleConfig::default(),
+    );
+    assert!(
+        report.violations.iter().any(|v| v.contains("budget:")),
+        "uncapped ILP1 at a 50% cap must violate: {:?}",
+        report.violations
+    );
+}

@@ -81,6 +81,22 @@ impl FastCapConfig {
         Ok(cfg)
     }
 
+    /// Returns a copy modelling `n_cores` cores, revalidated. Everything
+    /// per-core (static power, ladders, initial laws) is kept; only the
+    /// modelled core count — and therefore the total static power — moves.
+    /// This is the configuration step of warm-carry hotplug
+    /// ([`FastCapController::warm_carry`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `n_cores` is zero.
+    pub fn with_n_cores(&self, n_cores: usize) -> Result<Self> {
+        let mut cfg = self.clone();
+        cfg.n_cores = n_cores;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
     fn validate(&self) -> Result<()> {
         if self.n_cores == 0 {
             return Err(Error::InvalidConfig {
@@ -326,6 +342,49 @@ impl FastCapController {
     pub fn set_budget_fraction(&mut self, fraction: f64) -> Result<()> {
         self.cfg = self.cfg.with_budget_fraction(fraction)?;
         Ok(())
+    }
+
+    /// Rebuilds the controller for a changed online-core set while
+    /// **carrying** the surviving cores' fitted power models — the
+    /// warm-carry hotplug path: the transient after a hotplug event then
+    /// isolates budget re-allocation, not model re-fitting.
+    ///
+    /// `carried[j]` names the previous controller's core index that new
+    /// core `j` corresponds to, or `None` for a core with no prior state
+    /// (it starts from the configured initial law, exactly like a fresh
+    /// controller's cores). The memory fitter and the epoch counter always
+    /// carry over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `carried` is empty or names
+    /// an out-of-range previous core.
+    pub fn warm_carry(&self, carried: &[Option<usize>]) -> Result<Self> {
+        let cfg = self.cfg.with_n_cores(carried.len())?;
+        let core_fitters = carried
+            .iter()
+            .map(|&src| match src {
+                Some(i) if i < self.core_fitters.len() => Ok(self.core_fitters[i].clone()),
+                Some(i) => Err(Error::InvalidConfig {
+                    what: "warm_carry",
+                    why: format!(
+                        "carried core {i} out of range for {} previous cores",
+                        self.core_fitters.len()
+                    ),
+                }),
+                None => Ok(PowerModelFitter::new(
+                    cfg.initial_core_law,
+                    ExponentBounds::CORE,
+                )),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            cfg,
+            core_fitters,
+            mem_fitter: self.mem_fitter.clone(),
+            candidates: self.candidates.clone(),
+            epochs_seen: self.epochs_seen,
+        })
     }
 
     /// Builds the optimization instance from an observation (exposed for
@@ -709,6 +768,88 @@ mod tests {
         let law = model.cores[0].power;
         assert!((law.alpha - 2.8).abs() < 0.05, "alpha = {}", law.alpha);
         assert!((law.p_max.get() - 3.0).abs() < 0.1, "p_max = {}", law.p_max);
+    }
+
+    #[test]
+    fn warm_carry_preserves_surviving_fitters() {
+        let mut ctl = controller(0.6);
+        // Distinct per-core laws so carried state is attributable: core i
+        // follows P = (2 + 0.2·i)·scale^2.6.
+        for f_ghz in [4.0, 3.0, 2.2] {
+            let scale: f64 = f_ghz / 4.0;
+            let mut obs = obs_16(true);
+            for (i, c) in obs.cores.iter_mut().enumerate() {
+                c.freq = Hz::from_ghz(f_ghz);
+                c.power = Watts(1.0 + (2.0 + 0.2 * i as f64) * scale.powf(2.6));
+            }
+            ctl.decide(&obs).unwrap();
+        }
+        let full = ctl.build_model(&obs_16(true)).unwrap();
+
+        // 16 → 12: cores 0-3 vanish, survivors shift down.
+        let carried: Vec<Option<usize>> = (4..16).map(Some).collect();
+        let small = ctl.warm_carry(&carried).unwrap();
+        assert_eq!(small.config().n_cores, 12);
+        assert_eq!(small.epochs_seen(), ctl.epochs_seen(), "counter carried");
+        let mut obs12 = obs_16(true);
+        obs12.cores.truncate(12);
+        let carried_model = small.build_model(&obs12).unwrap();
+        for j in 0..12 {
+            assert_eq!(
+                carried_model.cores[j].power,
+                full.cores[j + 4].power,
+                "survivor {j} must keep its fitted law"
+            );
+        }
+
+        // 12 → 16: the four returning cores start from the initial law,
+        // the survivors keep carrying.
+        let back: Vec<Option<usize>> = (0..16)
+            .map(|i| if i < 4 { None } else { Some(i - 4) })
+            .collect();
+        let regrown = small.warm_carry(&back).unwrap();
+        let regrown_model = regrown.build_model(&obs_16(true)).unwrap();
+        for i in 0..4 {
+            assert_eq!(
+                regrown_model.cores[i].power,
+                ctl.config().initial_core_law,
+                "returning core {i} starts from the initial law"
+            );
+        }
+        for i in 4..16 {
+            assert_eq!(regrown_model.cores[i].power, full.cores[i].power);
+        }
+        // The memory fitter carried both ways: same memory law as the
+        // original warmed controller.
+        assert_eq!(regrown_model.memory.power, full.memory.power);
+    }
+
+    #[test]
+    fn warm_carry_rejects_bad_maps() {
+        let ctl = controller(0.6);
+        assert!(ctl.warm_carry(&[]).is_err(), "empty active set");
+        assert!(ctl.warm_carry(&[Some(16)]).is_err(), "out of range");
+        assert!(ctl.warm_carry(&[Some(15), None]).is_ok());
+    }
+
+    #[test]
+    fn with_n_cores_scales_static_power_only() {
+        let cfg = FastCapConfig::builder(16)
+            .peak_power(Watts(120.0))
+            .build()
+            .unwrap();
+        let sub = cfg.with_n_cores(12).unwrap();
+        assert_eq!(sub.n_cores, 12);
+        assert_eq!(sub.peak_power, cfg.peak_power);
+        assert_eq!(sub.budget(), cfg.budget(), "machine budget unchanged");
+        assert!(
+            (cfg.total_static_power().get()
+                - sub.total_static_power().get()
+                - 4.0 * cfg.core_static_power.get())
+            .abs()
+                < 1e-9
+        );
+        assert!(cfg.with_n_cores(0).is_err());
     }
 
     #[test]

@@ -50,6 +50,11 @@ impl CappingPolicy for CpuOnlyPolicy {
     fn on_budget_change(&mut self, fraction: f64) -> Result<()> {
         self.controller.set_budget_fraction(fraction)
     }
+
+    fn on_active_set_change(&mut self, carried: &[Option<usize>]) -> Result<bool> {
+        self.controller = self.controller.warm_carry(carried)?;
+        Ok(true)
+    }
 }
 
 #[cfg(test)]

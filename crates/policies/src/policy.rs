@@ -32,6 +32,26 @@ pub trait CappingPolicy {
     /// Returns [`fastcap_core::error::Error`] when the fraction is outside
     /// `(0, 1]`; the policy must be left unchanged.
     fn on_budget_change(&mut self, fraction: f64) -> Result<()>;
+
+    /// Applies a mid-run active-core-set change (scenario hotplug) by
+    /// **warm-carrying** learned state: `carried[j]` names the policy's
+    /// previous core index that new core `j` corresponds to, or `None` for
+    /// a core with no prior state (it starts cold). Policies that support
+    /// this keep the surviving cores' fitted models, so the hotplug
+    /// transient isolates budget re-allocation rather than re-fitting.
+    ///
+    /// The default returns `Ok(false)`: the policy does not support warm
+    /// carry and the caller must rebuild it from scratch (the scenario
+    /// runner's rebuild path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`fastcap_core::error::Error`] for an empty or out-of-range
+    /// carry map; the policy must be left unchanged.
+    fn on_active_set_change(&mut self, carried: &[Option<usize>]) -> Result<bool> {
+        let _ = carried;
+        Ok(false)
+    }
 }
 
 /// The no-op baseline: always run at maximum frequencies (used to measure

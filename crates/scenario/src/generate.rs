@@ -1,0 +1,340 @@
+//! Seeded stochastic scenario generation: a composable grammar over the
+//! scenario [`Action`] kinds.
+//!
+//! A generated scenario is a superposition of independent **motifs** —
+//! budget emergencies (steps and ramps on one timeline), hotplug dips
+//! (disjoint core sets vanish and return), flash-crowd surges (an
+//! intensity spike with a matching end event), diurnal overlays and app
+//! churn — sampled from one seeded [`SmallRng`]. Motif families freely
+//! overlap in time (a surge during a hotplug window, churn during a
+//! ramp), which is exactly the composition coverage the hand-written
+//! `scenarios/*.json` files cannot provide.
+//!
+//! Two contracts, both pinned by `tests/generator.rs`:
+//!
+//! * **Determinism** — the same `(config, seed)` produces a structurally
+//!   identical [`Scenario`] and therefore byte-identical JSON; nothing is
+//!   drawn from global state.
+//! * **Lint-cleanliness by construction** — the sampler respects every
+//!   [`Scenario::lint`] rule structurally: budget events never fire
+//!   inside an active ramp (one forward-moving budget cursor), hotplug
+//!   motifs use disjoint core sets that can never empty the machine,
+//!   per-event core lists are distinct and in range, and churn only names
+//!   known applications.
+
+use crate::format::{Action, Scenario, ScenarioEvent};
+use fastcap_workloads::spec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of the generated scenario space: the platform, the time horizon
+/// and the per-family motif budgets (each family draws its actual count
+/// uniformly from `0..=max`, so a single config spans everything from an
+/// empty scenario to a fully loaded one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Platform core count the events are written against.
+    pub n_cores: usize,
+    /// Events fire in `[2, horizon)` epochs; run at least this many
+    /// epochs to see every motif play out. Must be ≥ 24.
+    pub horizon: u64,
+    /// Maximum budget motifs (steps/ramps on one non-overlapping
+    /// timeline).
+    pub max_budget_motifs: usize,
+    /// Maximum hotplug motifs (offline/online pairs on disjoint cores).
+    pub max_hotplug_motifs: usize,
+    /// Maximum flash-crowd motifs (surge + matching end event).
+    pub max_surge_motifs: usize,
+    /// Maximum load-envelope overlays.
+    pub max_overlay_motifs: usize,
+    /// Maximum app-churn (`swap_app`) events.
+    pub max_churn_events: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            n_cores: 16,
+            horizon: 88,
+            max_budget_motifs: 2,
+            max_hotplug_motifs: 1,
+            max_surge_motifs: 2,
+            max_overlay_motifs: 1,
+            max_churn_events: 3,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A config sized for an `epochs`-long run on `n_cores` cores: the
+    /// event horizon leaves the last few epochs quiet so tail metrics see
+    /// a settled system.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the resulting horizon is under 24 epochs (runs shorter
+    /// than 32 epochs cannot host the motif grammar).
+    #[must_use]
+    pub fn for_run(n_cores: usize, epochs: usize) -> Self {
+        let horizon = (epochs as u64).saturating_sub(8);
+        assert!(
+            horizon >= 24,
+            "generator horizon {horizon} too short (need >= 24, i.e. runs of >= 32 epochs)"
+        );
+        Self {
+            n_cores,
+            horizon,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates one scenario from `(config, seed)` — deterministically, and
+/// lint-clean by construction (see the module docs for both contracts).
+///
+/// # Panics
+///
+/// Panics when the config is degenerate (`n_cores < 2` or
+/// `horizon < 24`). Generated scenarios additionally `debug_assert` their
+/// own lint-cleanliness.
+#[must_use]
+pub fn generate(cfg: &GeneratorConfig, seed: u64) -> Scenario {
+    assert!(cfg.n_cores >= 2, "generator needs at least 2 cores");
+    assert!(cfg.horizon >= 24, "generator needs a horizon of >= 24");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = cfg.n_cores;
+    let h = cfg.horizon;
+    let mut events: Vec<ScenarioEvent> = Vec::new();
+
+    // Budget timeline: one forward-moving cursor; a ramp occupies
+    // [t, t + over), and the next budget event starts at or after its
+    // end — the lint's no-event-inside-a-ramp rule holds structurally.
+    let n_budget = rng.gen_range(0..=cfg.max_budget_motifs);
+    let mut t = rng.gen_range(4..=(h / 4).max(4));
+    for _ in 0..n_budget {
+        // A ramp's compiled per-epoch moves extend to t + over - 1 with
+        // over <= 8; the guard keeps even the last one inside the horizon.
+        if t + 8 >= h {
+            break;
+        }
+        let fraction = frac_grid(&mut rng);
+        let occupied_until = if rng.gen::<f64>() < 0.5 {
+            events.push(at(t, Action::BudgetStep { fraction }));
+            t + 1
+        } else {
+            let over_epochs = rng.gen_range(2u64..=8);
+            events.push(at(
+                t,
+                Action::BudgetRamp {
+                    to_fraction: fraction,
+                    over_epochs,
+                },
+            ));
+            t + over_epochs
+        };
+        t = occupied_until + rng.gen_range(4u64..=16);
+    }
+
+    // Hotplug: disjoint core sets drawn from one shuffled deck, total
+    // strictly below n, so no timeline interleaving can offline an
+    // offline core or empty the machine.
+    let mut deck: Vec<usize> = (0..n).collect();
+    shuffle(&mut rng, &mut deck);
+    let mut dealt = 0usize;
+    for _ in 0..rng.gen_range(0..=cfg.max_hotplug_motifs) {
+        let k = rng.gen_range(1..=(n / 4).max(1));
+        if dealt + k > n - 1 {
+            break;
+        }
+        let mut cores: Vec<usize> = deck[dealt..dealt + k].to_vec();
+        dealt += k;
+        cores.sort_unstable();
+        let t_off = rng.gen_range(4..=h - 14);
+        let t_on = t_off + rng.gen_range(4u64..=12);
+        events.push(at(
+            t_off,
+            Action::CoresOffline {
+                cores: cores.clone(),
+            },
+        ));
+        events.push(at(t_on, Action::CoresOnline { cores }));
+    }
+
+    // Flash crowds: an intensity spike and its matching end, on all cores
+    // (empty list) or a random subset; free to overlap anything.
+    for _ in 0..rng.gen_range(0..=cfg.max_surge_motifs) {
+        let cores = if rng.gen::<f64>() < 0.4 {
+            Vec::new()
+        } else {
+            let k = rng.gen_range(1..=(n / 2).max(1));
+            pick_cores(&mut rng, n, k)
+        };
+        let factor = rng.gen_range(3u32..=12) as f64;
+        // Surge end (t1 + up to 12) stays inside the horizon, so a run of
+        // `horizon` epochs always sees the crowd recede.
+        let t1 = rng.gen_range(4..=h - 16);
+        let t2 = t1 + rng.gen_range(4u64..=12);
+        events.push(at(
+            t1,
+            Action::IntensityScale {
+                factor,
+                cores: cores.clone(),
+            },
+        ));
+        events.push(at(t2, Action::IntensityScale { factor: 1.0, cores }));
+    }
+
+    // Diurnal overlays: installed once, persist to the end of the run.
+    for _ in 0..rng.gen_range(0..=cfg.max_overlay_motifs) {
+        let cores = if rng.gen::<f64>() < 0.5 {
+            Vec::new()
+        } else {
+            let k = rng.gen_range(1..=(n / 2).max(1));
+            pick_cores(&mut rng, n, k)
+        };
+        events.push(at(
+            rng.gen_range(2..=h / 2),
+            Action::Overlay {
+                period_epochs: rng.gen_range(12u32..=48) as f64,
+                amplitude: rng.gen_range(2u32..=8) as f64 * 0.1,
+                cores,
+            },
+        ));
+    }
+
+    // App churn: arrivals replacing departures, any Table III profile.
+    let names = spec::all_names();
+    for _ in 0..rng.gen_range(0..=cfg.max_churn_events) {
+        events.push(at(
+            rng.gen_range(4..h),
+            Action::SwapApp {
+                core: rng.gen_range(0..n),
+                app: names[rng.gen_range(0..names.len())].to_string(),
+            },
+        ));
+    }
+
+    // Stable epoch order: readable files, and insertion order within an
+    // epoch (the interpreter's tie-break) stays by motif family.
+    events.sort_by_key(|e| e.at_epoch);
+    let scenario = Scenario {
+        name: format!("gen-{seed:016x}"),
+        description: format!(
+            "generated: {} event(s) over {} epochs on {n} cores (seed {seed})",
+            events.len(),
+            h
+        ),
+        n_cores: n,
+        events,
+    };
+    debug_assert!(
+        scenario.lint().is_empty(),
+        "generator emitted a lint-dirty scenario: {:?}",
+        scenario.lint()
+    );
+    scenario
+}
+
+/// One scheduled event.
+fn at(at_epoch: u64, action: Action) -> ScenarioEvent {
+    ScenarioEvent { at_epoch, action }
+}
+
+/// A budget fraction on the 0.40..=0.95 grid in 0.05 steps — round values
+/// keep generated JSON human-scannable and float-exact.
+fn frac_grid(rng: &mut SmallRng) -> f64 {
+    rng.gen_range(8u32..=19) as f64 * 0.05
+}
+
+/// In-place Fisher–Yates shuffle.
+fn shuffle(rng: &mut SmallRng, v: &mut [usize]) {
+    for i in (1..v.len()).rev() {
+        v.swap(i, rng.gen_range(0..=i));
+    }
+}
+
+/// `k` distinct cores out of `n`, ascending.
+fn pick_cores(rng: &mut SmallRng, n: usize, k: usize) -> Vec<usize> {
+    let mut deck: Vec<usize> = (0..n).collect();
+    shuffle(rng, &mut deck);
+    let mut cores = deck[..k.min(n)].to_vec();
+    cores.sort_unstable();
+    cores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_scenario() {
+        let cfg = GeneratorConfig::default();
+        for seed in [0, 1, 42, u64::MAX] {
+            let a = generate(&cfg, seed);
+            let b = generate(&cfg, seed);
+            assert_eq!(a, b);
+            assert_eq!(a.to_json(), b.to_json());
+        }
+    }
+
+    #[test]
+    fn seeds_explore_the_space() {
+        let cfg = GeneratorConfig::default();
+        let a = generate(&cfg, 1);
+        let b = generate(&cfg, 2);
+        assert_ne!(a, b, "different seeds must differ");
+        // Across a handful of seeds every action kind appears somewhere.
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..32 {
+            for ev in generate(&cfg, seed).events {
+                kinds.insert(match ev.action {
+                    Action::BudgetStep { .. } => "step",
+                    Action::BudgetRamp { .. } => "ramp",
+                    Action::CoresOffline { .. } => "off",
+                    Action::CoresOnline { .. } => "on",
+                    Action::IntensityScale { .. } => "surge",
+                    Action::Overlay { .. } => "overlay",
+                    Action::SwapApp { .. } => "churn",
+                });
+            }
+        }
+        assert_eq!(kinds.len(), 7, "missing kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn generated_scenarios_are_lint_clean_and_bounded() {
+        let cfg = GeneratorConfig::default();
+        for seed in 0..64 {
+            let s = generate(&cfg, seed);
+            assert!(s.lint().is_empty(), "seed {seed}: {:?}", s.lint());
+            for ev in &s.events {
+                assert!(
+                    ev.at_epoch < cfg.horizon,
+                    "seed {seed}: event at {} escapes the horizon",
+                    ev.at_epoch
+                );
+            }
+            // Ramp expansions must stay inside the horizon too: a run of
+            // exactly `horizon` epochs sees every motif play out.
+            let runner = crate::ScenarioRunner::new(&s, 0.8).unwrap();
+            if let Some(&(last, _)) = runner.budget_moves().last() {
+                assert!(last < cfg.horizon, "seed {seed}: ramp tail at {last}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_run_sizes_the_horizon() {
+        let cfg = GeneratorConfig::for_run(16, 40);
+        assert_eq!(cfg.horizon, 32);
+        assert_eq!(cfg.n_cores, 16);
+        let s = generate(&cfg, 9);
+        assert!(s.lint().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn for_run_rejects_short_runs() {
+        let _ = GeneratorConfig::for_run(16, 20);
+    }
+}

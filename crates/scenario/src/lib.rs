@@ -17,7 +17,16 @@
 //!   [`PhaseSpec`](fastcap_workloads::PhaseSpec);
 //! * **core hotplug** — cores vanishing and reappearing
 //!   (`cores_offline` / `cores_online`), with the policy rebuilt for the
-//!   new online set.
+//!   new online set — or, with
+//!   [`ScenarioRunner::with_warm_hotplug`], warm-carrying the surviving
+//!   cores' fitted models so the transient isolates allocation.
+//!
+//! Beyond hand-written files, [`generate`] samples scenarios from a
+//! seeded composable motif grammar (deterministic and lint-clean by
+//! construction — the substrate of the `repro matrix` sweeps), and
+//! [`oracle`] checks the invariants every finished run must satisfy
+//! (budget compliance after settle windows, counter conservation,
+//! power-gated offline cores, sane degradations).
 //!
 //! Static runs are the degenerate case: an empty scenario is byte-identical
 //! to a plain run (pinned by this crate's proptests). See DESIGN.md §7 for
@@ -47,7 +56,10 @@
 #![warn(missing_docs)]
 
 mod format;
+pub mod generate;
+pub mod oracle;
 mod runtime;
 
 pub use format::{Action, Scenario, ScenarioEvent};
+pub use generate::{generate, GeneratorConfig};
 pub use runtime::{PolicyFactory, ScenarioRunner};

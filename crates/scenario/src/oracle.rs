@@ -1,0 +1,473 @@
+//! The invariant oracle: properties every scenario run must satisfy, no
+//! matter which policy, mix or generated scenario produced it.
+//!
+//! The oracle consumes a finished [`RunResult`] plus the compiled
+//! schedules of the [`ScenarioRunner`] that drove it and returns every
+//! violation it finds:
+//!
+//! * **Sanity** — all measured powers and instruction counts are finite
+//!   and non-negative.
+//! * **Counter conservation** — per epoch, total power equals the sum of
+//!   its parts (`Σ core + memory + other static`) to float precision
+//!   ([`RunResult::max_conservation_residual`] is the sim-side probe).
+//! * **Budget compliance** — outside the warm-up and a settle window
+//!   after every scheduled move, measured power stays within `tolerance`
+//!   of the budget in force at that epoch.
+//! * **Offline cores draw no power** — from a `cores_offline` epoch until
+//!   the matching `cores_online`, the gated cores report exactly zero
+//!   power and (after the drain epoch) zero retired instructions. The RNG
+//!   half of this invariant is probed by `Server::rng_draws`.
+//! * **Degradation bounds** — against an uncapped baseline of the same
+//!   scenario, per-core degradations are finite and inside a sane band
+//!   (no divide-through-zero artifacts, no starved-to-death cores
+//!   masquerading as data).
+//!
+//! The matrix runner evaluates this on **every cell** and publishes the
+//! verdict as a column; the test suites reuse it as their assertion core.
+
+use crate::runtime::ScenarioRunner;
+use fastcap_core::units::Watts;
+use fastcap_sim::RunResult;
+
+/// Tunable thresholds for one oracle evaluation.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Warm-up epochs at the start of the run exempt from the budget and
+    /// degradation checks (the controller is still converging).
+    pub warmup: usize,
+    /// Fractional overshoot above the in-force budget tolerated outside
+    /// settle windows. The floor is set by the controller itself, not the
+    /// scenario machinery: nearest-frequency quantization and one-epoch-
+    /// stale counters leave FastCap a few percent of steady-state slack
+    /// (worse at high time dilation, where per-epoch counters are
+    /// sparse). The default absorbs that floor; `scn_capstep` separately
+    /// *measures* tight-tolerance settle behaviour as an artifact.
+    pub tolerance: f64,
+    /// Epochs after every scheduled budget/hotplug move exempt from the
+    /// budget check — the transient the scenario artifacts *measure*
+    /// must not be double-reported as a violation. Sized to cover model
+    /// re-fitting after a workload shift, not just the re-solve.
+    pub settle_window: usize,
+    /// Whether to run the budget-compliance check at all. Adversarial
+    /// compositions at extreme time dilation (a persistent high-amplitude
+    /// overlay, back-to-back all-core surges) keep the power target
+    /// non-stationary faster than the fitters can track — there the
+    /// unconditional invariants (sanity, conservation, offline gating,
+    /// degradation bounds) still hold but steady-state budget compliance
+    /// has no settled window to check.
+    pub check_budget: bool,
+    /// Maximum tolerated power-accounting residual, watts.
+    pub conservation_eps: f64,
+    /// Sane per-core degradation band `(min, max)` vs the baseline.
+    pub d_bounds: (f64, f64),
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        Self {
+            warmup: 5,
+            tolerance: 0.10,
+            settle_window: 16,
+            check_budget: true,
+            conservation_eps: 1e-6,
+            d_bounds: (0.2, 100.0),
+        }
+    }
+}
+
+/// The outcome of one oracle evaluation.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Every violated invariant, human-readable. Empty means green.
+    pub violations: Vec<String>,
+}
+
+impl OracleReport {
+    /// Whether every invariant held.
+    pub fn is_green(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Table-cell summary: `ok`, or the violation count.
+    pub fn summary(&self) -> String {
+        if self.is_green() {
+            "ok".to_string()
+        } else {
+            format!("{} viol", self.violations.len())
+        }
+    }
+}
+
+/// Evaluates every invariant on one finished run. `other_static` is the
+/// platform's frequency-independent non-core non-memory power
+/// (`SimConfig::other_power`) needed by the conservation check;
+/// `baseline` is the uncapped run of the *same* scenario and seed, when
+/// available, for the degradation bounds.
+#[must_use]
+pub fn check_run(
+    run: &RunResult,
+    runner: &ScenarioRunner,
+    other_static: Watts,
+    baseline: Option<&RunResult>,
+    cfg: &OracleConfig,
+) -> OracleReport {
+    let mut v = Vec::new();
+    // Shape guard first: every later check indexes per-core vectors by
+    // the runner's core count, so a mismatched pair must come back as a
+    // violation, not a panic.
+    if run.n_cores != runner.n_cores() {
+        return OracleReport {
+            violations: vec![format!(
+                "shape: run models {} cores but the scenario targets {}",
+                run.n_cores,
+                runner.n_cores()
+            )],
+        };
+    }
+    check_sanity(run, &mut v);
+    check_conservation(run, other_static, cfg, &mut v);
+    if cfg.check_budget {
+        check_budget(run, runner, cfg, &mut v);
+    }
+    check_offline(run, runner, &mut v);
+    if let Some(base) = baseline {
+        check_degradations(run, base, cfg, &mut v);
+    }
+    OracleReport { violations: v }
+}
+
+fn check_sanity(run: &RunResult, v: &mut Vec<String>) {
+    for (e, ep) in run.epochs.iter().enumerate() {
+        let bad_w = |w: Watts| !w.get().is_finite() || w.get() < 0.0;
+        if bad_w(ep.total_power) || bad_w(ep.mem_power) || ep.core_power.iter().any(|&w| bad_w(w)) {
+            v.push(format!("sanity: epoch {e}: non-finite or negative power"));
+        }
+        if ep.instructions.iter().any(|&i| !i.is_finite() || i < 0.0) {
+            v.push(format!(
+                "sanity: epoch {e}: non-finite or negative instruction count"
+            ));
+        }
+    }
+}
+
+fn check_conservation(
+    run: &RunResult,
+    other_static: Watts,
+    cfg: &OracleConfig,
+    v: &mut Vec<String>,
+) {
+    let residual = run.max_conservation_residual(other_static);
+    if residual > cfg.conservation_eps {
+        v.push(format!(
+            "conservation: power components leave {residual:.3e} W unaccounted \
+             (tolerance {:.1e} W)",
+            cfg.conservation_eps
+        ));
+    }
+}
+
+fn check_budget(run: &RunResult, runner: &ScenarioRunner, cfg: &OracleConfig, v: &mut Vec<String>) {
+    let budgets = runner.budget_trace(run.epochs.len());
+    // Epochs inside a settle window after any scheduled perturbation are
+    // exempt — budget moves, hotplug, and server-side events alike: the
+    // policy sees one-epoch-stale counters, so every scripted change
+    // legitimately takes a transient to track.
+    let mut exempt = vec![false; run.epochs.len()];
+    let move_epochs = runner
+        .budget_moves()
+        .iter()
+        .map(|&(e, _)| e)
+        .chain(runner.mask_moves().iter().map(|&(e, _)| e))
+        .chain(runner.server_moves().iter().map(|&(e, _)| e));
+    for me in move_epochs {
+        let lo = me as usize;
+        let hi = (lo + cfg.settle_window).min(run.epochs.len());
+        for flag in exempt.iter_mut().take(hi).skip(lo.min(run.epochs.len())) {
+            *flag = true;
+        }
+    }
+    let peak = run.peak_power.get();
+    let mut worst: Option<(usize, f64, f64)> = None;
+    let mut count = 0usize;
+    for (e, ep) in run.epochs.iter().enumerate().skip(cfg.warmup) {
+        if exempt[e] {
+            continue;
+        }
+        let cap = budgets[e] * peak;
+        let p = ep.total_power.get();
+        if p > cap * (1.0 + cfg.tolerance) {
+            count += 1;
+            let over = (p - cap) / cap;
+            if worst.is_none_or(|(_, _, w)| over > w) {
+                worst = Some((e, cap, over));
+            }
+        }
+    }
+    if let Some((e, cap, over)) = worst {
+        v.push(format!(
+            "budget: {count} settled epoch(s) above the cap; worst at epoch {e}: \
+             {:.1}% over the {cap:.1} W budget",
+            over * 100.0
+        ));
+    }
+}
+
+fn check_offline(run: &RunResult, runner: &ScenarioRunner, v: &mut Vec<String>) {
+    let masks = runner.mask_trace(run.epochs.len());
+    for (e, (ep, mask)) in run.epochs.iter().zip(&masks).enumerate() {
+        let Some(mask) = mask else { continue };
+        // Was this the transition epoch for any core? In-flight work may
+        // still be credited at the boundary, so instructions get one
+        // epoch of grace; power gating is immediate.
+        let changed_now = runner.mask_moves().iter().any(|&(me, _)| me as usize == e);
+        for (c, &online) in mask.iter().enumerate() {
+            if online {
+                continue;
+            }
+            if ep.core_power[c] != Watts::ZERO {
+                v.push(format!(
+                    "offline: epoch {e}: offline core {c} draws {} (must be power-gated)",
+                    ep.core_power[c]
+                ));
+            }
+            if !changed_now && ep.instructions[c] != 0.0 {
+                v.push(format!(
+                    "offline: epoch {e}: offline core {c} retired {} instructions",
+                    ep.instructions[c]
+                ));
+            }
+        }
+    }
+}
+
+fn check_degradations(run: &RunResult, base: &RunResult, cfg: &OracleConfig, v: &mut Vec<String>) {
+    if base.n_cores != run.n_cores {
+        v.push(format!(
+            "degradation: baseline models {} cores, run models {}",
+            base.n_cores, run.n_cores
+        ));
+        return;
+    }
+    let tb = base.throughput(cfg.warmup);
+    let tm = run.throughput(cfg.warmup);
+    let (lo, hi) = cfg.d_bounds;
+    for (c, (&b, &m)) in tb.iter().zip(&tm).enumerate() {
+        // Cores idle in both runs (e.g. offline for the whole window)
+        // carry no degradation signal; a core alive on one side only is
+        // a real inconsistency.
+        if b <= 0.0 && m <= 0.0 {
+            continue;
+        }
+        if b <= 0.0 || m <= 0.0 {
+            v.push(format!(
+                "degradation: core {c}: throughput {b:.3e} uncapped vs {m:.3e} capped \
+                 (one side idle)"
+            ));
+            continue;
+        }
+        let d = b / m;
+        if !d.is_finite() || d < lo || d > hi {
+            v.push(format!(
+                "degradation: core {c}: D = {d:.3} outside sane band [{lo}, {hi}]"
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{Action, Scenario, ScenarioEvent};
+    use fastcap_core::units::Secs;
+    use fastcap_sim::EpochReport;
+
+    fn runner_with(events: Vec<ScenarioEvent>, initial: f64) -> ScenarioRunner {
+        let s = Scenario {
+            name: "oracle-test".into(),
+            description: "synthetic".into(),
+            n_cores: 2,
+            events,
+        };
+        ScenarioRunner::new(&s, initial).unwrap()
+    }
+
+    /// A 2-core run whose components are exactly conserved with
+    /// `other_static = 4 W`: per epoch `total = 0.3p + 0.3p + 0.3p + 4`.
+    fn run(powers: &[f64]) -> RunResult {
+        RunResult {
+            n_cores: 2,
+            sim_epoch_length: Secs::from_micros(100.0),
+            peak_power: Watts(100.0),
+            epochs: powers
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| EpochReport {
+                    epoch: i as u64,
+                    core_freq_idx: vec![9, 5],
+                    mem_freq_idx: 7,
+                    core_power: vec![Watts(p * 0.3), Watts(p * 0.3)],
+                    mem_power: Watts(p * 0.3),
+                    total_power: Watts(p * 0.9 + 4.0),
+                    instructions: vec![1000.0, 500.0],
+                    emergency: false,
+                })
+                .collect(),
+        }
+    }
+
+    fn cfg() -> OracleConfig {
+        OracleConfig {
+            warmup: 1,
+            settle_window: 2,
+            ..OracleConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_is_green() {
+        let runner = runner_with(Vec::new(), 0.6);
+        let r = run(&[50.0, 55.0, 58.0, 57.0]);
+        let rep = check_run(&r, &runner, Watts(4.0), None, &cfg());
+        assert!(rep.is_green(), "{:?}", rep.violations);
+        assert_eq!(rep.summary(), "ok");
+    }
+
+    #[test]
+    fn budget_breach_after_settle_is_flagged() {
+        let runner = runner_with(
+            vec![ScenarioEvent {
+                at_epoch: 2,
+                action: Action::BudgetStep { fraction: 0.5 },
+            }],
+            0.9,
+        );
+        // Epochs 2..4 are the settle window; epoch 5 at 80 W breaches the
+        // 50 W cap well past it.
+        let r = run(&[80.0, 80.0, 80.0, 48.0, 48.0, 80.0]);
+        let rep = check_run(&r, &runner, Watts(4.0), None, &cfg());
+        assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+        assert!(
+            rep.violations[0].contains("budget:"),
+            "{:?}",
+            rep.violations
+        );
+        assert!(rep.summary().contains("viol"));
+        // The same breach inside the settle window is exempt.
+        let settled = run(&[80.0, 80.0, 80.0, 48.0, 48.0, 48.0]);
+        assert!(check_run(&settled, &runner, Watts(4.0), None, &cfg()).is_green());
+    }
+
+    #[test]
+    fn conservation_leak_is_flagged() {
+        let runner = runner_with(Vec::new(), 0.9);
+        let mut r = run(&[50.0, 50.0]);
+        r.epochs[1].total_power = Watts(52.0); // 3 W appear from nowhere
+        let rep = check_run(&r, &runner, Watts(4.0), None, &cfg());
+        assert!(
+            rep.violations.iter().any(|v| v.contains("conservation:")),
+            "{:?}",
+            rep.violations
+        );
+    }
+
+    #[test]
+    fn offline_power_and_instructions_are_flagged() {
+        let runner = runner_with(
+            vec![ScenarioEvent {
+                at_epoch: 1,
+                action: Action::CoresOffline { cores: vec![1] },
+            }],
+            0.9,
+        );
+        let mut r = run(&[50.0, 50.0, 50.0]);
+        // Properly gated except: power at epoch 2, instructions at epoch 2
+        // (epoch 1 instructions are boundary-exempt).
+        for e in 1..3 {
+            let p = r.epochs[e].core_power[1];
+            r.epochs[e].total_power -= p;
+            r.epochs[e].core_power[1] = Watts::ZERO;
+            r.epochs[e].instructions[1] = 0.0;
+        }
+        assert!(check_run(&r, &runner, Watts(4.0), None, &cfg()).is_green());
+        r.epochs[2].core_power[1] = Watts(0.5);
+        r.epochs[2].total_power += Watts(0.5);
+        r.epochs[2].instructions[1] = 10.0;
+        let rep = check_run(&r, &runner, Watts(4.0), None, &cfg());
+        assert!(
+            rep.violations.iter().any(|v| v.contains("power-gated")),
+            "{:?}",
+            rep.violations
+        );
+        assert!(
+            rep.violations.iter().any(|v| v.contains("retired")),
+            "{:?}",
+            rep.violations
+        );
+    }
+
+    #[test]
+    fn degradation_bounds_and_idle_filters() {
+        let runner = runner_with(Vec::new(), 0.9);
+        let base = run(&[50.0, 50.0, 50.0]);
+        let mut capped = run(&[40.0, 40.0, 40.0]);
+        // Core 1 starved 200x: outside the sane band.
+        for ep in &mut capped.epochs {
+            ep.instructions[1] = 2.5;
+        }
+        let rep = check_run(&capped, &runner, Watts(4.0), Some(&base), &cfg());
+        assert!(
+            rep.violations.iter().any(|v| v.contains("degradation:")),
+            "{:?}",
+            rep.violations
+        );
+        // Idle on both sides is fine; idle on one side only is not.
+        let mut both_idle = run(&[40.0; 3]);
+        let mut base_idle = run(&[50.0; 3]);
+        for ep in &mut both_idle.epochs {
+            ep.instructions[1] = 0.0;
+        }
+        for ep in &mut base_idle.epochs {
+            ep.instructions[1] = 0.0;
+        }
+        assert!(check_run(&both_idle, &runner, Watts(4.0), Some(&base_idle), &cfg()).is_green());
+        let alive = run(&[40.0; 3]);
+        let rep = check_run(&alive, &runner, Watts(4.0), Some(&base_idle), &cfg());
+        assert!(
+            rep.violations.iter().any(|v| v.contains("one side idle")),
+            "{:?}",
+            rep.violations
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_violation_not_a_panic() {
+        // A 16-core scenario paired with the 2-core synthetic run must
+        // come back as a report, not an index panic.
+        let s = Scenario {
+            name: "wide".into(),
+            description: "16-core scenario".into(),
+            n_cores: 16,
+            events: vec![ScenarioEvent {
+                at_epoch: 1,
+                action: Action::CoresOffline { cores: vec![9] },
+            }],
+        };
+        let runner = ScenarioRunner::new(&s, 0.9).unwrap();
+        let rep = check_run(&run(&[50.0, 50.0]), &runner, Watts(4.0), None, &cfg());
+        assert_eq!(rep.violations.len(), 1);
+        assert!(rep.violations[0].contains("shape:"), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn sanity_catches_nan() {
+        let runner = runner_with(Vec::new(), 0.9);
+        let mut r = run(&[50.0, 50.0]);
+        r.epochs[1].instructions[0] = f64::NAN;
+        let rep = check_run(&r, &runner, Watts(4.0), None, &cfg());
+        assert!(
+            rep.violations.iter().any(|v| v.contains("sanity:")),
+            "{:?}",
+            rep.violations
+        );
+    }
+}

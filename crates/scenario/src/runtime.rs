@@ -49,6 +49,11 @@ pub struct ScenarioRunner {
     /// Server-side actions, epoch-sorted (stable within an epoch in
     /// declaration order).
     server_actions: Vec<(u64, ControlAction)>,
+    /// Hotplug policy handling: `false` (default) rebuilds the policy on
+    /// every active-set change; `true` first offers the change to
+    /// [`CappingPolicy::on_active_set_change`] so supporting policies
+    /// warm-carry the surviving cores' fitted models.
+    warm_hotplug: bool,
 }
 
 impl ScenarioRunner {
@@ -186,12 +191,31 @@ impl ScenarioRunner {
             budget_schedule,
             mask_schedule,
             server_actions,
+            warm_hotplug: false,
         })
+    }
+
+    /// Switches hotplug handling to **warm carry**: on an active-set
+    /// change the runner first offers the change to the policy via
+    /// [`CappingPolicy::on_active_set_change`] (surviving cores keep their
+    /// fitted power models; newcomers start cold) and only rebuilds
+    /// through the factory when the policy does not support it. The
+    /// default (rebuild) is the conservative transient the `scn_hotplug`
+    /// artifact measures; warm carry isolates allocation from re-fitting.
+    #[must_use]
+    pub fn with_warm_hotplug(mut self, on: bool) -> Self {
+        self.warm_hotplug = on;
+        self
     }
 
     /// The budget fraction in force at epoch 0.
     pub fn initial_budget(&self) -> f64 {
         self.initial_budget
+    }
+
+    /// The platform core count the compiled scenario targets.
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
     }
 
     /// The compiled `(epoch, fraction)` budget moves, epoch-sorted (ramps
@@ -206,6 +230,54 @@ impl ScenarioRunner {
     /// cumulative.
     pub fn mask_moves(&self) -> &[(u64, Vec<bool>)] {
         &self.mask_schedule
+    }
+
+    /// The budget fraction in force at each of the first `epochs` epochs
+    /// (initial value replayed through the compiled move schedule, each
+    /// move effective from its own epoch). The single source of truth for
+    /// per-epoch budget semantics — the invariant oracle's compliance
+    /// windows and the matrix runner's overshoot denominators both read
+    /// this, so they can never disagree.
+    pub fn budget_trace(&self, epochs: usize) -> Vec<f64> {
+        let mut frac = self.initial_budget;
+        let mut moves = self.budget_schedule.iter().peekable();
+        (0..epochs as u64)
+            .map(|e| {
+                while let Some(&&(me, f)) = moves.peek() {
+                    if me <= e {
+                        frac = f;
+                        moves.next();
+                    } else {
+                        break;
+                    }
+                }
+                frac
+            })
+            .collect()
+    }
+
+    /// The online mask in force at each of the first `epochs` epochs
+    /// (`None` until the first hotplug move — the machine is still
+    /// full). Like [`ScenarioRunner::budget_trace`], this is the single
+    /// source of truth for per-epoch hotplug semantics: the same cursor
+    /// the epoch loop applies, replayed for the oracle's offline-gating
+    /// windows.
+    pub fn mask_trace(&self, epochs: usize) -> Vec<Option<Vec<bool>>> {
+        let mut mask: Option<Vec<bool>> = None;
+        let mut moves = self.mask_schedule.iter().peekable();
+        (0..epochs as u64)
+            .map(|e| {
+                while let Some((me, m)) = moves.peek() {
+                    if *me <= e {
+                        mask = Some(m.clone());
+                        moves.next();
+                    } else {
+                        break;
+                    }
+                }
+                mask.clone()
+            })
+            .collect()
     }
 
     /// The compiled server-side actions, epoch-sorted.
@@ -272,6 +344,7 @@ impl ScenarioRunner {
         let mut mi = 0;
         let mut reports = Vec::with_capacity(epochs);
         for e in 0..epochs as u64 {
+            let prev_mask = mask.clone();
             let mut mask_changed = false;
             while mi < self.mask_schedule.len() && self.mask_schedule[mi].0 <= e {
                 mask = self.mask_schedule[mi].1.clone();
@@ -286,10 +359,27 @@ impl ScenarioRunner {
             }
             if let Some(f) = factory.as_mut() {
                 if mask_changed {
-                    // Rebuild for the new online set; the fresh controller
-                    // re-learns its models (the hotplug transient).
-                    let active = mask.iter().filter(|&&a| a).count();
-                    policy = Some(f(active, budget)?);
+                    let carried_ok = self.warm_hotplug
+                        && policy
+                            .as_mut()
+                            .expect("factory implies a policy")
+                            .on_active_set_change(&carry_map(&prev_mask, &mask))?;
+                    if carried_ok {
+                        // Warm carry: survivors keep their fitted models;
+                        // a same-epoch budget move still applies.
+                        if budget_changed {
+                            policy
+                                .as_mut()
+                                .expect("factory implies a policy")
+                                .on_budget_change(budget)?;
+                        }
+                    } else {
+                        // Rebuild for the new online set; the fresh
+                        // controller re-learns its models (the hotplug
+                        // transient).
+                        let active = mask.iter().filter(|&&a| a).count();
+                        policy = Some(f(active, budget)?);
+                    }
                 } else if budget_changed {
                     policy
                         .as_mut()
@@ -314,6 +404,32 @@ impl ScenarioRunner {
             epochs: reports,
         })
     }
+}
+
+/// Builds the warm-carry map for an online-mask change: entry `j` of the
+/// result names the position (within the *previous* online set) of the
+/// `j`-th newly-online core, or `None` for a core that was offline before
+/// (no prior state). Policies model online cores contiguously in mask
+/// order, so positions — not raw core indices — are what carries.
+fn carry_map(prev: &[bool], now: &[bool]) -> Vec<Option<usize>> {
+    let prev_pos: Vec<Option<usize>> = {
+        let mut at = 0usize;
+        prev.iter()
+            .map(|&a| {
+                if a {
+                    at += 1;
+                    Some(at - 1)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    now.iter()
+        .enumerate()
+        .filter(|&(_, &a)| a)
+        .map(|(c, _)| prev_pos[c])
+        .collect()
 }
 
 /// Projects an observation onto the online cores (no-op for a full mask).
@@ -508,6 +624,97 @@ mod tests {
                 r.epochs[e].total_power
             );
         }
+    }
+
+    #[test]
+    fn carry_map_positions_survivors() {
+        // 4 cores, core 1 goes offline: survivors 0,2,3 keep positions.
+        let all = [true, true, true, true];
+        let off1 = [true, false, true, true];
+        assert_eq!(carry_map(&all, &off1), vec![Some(0), Some(2), Some(3)]);
+        // Core 1 returns: it is cold (None), the rest map back.
+        assert_eq!(
+            carry_map(&off1, &all),
+            vec![Some(0), None, Some(1), Some(2)]
+        );
+        // Simultaneous swap: 1 returns while 3 leaves.
+        let off3 = [true, true, true, false];
+        assert_eq!(carry_map(&off1, &off3), vec![Some(0), None, Some(1)]);
+        // No change: identity.
+        assert_eq!(
+            carry_map(&all, &all),
+            vec![Some(0), Some(1), Some(2), Some(3)]
+        );
+    }
+
+    #[test]
+    fn warm_hotplug_carries_models_instead_of_rebuilding() {
+        // The warm-carry pin: through an offline/online cycle the policy
+        // is built exactly once, the pre-event epochs match the rebuild
+        // path byte for byte, and the transient isolates *allocation* —
+        // the carried models keep capping tightly where the rebuilt
+        // controller must re-fit from its initial laws first.
+        let cfg = quick_cfg(16);
+        let s = scenario(vec![
+            ScenarioEvent {
+                at_epoch: 6,
+                action: Action::CoresOffline {
+                    cores: vec![0, 1, 2, 3],
+                },
+            },
+            ScenarioEvent {
+                at_epoch: 14,
+                action: Action::CoresOnline {
+                    cores: vec![0, 1, 2, 3],
+                },
+            },
+        ]);
+        let run_with = |warm: bool| {
+            let runner = ScenarioRunner::new(&s, 0.6)
+                .unwrap()
+                .with_warm_hotplug(warm);
+            let mut builds = Vec::new();
+            let mut factory = |n_active: usize, budget: f64| {
+                builds.push(n_active);
+                let ctl = cfg.controller_config_n(budget, n_active)?;
+                Ok(Box::new(FastCapPolicy::new(ctl)?) as Box<dyn CappingPolicy>)
+            };
+            let mut srv = server("MID1", 7);
+            runner.install(&mut srv).unwrap();
+            let r = runner.run(&mut srv, 24, Some(&mut factory)).unwrap();
+            (r, builds)
+        };
+        let (r_warm, b_warm) = run_with(true);
+        let (r_rebuild, b_rebuild) = run_with(false);
+        assert_eq!(b_rebuild, vec![16, 12, 16], "rebuild path unchanged");
+        assert_eq!(b_warm, vec![16], "warm carry never rebuilds");
+        for e in 0..6 {
+            assert_eq!(
+                r_warm.epochs[e], r_rebuild.epochs[e],
+                "epoch {e}: identical before the first hotplug event"
+            );
+        }
+        assert_ne!(
+            r_warm.epochs[7..14],
+            r_rebuild.epochs[7..14],
+            "carried models must actually change post-hotplug decisions"
+        );
+        // After the cores return, the warm policy's worst transient above
+        // the cap is no worse than the rebuilt policy's (its models never
+        // went cold; only the returning four start fresh either way).
+        let budget = 120.0 * 0.6;
+        let worst = |r: &RunResult| {
+            r.epochs[14..]
+                .iter()
+                .map(|ep| (ep.total_power.get() - budget) / budget)
+                .fold(0.0f64, f64::max)
+        };
+        assert!(
+            worst(&r_warm) <= worst(&r_rebuild) + 1e-9,
+            "warm {} vs rebuild {}",
+            worst(&r_warm),
+            worst(&r_rebuild)
+        );
     }
 
     #[test]

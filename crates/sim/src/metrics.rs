@@ -154,6 +154,22 @@ impl RunResult {
         fairness::report(&self.degradation_vs(baseline, skip)?)
     }
 
+    /// Largest per-epoch power-accounting residual
+    /// `|total − Σ core − memory − other_static|` in watts — the
+    /// counter-conservation probe of the invariant oracle. The simulator
+    /// composes total power from exactly these three terms, so anything
+    /// beyond float rounding means a measurement path dropped or
+    /// double-counted a component.
+    pub fn max_conservation_residual(&self, other_static: Watts) -> f64 {
+        self.epochs
+            .iter()
+            .map(|e| {
+                let cores: Watts = e.core_power.iter().copied().sum();
+                (e.total_power.get() - cores.get() - e.mem_power.get() - other_static.get()).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
     /// Number of epochs whose average power exceeded `budget` by more than
     /// `tolerance` (fractional), over epochs `skip..`.
     pub fn violations(&self, budget: Watts, tolerance: f64, skip: usize) -> usize {
@@ -250,6 +266,17 @@ mod tests {
         assert_eq!(r.throughput_in(1, r.epochs.len()), r.throughput(1));
         // Degenerate windows clamp to zero throughput.
         assert!(r.throughput_in(9, 12).iter().all(|&t| t == 0.0));
+    }
+
+    #[test]
+    fn conservation_residual_detects_unaccounted_power() {
+        // The synthetic epochs split power 0.3/0.3/0.3, leaving 0.1·p
+        // unaccounted when "other" is claimed to be zero.
+        let r = run(&[50.0, 60.0]);
+        assert!((r.max_conservation_residual(Watts(6.0)) - 1.0).abs() < 1e-9);
+        let mut exact = run(&[50.0]);
+        exact.epochs[0].total_power = Watts(50.0 * 0.9 + 4.0);
+        assert!(exact.max_conservation_residual(Watts(4.0)) < 1e-12);
     }
 
     #[test]

@@ -127,6 +127,11 @@ pub struct Server {
     /// Scheduled scenario mutations; `Event::Control { slot }` indexes
     /// this table. Empty for plain (non-scenario) runs.
     controls: Vec<ControlAction>,
+    /// Per-core count of attributed stochastic sampling events (initial
+    /// jitter, think sampling, burst issue, meter sampling) — the
+    /// invariant-oracle probe behind "offline cores draw no RNG": a
+    /// hot-unplugged core's count must freeze until it comes back online.
+    rng_draws: Vec<u64>,
 }
 
 impl Server {
@@ -203,12 +208,14 @@ impl Server {
             obs,
             obs_ready: false,
             controls: Vec::new(),
+            rng_draws: vec![0; cfg.n_cores],
             cfg,
         };
         server.refresh_cores();
         // Stagger initial activity so cores do not issue in lockstep.
         for core in 0..server.cores.len() {
             let jitter = server.rng.gen_range(0..=server.l2_ps * 4 + 1000);
+            server.rng_draws[core] += 1;
             server.schedule_core(core, jitter);
         }
         Ok(server)
@@ -244,6 +251,15 @@ impl Server {
     /// per-event cost in the `sim_engine` bench and DESIGN.md §6.
     pub fn events_scheduled(&self) -> u64 {
         self.queue.scheduled()
+    }
+
+    /// Per-core counts of attributed stochastic sampling events (initial
+    /// jitter, think sampling, burst issue, meter sampling). An offline
+    /// core's count freezes — the simulator draws nothing on its behalf —
+    /// which is the RNG half of the invariant oracle's "offline cores
+    /// draw no power/RNG" check.
+    pub fn rng_draws(&self) -> &[u64] {
+        &self.rng_draws
     }
 
     /// Whether a core is currently online (scenario hotplug state).
@@ -477,6 +493,7 @@ impl Server {
             return;
         }
         let mean = self.cores[core].think_mean;
+        self.rng_draws[core] += 1;
         let z = self.sample_exp(mean);
         let c = &mut self.cores[core];
         c.pending_think = z;
@@ -504,6 +521,7 @@ impl Server {
             return;
         }
         self.cores[core].credit_interval();
+        self.rng_draws[core] += 1;
         let burst = self.cores[core].burst;
         let row_hit_p = self.cores[core].row_hit_p;
         let wb_p = self.cores[core].wb_prob;
@@ -579,6 +597,9 @@ impl Server {
             let busy_frac = (stats.busy / span as f64).min(1.0);
             let p = if self.cores[i].active {
                 let p_true = crate::power_model::core_power(&self.cfg, f, busy_frac);
+                if self.cfg.meter_noise > 0.0 {
+                    self.rng_draws[i] += 1;
+                }
                 self.noisy(p_true)
             } else {
                 // Hot-unplugged cores are power-gated: no dynamic, no
@@ -976,6 +997,42 @@ mod tests {
         // Online cores keep drawing power and retiring work.
         assert!(r.epochs[5].core_power[8].get() > 0.5);
         assert!(r.epochs[5].instructions[8] > 0.0);
+    }
+
+    #[test]
+    fn offline_cores_stop_drawing_rng() {
+        let mut s = server("MID1", 16, 31);
+        s.schedule_control(
+            2,
+            ControlAction::SetOnline {
+                core: 3,
+                online: false,
+            },
+        )
+        .unwrap();
+        s.schedule_control(
+            6,
+            ControlAction::SetOnline {
+                core: 3,
+                online: true,
+            },
+        )
+        .unwrap();
+        s.run(3, |_| None);
+        let at_offline = s.rng_draws().to_vec();
+        assert!(at_offline.iter().all(|&d| d > 0), "everyone drew at start");
+        s.run(3, |_| None); // epochs 3..6: core 3 fully offline
+        let mid = s.rng_draws().to_vec();
+        assert_eq!(
+            mid[3], at_offline[3],
+            "offline core's draw count must freeze"
+        );
+        assert!(mid[4] > at_offline[4], "online cores keep drawing");
+        s.run(3, |_| None); // back online at epoch 6
+        assert!(
+            s.rng_draws()[3] > mid[3],
+            "returning core resumes drawing RNG"
+        );
     }
 
     #[test]

@@ -63,6 +63,56 @@ pub fn base_seed() -> u64 {
         .unwrap_or(0x5eed_0000_2016_0ca9)
 }
 
+/// Replay file for one property test: failing `(seed, case)` pairs are
+/// persisted here and replayed **first** on the next run, so a proptest
+/// failure is a reproducible one-liner (`cargo test <name>`) instead of
+/// a copy-the-env-var dance. Directory: `PROPTEST_REPLAY_DIR` if set,
+/// else `proptest-regressions/` under the working directory (the package
+/// dir under `cargo test` — commit the files to pin regressions, like
+/// the real crate's).
+#[must_use]
+pub fn replay_file(test_name: &str) -> std::path::PathBuf {
+    let dir = std::env::var("PROPTEST_REPLAY_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("proptest-regressions"));
+    dir.join(format!("{test_name}.replay"))
+}
+
+/// Loads the persisted `(seed, case)` pairs for a test; a missing file is
+/// an empty list and malformed lines are skipped.
+#[must_use]
+pub fn load_replays(path: &std::path::Path) -> Vec<(u64, u32)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut it = l.split_whitespace();
+            Some((it.next()?.parse().ok()?, it.next()?.parse().ok()?))
+        })
+        .collect()
+}
+
+/// Persists one failing `(seed, case)` pair (idempotent, creates the
+/// directory, tolerates filesystem failure — persistence must never mask
+/// the original test failure).
+pub fn persist_replay(path: &std::path::Path, seed: u64, case: u32) {
+    if load_replays(path).contains(&(seed, case)) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut text = std::fs::read_to_string(path).unwrap_or_else(|_| {
+        "# proptest shim replay file: failing cases as `seed case`, replayed first on re-run\n"
+            .to_string()
+    });
+    text.push_str(&format!("{seed} {case}\n"));
+    let _ = std::fs::write(path, text);
+}
+
 /// A generator of values of an associated type.
 pub trait Strategy {
     /// The type of value this strategy produces.
@@ -356,13 +406,50 @@ macro_rules! proptest {
             use $crate::Strategy as _;
             let config: $crate::ProptestConfig = $cfg;
             let seed = $crate::base_seed();
+            // One RNG stream per (test, case): derived from the name so
+            // adding tests does not perturb sibling streams.
+            let mut name_hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in stringify!($name).bytes() {
+                name_hash ^= b as u64;
+                name_hash = name_hash.wrapping_mul(0x100_0000_01b3);
+            }
+            let __replay = $crate::replay_file(stringify!($name));
+            // Persisted failures replay first — a failing property stays a
+            // reproducible one-liner until it is fixed.
+            let __persisted = $crate::load_replays(&__replay);
+            for &(rseed, rcase) in &__persisted {
+                let mut __rng = <$crate::TestRng as $crate::__SeedableRng>::seed_from_u64(
+                    rseed ^ name_hash ^ ((rcase as u64) << 32),
+                );
+                $(let $arg = ($strat).generate(&mut __rng);)+
+                let run = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $arg = $arg;)+
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                let report = || {
+                    eprintln!(
+                        "proptest shim: {} failed replaying persisted case {rcase} \
+                         (seed {rseed}) from {}",
+                        stringify!($name),
+                        __replay.display(),
+                    );
+                };
+                match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                        report();
+                        panic!("{e}");
+                    }
+                    ::std::result::Result::Err(payload) => {
+                        report();
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
             for case in 0..config.cases {
-                // One RNG stream per (test, case): derived from the name so
-                // adding tests does not perturb sibling streams.
-                let mut name_hash: u64 = 0xcbf2_9ce4_8422_2325;
-                for b in stringify!($name).bytes() {
-                    name_hash ^= b as u64;
-                    name_hash = name_hash.wrapping_mul(0x100_0000_01b3);
+                if __persisted.contains(&(seed, case)) {
+                    continue; // already replayed above
                 }
                 let mut __rng = <$crate::TestRng as $crate::__SeedableRng>::seed_from_u64(
                     seed ^ name_hash ^ ((case as u64) << 32),
@@ -374,11 +461,14 @@ macro_rules! proptest {
                     ::std::result::Result::Ok(())
                 };
                 let report = || {
+                    $crate::persist_replay(&__replay, seed, case);
                     eprintln!(
                         "proptest shim: {} failed at case {case}/{} (seed {seed}); \
-                         re-run with PROPTEST_SEED={seed} to reproduce",
+                         persisted to {} — the case replays first on the next run \
+                         (or re-run with PROPTEST_SEED={seed})",
                         stringify!($name),
                         config.cases,
+                        __replay.display(),
                     );
                 };
                 match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
@@ -445,5 +535,60 @@ mod tests {
         let mut r1 = <crate::TestRng as rand::SeedableRng>::seed_from_u64(9);
         let mut r2 = <crate::TestRng as rand::SeedableRng>::seed_from_u64(9);
         assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    #[test]
+    fn replay_files_round_trip_and_dedupe() {
+        let dir = std::env::temp_dir().join("proptest_shim_replay_rt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("some_test.replay");
+        assert!(
+            crate::load_replays(&path).is_empty(),
+            "missing file = empty"
+        );
+        crate::persist_replay(&path, 123, 7);
+        crate::persist_replay(&path, 456, 0);
+        crate::persist_replay(&path, 123, 7); // duplicate ignored
+        assert_eq!(crate::load_replays(&path), vec![(123, 7), (456, 0)]);
+        // Header and malformed lines are skipped.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('#'), "{text}");
+        std::fs::write(&path, format!("{text}not numbers\n")).unwrap();
+        assert_eq!(crate::load_replays(&path), vec![(123, 7), (456, 0)]);
+    }
+
+    // No #[test] attribute: invoked manually (and caught) by the replay
+    // integration test below.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        fn always_fails_above_three(x in 0u32..100) {
+            prop_assert!(x <= 3, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn failures_persist_and_replay_first() {
+        // Isolate the replay directory for this test (env vars are
+        // process-global, so only this test touches the variable).
+        let dir = std::env::temp_dir().join("proptest_shim_replay_it");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("PROPTEST_REPLAY_DIR", &dir);
+        let path = crate::replay_file("always_fails_above_three");
+
+        // First run: fails at some case, persists (seed, case).
+        let first = std::panic::catch_unwind(always_fails_above_three);
+        assert!(first.is_err(), "property must fail");
+        let persisted = crate::load_replays(&path);
+        assert_eq!(persisted.len(), 1, "one failing case persisted");
+        assert_eq!(persisted[0].0, crate::base_seed());
+
+        // Second run: the persisted case replays first and still fails —
+        // the file stays (regressions pin until fixed, like the real
+        // crate's `proptest-regressions`).
+        let second = std::panic::catch_unwind(always_fails_above_three);
+        assert!(second.is_err(), "replayed case must fail again");
+        assert_eq!(crate::load_replays(&path), persisted, "file unchanged");
+        std::env::remove_var("PROPTEST_REPLAY_DIR");
     }
 }
