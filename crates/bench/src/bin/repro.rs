@@ -15,7 +15,9 @@
 //!
 //! `--scenario FILE` replaces the checked-in default scenario of the
 //! `scn_*` artifacts; `scenario validate` lints every `*.json` under a
-//! scenario directory (default `scenarios/`). See DESIGN.md §7.
+//! scenario directory (default `scenarios/`) as a single-server scenario,
+//! and every `*.json` under its `fleet/` subdirectory as a fleet
+//! scenario (node-targeted events; DESIGN.md §9). See DESIGN.md §7.
 //!
 //! `repro matrix` sweeps {generated scenarios × mixes × policies} with
 //! the invariant oracle evaluated on every cell (DESIGN.md §8):
@@ -25,12 +27,13 @@
 //!
 //! Artifacts: tab1 tab3 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //! fig12 fig13 overhead epochlen ablation scaling scn_capstep
-//! scn_flashcrowd scn_hotplug. Results print as markdown and are written
-//! as CSV/JSON under `--out` (default `results/`).
+//! scn_flashcrowd scn_hotplug fleet_ladder fleet_settle fleet_scale.
+//! Results print as markdown and are written as CSV/JSON under `--out`
+//! (default `results/`).
 
 use fastcap_bench::experiments;
 use fastcap_bench::harness::Opts;
-use fastcap_scenario::Scenario;
+use fastcap_scenario::{rack_name, FleetScenario, Scenario};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -46,7 +49,39 @@ fn usage() -> String {
     )
 }
 
-/// `repro scenario validate [DIR]`: lints every scenario file under DIR.
+/// Lints one fleet-scenario file. The rack set is inferred from the
+/// `rack<N>` node names the file itself mentions (the fleet engine
+/// re-resolves names against the concrete tree at run time), so the lint
+/// catches malformed values, broken timelines, and non-canonical node
+/// names without needing a tree shape up front.
+fn lint_fleet_file(path: &Path) -> Result<(FleetScenario, usize), Vec<String>> {
+    let text = std::fs::read_to_string(path).map_err(|e| vec![e.to_string()])?;
+    let s = FleetScenario::from_json(&text).map_err(|e| vec![e])?;
+    let mut max_rack = 0usize;
+    for event in &s.events {
+        if let Some(n) = event
+            .action
+            .node()
+            .and_then(|n| n.strip_prefix("rack"))
+            .and_then(|i| i.parse::<usize>().ok())
+        {
+            max_rack = max_rack.max(n + 1);
+        }
+    }
+    // At least two racks: the lint rejects timelines that take the whole
+    // fleet down, which needs a survivor to be meaningful.
+    let racks: Vec<String> = (0..max_rack.max(2)).map(rack_name).collect();
+    let lints = s.lint(&racks);
+    if lints.is_empty() {
+        Ok((s, racks.len()))
+    } else {
+        Err(lints)
+    }
+}
+
+/// `repro scenario validate [DIR]`: lints every scenario file under DIR
+/// (single-server schema), then every file under `DIR/fleet/`
+/// (fleet schema).
 fn scenario_validate(dir: &Path) -> ExitCode {
     let entries = match std::fs::read_dir(dir) {
         Ok(e) => e,
@@ -91,7 +126,42 @@ fn scenario_validate(dir: &Path) -> ExitCode {
             }
         }
     }
-    println!("[{} scenario(s), {} failing]", files.len(), failed);
+    // Fleet scenarios live in a subdirectory: their schema (node-targeted
+    // events) is not a single-server scenario's, so the two lints never
+    // see each other's files.
+    let fleet_dir = dir.join("fleet");
+    let mut fleet_files: Vec<PathBuf> = std::fs::read_dir(&fleet_dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    fleet_files.sort();
+    for path in &fleet_files {
+        match lint_fleet_file(path) {
+            Ok((s, racks)) => println!(
+                "ok   {} (fleet: {}, {} rack name(s), {} event(s))",
+                path.display(),
+                s.name,
+                racks,
+                s.events.len()
+            ),
+            Err(lints) => {
+                failed += 1;
+                println!("FAIL {}", path.display());
+                for l in lints {
+                    println!("     - {l}");
+                }
+            }
+        }
+    }
+    println!(
+        "[{} scenario(s), {} failing]",
+        files.len() + fleet_files.len(),
+        failed
+    );
     if failed == 0 {
         ExitCode::SUCCESS
     } else {

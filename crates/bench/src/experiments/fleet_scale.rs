@@ -1,0 +1,120 @@
+//! `fleet_scale`: throughput scaling of the budget-tree engine across
+//! fleet sizes (64 → 1024 servers) for the two cheap model tiers. The
+//! speed columns are **modeled** — backend op counts × the checked-in
+//! per-tier ns/op — so the table captures the algorithmic scaling
+//! (ops per leaf-epoch must stay flat as the tree grows; the
+//! water-filling tree is linear in leaves) and stays byte-identical at
+//! any `--jobs` count and on any machine.
+
+use crate::fleet_support::{
+    analytic_builder, ensure_conserved, fleet_spec, modeled_rate, record_surfaces, sampled_builder,
+    FLEET_SEED_STREAM,
+};
+use crate::harness::Opts;
+use crate::sweep::{derive_seed, Sweep};
+use crate::table::{f2, ResultTable};
+use fastcap_core::error::Result;
+use fastcap_fleet::{Fleet, ModelTier};
+use fastcap_scenario::FleetScenario;
+
+/// Fleet shapes swept: `(racks, servers_per_rack)`.
+const SIZES: [(usize, usize); 3] = [(4, 16), (16, 16), (32, 32)];
+/// Cores per server.
+const N_CORES: usize = 4;
+/// Datacenter budget fraction.
+const BUDGET: f64 = 0.7;
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates surface/fleet failures and tree-conservation violations.
+pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
+    let epochs = if opts.quick { 8 } else { 16 };
+    let fleet_seed = derive_seed(opts.seed, FLEET_SEED_STREAM);
+    let surfaces = record_surfaces(opts, N_CORES)?;
+    let dilation = opts.dilation();
+
+    let specs: Vec<_> = SIZES
+        .iter()
+        .map(|&(racks, per_rack)| (racks, fleet_spec(racks, per_rack, N_CORES)))
+        .collect();
+
+    // Size-major, tier-minor: each point builds its fleet, runs it, and
+    // returns the op count — the sweep shards points across `--jobs`.
+    let mut sweep = Sweep::new();
+    for (_, spec) in &specs {
+        let surfaces = &surfaces;
+        sweep.push(move |_| {
+            let mut build = analytic_builder(dilation);
+            let mut fleet = Fleet::new(
+                spec,
+                &FleetScenario::empty(),
+                BUDGET,
+                fleet_seed,
+                &mut build,
+            )?;
+            let run = fleet.run(epochs)?;
+            ensure_conserved("fleet_scale/Analytic", &run)?;
+            Ok(fleet.total_ops())
+        });
+        sweep.push(move |_| {
+            let mut build = sampled_builder(surfaces);
+            let mut fleet = Fleet::new(
+                spec,
+                &FleetScenario::empty(),
+                BUDGET,
+                fleet_seed,
+                &mut build,
+            )?;
+            let run = fleet.run(epochs)?;
+            ensure_conserved("fleet_scale/Sampled", &run)?;
+            Ok(fleet.total_ops())
+        });
+    }
+    let ops = sweep.run(opts)?;
+
+    let mut t = ResultTable::new(
+        "fleet_scale",
+        format!(
+            "Budget-tree throughput scaling: {N_CORES}-core leaves, budget \
+             {:.0}% of fleet peak, {epochs} epochs (speed is modeled \
+             backend-op cost, not wall-clock; flat ops/leaf-epoch = linear \
+             scaling in fleet size)",
+            BUDGET * 100.0
+        ),
+        &[
+            "servers",
+            "racks",
+            "tier",
+            "total ops",
+            "ops / leaf-epoch",
+            "modeled ns / leaf-epoch",
+            "modeled knode-epochs/s",
+            "conservation",
+        ],
+    );
+    for (si, (racks, spec)) in specs.iter().enumerate() {
+        let leaves = spec.n_leaves();
+        let leaf_epochs = (leaves * epochs) as u64;
+        for (ti, tier) in [ModelTier::Analytic, ModelTier::Sampled]
+            .into_iter()
+            .enumerate()
+        {
+            let total = ops[si * 2 + ti];
+            let (per, ns, knode) = modeled_rate(tier, total, leaf_epochs);
+            t.push_row(vec![
+                leaves.to_string(),
+                racks.to_string(),
+                tier.name().to_string(),
+                total.to_string(),
+                f2(per),
+                f2(ns),
+                f2(knode),
+                "ok".into(), // ensure_conserved failed the point otherwise
+            ]);
+        }
+    }
+
+    Ok(vec![t])
+}

@@ -16,6 +16,9 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7_8;
 pub mod fig9;
+pub mod fleet_ladder;
+pub mod fleet_scale;
+pub mod fleet_settle;
 pub mod overhead;
 pub mod scaling;
 pub mod scn_capstep;
@@ -34,7 +37,9 @@ use std::time::Instant;
 
 /// All artifact ids: the paper's figures/tables in paper order, then the
 /// beyond-paper artifacts, then the scenario-engine transients (`scn_*`,
-/// scripted dynamic runs — see DESIGN.md §7). The scenario matrix
+/// scripted dynamic runs — see DESIGN.md §7), then the fleet layer
+/// (`fleet_*`, hierarchical budget-tree runs over the server-model ladder
+/// — see DESIGN.md §9). The scenario matrix
 /// ([`scn_matrix`]) is *not* listed: its grid shape is an input, so it
 /// runs through the `repro matrix` subcommand instead of an artifact id
 /// (DESIGN.md §8).
@@ -59,6 +64,9 @@ pub const ALL: &[&str] = &[
     "scn_capstep",
     "scn_flashcrowd",
     "scn_hotplug",
+    "fleet_ladder",
+    "fleet_settle",
+    "fleet_scale",
 ];
 
 /// Artifacts that measure host wall-clock latency (Table I, the overhead
@@ -93,6 +101,9 @@ pub fn run(id: &str, opts: &Opts) -> Result<Vec<ResultTable>> {
         "scn_capstep" => scn_capstep::run(opts),
         "scn_flashcrowd" => scn_flashcrowd::run(opts),
         "scn_hotplug" => scn_hotplug::run(opts),
+        "fleet_ladder" => fleet_ladder::run(opts),
+        "fleet_settle" => fleet_settle::run(opts),
+        "fleet_scale" => fleet_scale::run(opts),
         other => Err(fastcap_core::error::Error::InvalidConfig {
             what: "experiment",
             why: format!("unknown artifact `{other}`; known: {ALL:?}"),

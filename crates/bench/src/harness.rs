@@ -8,8 +8,8 @@ use fastcap_core::counters::{CoreSample, EpochObservation, MemorySample};
 use fastcap_core::error::{Error, Result};
 use fastcap_core::units::{Hz, Secs, Watts};
 use fastcap_policies::{
-    CappingPolicy, CpuOnlyPolicy, EqlFreqPolicy, EqlPwrPolicy, FastCapPolicy, FreqParPolicy,
-    MaxBipsBeamPolicy, MaxBipsPolicy,
+    CappingPolicy, ClosedLoop, CpuOnlyPolicy, EqlFreqPolicy, EqlPwrPolicy, FastCapPolicy,
+    FreqParPolicy, MaxBipsBeamPolicy, MaxBipsPolicy,
 };
 use fastcap_scenario::{Scenario, ScenarioRunner};
 use fastcap_sim::{RunResult, Server, SimConfig};
@@ -225,9 +225,13 @@ pub fn run_capped_only(
     seed: u64,
 ) -> Result<RunResult> {
     let ctl_cfg = sim_cfg.controller_config(budget_frac)?;
-    let mut policy = kind.build(ctl_cfg)?;
-    let mut server = Server::for_workload(sim_cfg.clone(), mix, seed)?;
-    Ok(server.run(epochs, |obs| policy.decide(obs).ok()))
+    let policy = kind.build(ctl_cfg)?;
+    let server = Server::for_workload(sim_cfg.clone(), mix, seed)?;
+    // The extracted loop reproduces the historical inline
+    // `server.run(epochs, |obs| policy.decide(obs).ok())` byte for byte
+    // (pinned by the golden-hash suite) while letting the fleet layer run
+    // the same decision cycle against any model tier.
+    Ok(ClosedLoop::new(server, policy).run(epochs))
 }
 
 /// Resolves the scenario an `scn_*` artifact runs: the `--scenario` file

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fleet_support;
 pub mod harness;
 pub mod sweep;
 pub mod table;

@@ -277,18 +277,10 @@ where
     sweep.run(opts)
 }
 
-/// Derives the RNG seed for one sweep stream from the global `--seed`.
-///
-/// splitmix64 finalizer over `global + stream·φ64` — cheap, stateless,
-/// and well-mixed, so neighbouring streams share no low-bit structure.
-/// Stable across releases: artifact CSVs are only comparable at a fixed
-/// derivation, so changing this function changes every artifact.
-pub fn derive_seed(global_seed: u64, stream: u64) -> u64 {
-    let mut z = global_seed.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// Seed-stream derivation moved to fastcap-core so non-bench layers (the
+// fleet tree's per-leaf streams) share the same pinned mapping; re-exported
+// here to keep the historical `sweep::derive_seed` path working.
+pub use fastcap_core::seed::derive_seed;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,155 @@
+//! Golden regression for the fleet layer (DESIGN.md §9).
+//!
+//! Two contracts:
+//!
+//! 1. **Ladder exactness anchor.** The `Des` tier wrapped in a one-server
+//!    budget tree must reproduce the single-server `fig5` harness *bit
+//!    for bit* at every fig5 budget — the tree's single-child
+//!    water-filling pass-through and the `DesModel` wrapper both have to
+//!    be bitwise no-ops for the ladder's "exact" rung to mean exact.
+//! 2. **Byte-pinned `fleet_*` artifacts.** `repro fleet_ladder
+//!    fleet_settle fleet_scale --quick --seed 42` is pinned via FNV-1a
+//!    hashes and must agree between `--jobs 1` and `--jobs 8` — the
+//!    fleet sweeps (surface recording, tier fleets, DES replays, the
+//!    generated scenario population) may never leak scheduling into
+//!    bytes.
+
+use fastcap_bench::harness::{run_capped_only, Opts, PolicyKind};
+use fastcap_bench::sweep::derive_seed;
+use fastcap_fleet::{DesModel, Fleet, TreeSpec};
+use fastcap_scenario::FleetScenario;
+use fastcap_workloads::mixes;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+/// FNV-1a, 64-bit: tiny, dependency-free, stable.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The golden hashes of the fleet artifacts, taken when the fleet layer
+/// landed (quick mode, seed 42).
+const FLEET_GOLDEN: &[(&str, u64)] = &[
+    ("fleet_ladder.csv", 0xdd17_7dc5_f5b0_87a6),
+    ("fleet_ladder.json", 0x8a59_88fa_f7ea_7bd5),
+    ("fleet_ladder_leaves.csv", 0xe417_db0c_64d1_f26e),
+    ("fleet_ladder_leaves.json", 0x6d14_f5bc_5489_3468),
+    ("fleet_scale.csv", 0x1558_c866_7a8d_4635),
+    ("fleet_scale.json", 0x6dde_8a71_3b86_9468),
+    ("fleet_settle.csv", 0x593a_6e58_097e_6008),
+    ("fleet_settle.json", 0x70a5_d4e2_6152_793a),
+    ("fleet_settle_population.csv", 0x12e8_0fa1_543d_2889),
+    ("fleet_settle_population.json", 0xdf32_cdd2_b2b0_393d),
+    ("fleet_settle_trace.csv", 0x091a_9e27_a724_ca9a),
+    ("fleet_settle_trace.json", 0xec00_d753_9c1e_bd38),
+];
+
+fn run_repro(args: &[&str]) {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "repro {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn hash_dir(dir: &Path) -> BTreeMap<String, u64> {
+    std::fs::read_dir(dir)
+        .expect("artifact dir exists")
+        .map(|e| {
+            let e = e.unwrap();
+            let bytes = std::fs::read(e.path()).unwrap();
+            (e.file_name().to_string_lossy().into_owned(), fnv1a(&bytes))
+        })
+        .collect()
+}
+
+#[test]
+fn des_tier_in_a_one_server_tree_reproduces_fig5_bit_for_bit() {
+    let opts = Opts {
+        quick: true,
+        ..Opts::default()
+    };
+    let cfg = opts.sim_config(16).unwrap();
+    let mix = mixes::by_name("MEM3").expect("MEM3 exists");
+    let epochs = opts.epochs();
+    // fig5 runs its budgets on sweep stream 0 of the global seed; the
+    // fleet derives leaf 0's seed as stream 0 of the fleet seed — so a
+    // fleet seeded with the global seed hands leaf 0 exactly fig5's seed.
+    let fleet_seed = opts.seed;
+    let leaf_seed = derive_seed(fleet_seed, 0);
+
+    for b in [0.4, 0.6, 0.8] {
+        let spec = TreeSpec::leaf("solo", ());
+        let mut build = |_leaf: &(), seed: u64, fraction: f64| {
+            DesModel::new(cfg.clone(), &mix, "FastCap", fraction, seed)
+        };
+        let mut fleet =
+            Fleet::new(&spec, &FleetScenario::empty(), b, fleet_seed, &mut build).unwrap();
+        let run = fleet.run(epochs).unwrap();
+        assert!(run.violations.is_empty(), "{:?}", run.violations);
+
+        let standalone =
+            run_capped_only(&cfg, &mix, PolicyKind::FastCap, b, epochs, leaf_seed).unwrap();
+        let wrapped = fleet.leaf_model(0).result();
+        assert_eq!(wrapped.epochs.len(), standalone.epochs.len());
+        assert_eq!(
+            wrapped.epochs, standalone.epochs,
+            "B={b}: one-server fleet Des tier diverged from the fig5 harness"
+        );
+    }
+}
+
+#[test]
+fn fleet_artifact_bytes_are_pinned_at_any_job_count() {
+    let base = std::env::temp_dir().join("fastcap_fleet_golden");
+    let _ = std::fs::remove_dir_all(&base);
+    let mut per_jobs = Vec::new();
+    for jobs in ["1", "8"] {
+        let dir = base.join(format!("jobs{jobs}"));
+        run_repro(&[
+            "fleet_ladder",
+            "fleet_settle",
+            "fleet_scale",
+            "--quick",
+            "--seed",
+            "42",
+            "--jobs",
+            jobs,
+            "--out",
+            dir.to_str().unwrap(),
+        ]);
+        per_jobs.push(hash_dir(&dir));
+    }
+    assert_eq!(
+        per_jobs[0], per_jobs[1],
+        "fleet artifact bytes differ between --jobs 1 and --jobs 8"
+    );
+
+    let got = &per_jobs[0];
+    assert_eq!(
+        got.len(),
+        FLEET_GOLDEN.len(),
+        "fleet artifact set changed: {:?}",
+        got.keys().collect::<Vec<_>>()
+    );
+    for &(name, want) in FLEET_GOLDEN {
+        let have = got
+            .get(name)
+            .unwrap_or_else(|| panic!("missing fleet artifact {name}"));
+        assert_eq!(
+            *have, want,
+            "{name}: bytes drifted from the golden hash \
+             (got {have:#018x}, want {want:#018x})"
+        );
+    }
+}

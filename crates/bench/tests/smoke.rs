@@ -31,7 +31,10 @@ fn all_ids_are_known_to_the_dispatcher() {
     assert!(experiments::ALL.contains(&"scn_capstep"));
     assert!(experiments::ALL.contains(&"scn_flashcrowd"));
     assert!(experiments::ALL.contains(&"scn_hotplug"));
-    assert_eq!(experiments::ALL.len(), 20);
+    assert!(experiments::ALL.contains(&"fleet_ladder"));
+    assert!(experiments::ALL.contains(&"fleet_settle"));
+    assert!(experiments::ALL.contains(&"fleet_scale"));
+    assert_eq!(experiments::ALL.len(), 23);
 }
 
 #[test]

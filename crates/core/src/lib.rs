@@ -91,6 +91,7 @@ pub mod model;
 pub mod optimizer;
 pub mod power;
 pub mod queueing;
+pub mod seed;
 pub mod units;
 
 pub use capper::{DvfsDecision, FastCapConfig, FastCapController};

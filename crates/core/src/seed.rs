@@ -1,0 +1,33 @@
+//! Deterministic seed-stream derivation shared by every layer that fans
+//! one global `--seed` out into independent RNG streams (sweep points,
+//! fleet tree leaves, scenario populations).
+
+/// Derives the RNG seed for one stream from the global `--seed`.
+///
+/// splitmix64 finalizer over `global + stream·φ64` — cheap, stateless,
+/// and well-mixed, so neighbouring streams share no low-bit structure.
+/// Stable across releases: artifact CSVs are only comparable at a fixed
+/// derivation, so changing this function changes every artifact.
+#[must_use]
+pub fn derive_seed(global_seed: u64, stream: u64) -> u64 {
+    let mut z = global_seed.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_stable_and_distinct() {
+        // Pinned: artifact reproducibility depends on this exact mapping.
+        assert_eq!(derive_seed(42, 0), derive_seed(42, 0));
+        assert_ne!(derive_seed(42, 0), derive_seed(42, 1));
+        assert_ne!(derive_seed(42, 1), derive_seed(43, 1));
+        // Neighbouring streams differ in many bits, not just the low ones.
+        let d = derive_seed(7, 10) ^ derive_seed(7, 11);
+        assert!(d.count_ones() > 8);
+    }
+}

@@ -1,0 +1,111 @@
+//! The server-model ladder: one trait, three cost/accuracy tiers.
+//!
+//! A [`ServerModel`] is one capped server as the fleet sees it: a peak
+//! power, a current budget fraction, and an epoch step that returns the
+//! power drawn and throughput achieved. The three tiers (the
+//! gap-vs-speed ladder of the `fleet_ladder` artifact):
+//!
+//! | Tier | Backing | Cost/epoch | Accuracy |
+//! |---|---|---|---|
+//! | [`ModelTier::Analytic`] | fixed-point MVA solve ([`fastcap_sim::AnalyticServer`]) | cores × 60 iterations | approximate dynamics |
+//! | [`ModelTier::Sampled`] | recorded per-mix response surface | 1 lookup | steady-state only |
+//! | [`ModelTier::Des`] | full DES ([`fastcap_sim::Server`]) | 100s–1000s events | exact (the oracle) |
+//!
+//! Cost is reported as a deterministic op count ([`ServerModel::ops`])
+//! and converted to *modeled* time with the checked-in per-tier
+//! calibration constants ([`ModelTier::ns_per_op`]) — so throughput
+//! columns in fleet artifacts are byte-identical at any `--jobs` count,
+//! unlike wall-clock measurements.
+
+use fastcap_core::error::Result;
+use fastcap_core::units::Watts;
+
+/// Which rung of the ladder a model is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelTier {
+    /// Closed-form approximate queueing solve, fastest.
+    Analytic,
+    /// Replayed per-mix response surface recorded once from the DES.
+    Sampled,
+    /// Full discrete-event simulation, exact; the accuracy oracle.
+    Des,
+}
+
+impl ModelTier {
+    /// Display name used in artifact tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelTier::Analytic => "Analytic",
+            ModelTier::Sampled => "Sampled",
+            ModelTier::Des => "Des",
+        }
+    }
+
+    /// Checked-in cost calibration: modeled nanoseconds per backend op
+    /// (solver iteration / surface lookup / DES event), measured once on
+    /// the reference machine (see DESIGN.md §9). Deliberately a constant,
+    /// not a measurement, so modeled-throughput columns are
+    /// byte-deterministic.
+    #[must_use]
+    pub fn ns_per_op(self) -> f64 {
+        match self {
+            ModelTier::Analytic => 4.0,
+            ModelTier::Sampled => 60.0,
+            ModelTier::Des => 150.0,
+        }
+    }
+}
+
+/// What one server did in one epoch, as the fleet records it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerEpoch {
+    /// Full-system power drawn over the epoch.
+    pub power: Watts,
+    /// Aggregate instruction throughput (instructions per simulated
+    /// second, summed over cores).
+    pub bips: f64,
+}
+
+/// One capped server instance behind the ladder. Implementations are the
+/// per-tier wrappers in [`crate::tiers`]; the fleet engine drives them
+/// uniformly.
+pub trait ServerModel {
+    /// The rung this model sits on.
+    fn tier(&self) -> ModelTier;
+
+    /// The server's peak power (its water-filling cap).
+    fn peak_power(&self) -> Watts;
+
+    /// The budget fraction currently in force.
+    fn budget_fraction(&self) -> f64;
+
+    /// Moves the server's power cap to `fraction` of its peak. The fleet
+    /// only calls this when the water-filling pass actually changed the
+    /// share (bitwise), so a constant-budget leaf never sees a re-solve —
+    /// the property that makes a one-server fleet byte-identical to a
+    /// single-server run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the policy's validation (fraction outside `(0, 1]`).
+    fn set_budget_fraction(&mut self, fraction: f64) -> Result<()>;
+
+    /// Advances one epoch under the cap in force.
+    fn step(&mut self) -> ServerEpoch;
+
+    /// Deterministic count of backend ops executed so far (see
+    /// [`ModelTier::ns_per_op`] for the unit).
+    fn ops(&self) -> u64;
+}
+
+/// Aggregate instruction throughput of one epoch report: instructions per
+/// simulated second, summed over cores.
+#[must_use]
+pub fn report_bips(report: &fastcap_sim::EpochReport, sim_epoch_length: f64) -> f64 {
+    if sim_epoch_length > 0.0 {
+        report.instructions.iter().sum::<f64>() / sim_epoch_length
+    } else {
+        0.0
+    }
+}

@@ -1,0 +1,152 @@
+//! The closed control loop: one policy driving one simulation backend.
+//!
+//! [`ClosedLoop`] is the extracted per-server capping decision the fleet
+//! layer builds on: the observe → decide → actuate cycle that used to live
+//! inline in the bench harness, generic over
+//! [`fastcap_sim::EpochBackend`] so FastCap / Freq-Par / any
+//! [`CappingPolicy`] can solve against the exact DES tier or the analytic
+//! tier without code changes. Stepping a `ClosedLoop<Server>` is
+//! byte-identical to the harness's original
+//! `server.run(epochs, |obs| policy.decide(obs).ok())` loop — decide
+//! errors map to "no decision" (run at current frequencies), never to a
+//! run abort, exactly as before.
+
+use crate::policy::CappingPolicy;
+use fastcap_core::error::Result;
+use fastcap_sim::metrics::{EpochReport, RunResult};
+use fastcap_sim::{EpochBackend, SimConfig};
+
+/// A capping policy wired to a simulation backend, stepped one epoch at a
+/// time (fleet use) or run to completion (single-server use).
+pub struct ClosedLoop<B: EpochBackend> {
+    backend: B,
+    policy: Box<dyn CappingPolicy>,
+}
+
+impl<B: EpochBackend> ClosedLoop<B> {
+    /// Wires `policy` to `backend`. The policy's configured budget is in
+    /// force from its first decision; epoch 0 is always an uncontrolled
+    /// warm-up (no observation exists yet), as in the paper.
+    pub fn new(backend: B, policy: Box<dyn CappingPolicy>) -> Self {
+        Self { backend, policy }
+    }
+
+    /// The backend being driven.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The backend's configuration.
+    pub fn config(&self) -> &SimConfig {
+        self.backend.config()
+    }
+
+    /// Moves the policy's power cap (fleet re-allocations, scenario budget
+    /// steps). Learned state is kept; the next decision re-solves against
+    /// the new budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CappingPolicy::on_budget_change`] (fraction outside
+    /// `(0, 1]`); the loop is unchanged on error.
+    pub fn set_budget_fraction(&mut self, fraction: f64) -> Result<()> {
+        self.policy.on_budget_change(fraction)
+    }
+
+    /// Runs one epoch: observe the last epoch, decide, actuate. A decide
+    /// error degrades to "hold current frequencies" — the historical
+    /// harness contract — so stepping never fails.
+    pub fn step(&mut self) -> EpochReport {
+        let decision = self
+            .backend
+            .observation()
+            .and_then(|obs| self.policy.decide(&obs).ok());
+        self.backend.run_epoch(decision.as_ref())
+    }
+
+    /// Runs `epochs` epochs and packages the reports.
+    pub fn run(&mut self, epochs: usize) -> RunResult {
+        let cfg = self.backend.config();
+        let (n_cores, sim_epoch_length, peak_power) =
+            (cfg.n_cores, cfg.sim_epoch_length(), cfg.peak_power);
+        let mut reports = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            reports.push(self.step());
+        }
+        RunResult {
+            n_cores,
+            sim_epoch_length,
+            peak_power,
+            epochs: reports,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FastCapPolicy;
+    use fastcap_sim::{AnalyticServer, Server};
+    use fastcap_workloads::mixes;
+
+    fn cfg() -> SimConfig {
+        SimConfig::ispass(4).unwrap().with_time_dilation(200.0)
+    }
+
+    fn policy(budget: f64) -> Box<dyn CappingPolicy> {
+        let cfg = cfg().controller_config(budget).unwrap();
+        Box::new(FastCapPolicy::new(cfg).unwrap())
+    }
+
+    /// The extracted loop must reproduce the inline harness loop exactly.
+    #[test]
+    fn matches_inline_policy_loop() {
+        let mix = mixes::by_name("MEM3").unwrap();
+        let mut inline_policy = FastCapPolicy::new(cfg().controller_config(0.6).unwrap()).unwrap();
+        let expected = Server::for_workload(cfg(), &mix, 11)
+            .unwrap()
+            .run(6, |obs| inline_policy.decide(obs).ok());
+        let server = Server::for_workload(cfg(), &mix, 11).unwrap();
+        let got = ClosedLoop::new(server, policy(0.6)).run(6);
+        assert_eq!(got, expected);
+    }
+
+    /// Same policy code, analytic tier — the ladder's cheap rung.
+    #[test]
+    fn drives_the_analytic_backend() {
+        let mix = mixes::by_name("MEM3").unwrap();
+        let server = AnalyticServer::for_workload(cfg(), &mix, 11).unwrap();
+        let mut cl = ClosedLoop::new(server, policy(0.5));
+        let r = cl.run(12);
+        assert_eq!(r.epochs.len(), 12);
+        let budget = cfg().peak_power.get() * 0.5;
+        // The settled mean respects the cap (5% controller tolerance).
+        let avg = r.avg_power(6).get();
+        assert!(avg <= budget * 1.05, "settled mean {avg} > budget {budget}");
+        assert!(cl.backend().ops() > 0);
+    }
+
+    #[test]
+    fn budget_moves_take_effect_and_validate() {
+        let mix = mixes::by_name("MID1").unwrap();
+        let server = AnalyticServer::for_workload(cfg(), &mix, 5).unwrap();
+        let mut cl = ClosedLoop::new(server, policy(0.9));
+        for _ in 0..4 {
+            cl.step();
+        }
+        assert!(cl.set_budget_fraction(1.5).is_err());
+        cl.set_budget_fraction(0.6).unwrap();
+        let mut post = Vec::new();
+        for _ in 0..8 {
+            post.push(cl.step().total_power.get());
+        }
+        let settled = post[4..].iter().sum::<f64>() / 4.0;
+        let budget = cfg().peak_power.get() * 0.6;
+        assert!(settled <= budget * 1.05, "settled {settled} > {budget}");
+    }
+}

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod closed_loop;
 mod cpu_only;
 mod eql_freq;
 mod eql_pwr;
@@ -44,6 +45,7 @@ mod freq_par;
 mod maxbips;
 mod policy;
 
+pub use closed_loop::ClosedLoop;
 pub use cpu_only::CpuOnlyPolicy;
 pub use eql_freq::EqlFreqPolicy;
 pub use eql_pwr::EqlPwrPolicy;

@@ -1,0 +1,642 @@
+//! Fleet-level scenarios: timed events targeting **budget-tree nodes**
+//! rather than cores of one server.
+//!
+//! A [`FleetScenario`] scripts the datacenter-scale transients the fleet
+//! layer exists to absorb — a rack loses power and returns, a regional
+//! flash crowd multiplies one subtree's demand, the datacenter cap steps
+//! down and the cut propagates through every water-filling split. Events
+//! name tree nodes by their canonical names (`dc` for the root, `rack0`,
+//! `rack1`, … for interior nodes); resolution against a concrete tree
+//! happens in the fleet engine, so this module stays pure data and the
+//! dependency points fleet → scenario, never back.
+//!
+//! [`generate_fleet`] extends the PR 5 motif grammar to fleet scale: the
+//! same seeded, composable, lint-clean-by-construction contract, with
+//! motif families for datacenter power emergencies, rack-failure windows
+//! (never all racks at once), regional surges that always recede, and
+//! per-rack capacity deratings. Determinism mirrors [`crate::generate`]:
+//! the same `(config, seed)` yields byte-identical JSON.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The canonical name of the budget-tree root.
+pub const ROOT_NODE: &str = "dc";
+
+/// The canonical name of rack `i`.
+#[must_use]
+pub fn rack_name(i: usize) -> String {
+    format!("rack{i}")
+}
+
+/// One timed mutation of the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FleetAction {
+    /// Step the datacenter-level budget to `fraction` of the fleet's
+    /// aggregate peak (a grid-side power emergency, or its end).
+    FleetBudgetStep {
+        /// New budget fraction in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Derate (or restore) one node's capacity clamp: the node may hand
+    /// its subtree at most `fraction` of the subtree's aggregate peak
+    /// (a failing PDU, a thermal derating).
+    NodeCapStep {
+        /// Target node name.
+        node: String,
+        /// New capacity fraction in `(0, 1]`.
+        fraction: f64,
+    },
+    /// The node's whole subtree loses power (rack failure): its servers
+    /// stop, draw nothing, and its budget is re-filled to the survivors.
+    NodeOffline {
+        /// Target node name (never the root).
+        node: String,
+    },
+    /// The subtree returns; its servers resume from where they stopped.
+    NodeOnline {
+        /// Target node name.
+        node: String,
+    },
+    /// Scale the demand signal of every server under `node` (a regional
+    /// flash crowd). `factor` is absolute: 3.0 starts a 3× crowd, 1.0
+    /// ends it.
+    NodeSurge {
+        /// Target node name.
+        node: String,
+        /// Absolute demand multiplier (> 0, ≤ 10).
+        factor: f64,
+    },
+}
+
+impl FleetAction {
+    /// The node the action targets, or `None` for fleet-wide actions.
+    #[must_use]
+    pub fn node(&self) -> Option<&str> {
+        match self {
+            FleetAction::FleetBudgetStep { .. } => None,
+            FleetAction::NodeCapStep { node, .. }
+            | FleetAction::NodeOffline { node }
+            | FleetAction::NodeOnline { node }
+            | FleetAction::NodeSurge { node, .. } => Some(node),
+        }
+    }
+}
+
+/// One scheduled event: a [`FleetAction`] firing at the start of an epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetEvent {
+    /// Epoch index at whose start the action fires (before that epoch's
+    /// water-filling pass, so re-allocation reacts the same epoch).
+    pub at_epoch: u64,
+    /// The mutation to apply.
+    pub action: FleetAction,
+}
+
+/// A scripted fleet run: metadata plus timed node-targeted events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetScenario {
+    /// Scenario name (used in diagnostics).
+    pub name: String,
+    /// Human-readable description of what the scenario exercises.
+    pub description: String,
+    /// The timed events, in any order (sorted by epoch when compiled).
+    pub events: Vec<FleetEvent>,
+}
+
+impl FleetScenario {
+    /// The empty (static) fleet scenario.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            name: "empty".into(),
+            description: "static fleet run (no events)".into(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Parses a fleet scenario from JSON text (shape only; call
+    /// [`FleetScenario::lint`] for the semantic checks).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformation.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Renders the scenario as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Lints the scenario against a concrete rack set and returns every
+    /// complaint (empty = clean). Checks value ranges, unknown node names
+    /// (`racks` plus [`ROOT_NODE`]), an impossible failure timeline
+    /// (offlining an offline rack, onlining an online one, offlining the
+    /// root), and the liveness rule that at least one rack stays online
+    /// at every epoch.
+    #[must_use]
+    pub fn lint(&self, racks: &[String]) -> Vec<String> {
+        let mut errs = Vec::new();
+        if self.name.is_empty() {
+            errs.push("fleet scenario name is empty".into());
+        }
+        if racks.is_empty() {
+            errs.push("rack set is empty".into());
+            return errs;
+        }
+        let known = |n: &str| n == ROOT_NODE || racks.iter().any(|r| r == n);
+
+        // Per-event value lints.
+        for ev in &self.events {
+            let at = ev.at_epoch;
+            if let Some(node) = ev.action.node() {
+                if !known(node) {
+                    errs.push(format!("epoch {at}: unknown node `{node}`"));
+                }
+            }
+            match &ev.action {
+                FleetAction::FleetBudgetStep { fraction } => {
+                    if !(*fraction > 0.0 && *fraction <= 1.0) {
+                        errs.push(format!(
+                            "epoch {at}: fleet_budget_step: fraction {fraction} outside (0, 1]"
+                        ));
+                    }
+                }
+                FleetAction::NodeCapStep { node, fraction } => {
+                    if !(*fraction > 0.0 && *fraction <= 1.0) {
+                        errs.push(format!(
+                            "epoch {at}: node_cap_step({node}): fraction {fraction} \
+                             outside (0, 1]"
+                        ));
+                    }
+                }
+                FleetAction::NodeOffline { node } => {
+                    if node == ROOT_NODE {
+                        errs.push(format!(
+                            "epoch {at}: node_offline: the root `{ROOT_NODE}` cannot fail"
+                        ));
+                    }
+                }
+                FleetAction::NodeOnline { .. } => {}
+                FleetAction::NodeSurge { node, factor } => {
+                    if !(*factor > 0.0 && *factor <= 10.0) {
+                        errs.push(format!(
+                            "epoch {at}: node_surge({node}): factor {factor} outside (0, 10]"
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Failure timeline: replay offline/online in epoch order and hold
+        // the liveness invariant at every step.
+        let mut timeline: Vec<&FleetEvent> = self
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.action,
+                    FleetAction::NodeOffline { .. } | FleetAction::NodeOnline { .. }
+                )
+            })
+            .collect();
+        timeline.sort_by_key(|e| e.at_epoch);
+        let mut offline: BTreeMap<&str, bool> = BTreeMap::new();
+        for ev in timeline {
+            match &ev.action {
+                FleetAction::NodeOffline { node } if known(node) && node != ROOT_NODE => {
+                    if std::mem::replace(offline.entry(node).or_insert(false), true) {
+                        errs.push(format!(
+                            "epoch {}: node_offline: `{node}` is already offline",
+                            ev.at_epoch
+                        ));
+                    }
+                    let down = offline.values().filter(|&&d| d).count();
+                    if down >= racks.len() {
+                        errs.push(format!(
+                            "epoch {}: node_offline: every rack offline (fleet must stay live)",
+                            ev.at_epoch
+                        ));
+                    }
+                }
+                FleetAction::NodeOnline { node }
+                    if known(node)
+                        && !std::mem::replace(offline.entry(node).or_insert(false), false) =>
+                {
+                    errs.push(format!(
+                        "epoch {}: node_online: `{node}` is already online",
+                        ev.at_epoch
+                    ));
+                }
+                _ => {}
+            }
+        }
+        errs
+    }
+}
+
+/// Shape of the generated fleet-scenario space: the rack count, the time
+/// horizon, and per-family motif budgets (each family draws its actual
+/// count uniformly from `0..=max`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetGeneratorConfig {
+    /// Number of racks the events are written against.
+    pub racks: usize,
+    /// Events fire in `[2, horizon)` epochs. Must be ≥ 24.
+    pub horizon: u64,
+    /// Maximum datacenter budget-emergency motifs (step down + recovery).
+    pub max_budget_motifs: usize,
+    /// Maximum rack-failure motifs (offline/online pairs on distinct
+    /// racks; capped below the rack count so the fleet stays live).
+    pub max_failure_motifs: usize,
+    /// Maximum regional-surge motifs (surge + matching end event).
+    pub max_surge_motifs: usize,
+    /// Maximum capacity-derating motifs (cap step + optional restore).
+    pub max_cap_motifs: usize,
+}
+
+impl Default for FleetGeneratorConfig {
+    fn default() -> Self {
+        Self {
+            racks: 4,
+            horizon: 64,
+            max_budget_motifs: 2,
+            max_failure_motifs: 1,
+            max_surge_motifs: 2,
+            max_cap_motifs: 1,
+        }
+    }
+}
+
+impl FleetGeneratorConfig {
+    /// A config sized for an `epochs`-long fleet run over `racks` racks:
+    /// the event horizon leaves the last few epochs quiet so tail metrics
+    /// see a settled fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the resulting horizon is under 24 epochs.
+    #[must_use]
+    pub fn for_run(racks: usize, epochs: usize) -> Self {
+        let horizon = (epochs as u64).saturating_sub(8);
+        assert!(
+            horizon >= 24,
+            "fleet generator horizon {horizon} too short (need >= 24)"
+        );
+        Self {
+            racks,
+            horizon,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates one fleet scenario from `(config, seed)` — deterministically,
+/// and lint-clean by construction against the canonical rack names
+/// `rack0..rack{racks-1}` (see [`rack_name`]).
+///
+/// # Panics
+///
+/// Panics when the config is degenerate (`racks < 2` or `horizon < 24`).
+/// Generated scenarios additionally `debug_assert` their own
+/// lint-cleanliness.
+#[must_use]
+pub fn generate_fleet(cfg: &FleetGeneratorConfig, seed: u64) -> FleetScenario {
+    assert!(cfg.racks >= 2, "fleet generator needs at least 2 racks");
+    assert!(
+        cfg.horizon >= 24,
+        "fleet generator needs a horizon of >= 24"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let h = cfg.horizon;
+    let mut events: Vec<FleetEvent> = Vec::new();
+
+    // Datacenter budget emergencies: one forward-moving cursor; each
+    // motif steps down and, horizon permitting, recovers — so generated
+    // populations always exercise the re-fill path, not just the cut.
+    let mut t = rng.gen_range(4..=(h / 4).max(4));
+    for _ in 0..rng.gen_range(0..=cfg.max_budget_motifs) {
+        if t + 8 >= h {
+            break;
+        }
+        let fraction = rng.gen_range(9u32..=15) as f64 * 0.05; // 0.45..=0.75
+        events.push(at(t, FleetAction::FleetBudgetStep { fraction }));
+        let t_rec = t + rng.gen_range(4u64..=10);
+        if t_rec < h {
+            let recovered = rng.gen_range(16u32..=19) as f64 * 0.05; // 0.80..=0.95
+            events.push(at(
+                t_rec,
+                FleetAction::FleetBudgetStep {
+                    fraction: recovered,
+                },
+            ));
+        }
+        t = t_rec + rng.gen_range(4u64..=12);
+    }
+
+    // Rack failures: distinct racks from one shuffled deck, strictly
+    // fewer motifs than racks, each with a return event inside the
+    // horizon — no interleaving can kill the whole fleet or double-fail
+    // a rack.
+    let mut deck: Vec<usize> = (0..cfg.racks).collect();
+    shuffle(&mut rng, &mut deck);
+    let n_fail = rng.gen_range(0..=cfg.max_failure_motifs).min(cfg.racks - 1);
+    for (k, &rack) in deck.iter().take(n_fail).enumerate() {
+        let _ = k;
+        let node = rack_name(rack);
+        let t_off = rng.gen_range(4..=h - 14);
+        let t_on = t_off + rng.gen_range(4u64..=12);
+        events.push(at(t_off, FleetAction::NodeOffline { node: node.clone() }));
+        events.push(at(t_on, FleetAction::NodeOnline { node }));
+    }
+
+    // Regional surges: a demand spike on one rack and its matching end;
+    // free to overlap budget and failure motifs.
+    for _ in 0..rng.gen_range(0..=cfg.max_surge_motifs) {
+        let node = rack_name(rng.gen_range(0..cfg.racks));
+        let factor = rng.gen_range(4u32..=12) as f64 * 0.5; // 2.0..=6.0
+        let t1 = rng.gen_range(4..=h - 16);
+        let t2 = t1 + rng.gen_range(4u64..=12);
+        events.push(at(
+            t1,
+            FleetAction::NodeSurge {
+                node: node.clone(),
+                factor,
+            },
+        ));
+        events.push(at(t2, FleetAction::NodeSurge { node, factor: 1.0 }));
+    }
+
+    // Capacity deratings: a rack's PDU clamp drops and usually restores.
+    for _ in 0..rng.gen_range(0..=cfg.max_cap_motifs) {
+        let node = rack_name(rng.gen_range(0..cfg.racks));
+        let fraction = rng.gen_range(10u32..=16) as f64 * 0.05; // 0.50..=0.80
+        let t1 = rng.gen_range(4..=h - 12);
+        events.push(at(
+            t1,
+            FleetAction::NodeCapStep {
+                node: node.clone(),
+                fraction,
+            },
+        ));
+        if rng.gen::<f64>() < 0.75 {
+            let t2 = t1 + rng.gen_range(4u64..=10);
+            events.push(at(
+                t2,
+                FleetAction::NodeCapStep {
+                    node,
+                    fraction: 1.0,
+                },
+            ));
+        }
+    }
+
+    // Stable epoch order, insertion order within an epoch by motif family
+    // (the fleet interpreter's tie-break).
+    events.sort_by_key(|e| e.at_epoch);
+    let scenario = FleetScenario {
+        name: format!("fleet-gen-{seed:016x}"),
+        description: format!(
+            "generated: {} event(s) over {} epochs on {} racks (seed {seed})",
+            events.len(),
+            h,
+            cfg.racks
+        ),
+        events,
+    };
+    debug_assert!(
+        {
+            let racks: Vec<String> = (0..cfg.racks).map(rack_name).collect();
+            scenario.lint(&racks).is_empty()
+        },
+        "fleet generator emitted a lint-dirty scenario"
+    );
+    scenario
+}
+
+/// One scheduled event.
+fn at(at_epoch: u64, action: FleetAction) -> FleetEvent {
+    FleetEvent { at_epoch, action }
+}
+
+/// In-place Fisher–Yates shuffle.
+fn shuffle(rng: &mut SmallRng, v: &mut [usize]) {
+    for i in (1..v.len()).rev() {
+        v.swap(i, rng.gen_range(0..=i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn racks(n: usize) -> Vec<String> {
+        (0..n).map(rack_name).collect()
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let s = FleetScenario {
+            name: "rackfail".into(),
+            description: "rack 2 fails and returns".into(),
+            events: vec![
+                at(
+                    10,
+                    FleetAction::NodeOffline {
+                        node: "rack2".into(),
+                    },
+                ),
+                at(
+                    24,
+                    FleetAction::NodeOnline {
+                        node: "rack2".into(),
+                    },
+                ),
+                at(30, FleetAction::FleetBudgetStep { fraction: 0.55 }),
+                at(
+                    34,
+                    FleetAction::NodeSurge {
+                        node: "rack0".into(),
+                        factor: 3.0,
+                    },
+                ),
+            ],
+        };
+        let back = FleetScenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        assert!(
+            back.lint(&racks(4)).is_empty(),
+            "{:?}",
+            back.lint(&racks(4))
+        );
+    }
+
+    #[test]
+    fn lint_catches_bad_values_and_timelines() {
+        let bad = FleetScenario {
+            name: "bad".into(),
+            description: "every rule broken once".into(),
+            events: vec![
+                at(2, FleetAction::FleetBudgetStep { fraction: 1.5 }),
+                at(
+                    3,
+                    FleetAction::NodeCapStep {
+                        node: "rack9".into(),
+                        fraction: 0.5,
+                    },
+                ),
+                at(
+                    4,
+                    FleetAction::NodeOffline {
+                        node: ROOT_NODE.into(),
+                    },
+                ),
+                at(
+                    5,
+                    FleetAction::NodeOffline {
+                        node: "rack0".into(),
+                    },
+                ),
+                at(
+                    6,
+                    FleetAction::NodeOffline {
+                        node: "rack0".into(),
+                    },
+                ),
+                at(
+                    7,
+                    FleetAction::NodeOnline {
+                        node: "rack1".into(),
+                    },
+                ),
+                at(
+                    8,
+                    FleetAction::NodeSurge {
+                        node: "rack1".into(),
+                        factor: 40.0,
+                    },
+                ),
+            ],
+        };
+        let errs = bad.lint(&racks(2));
+        let has = |s: &str| errs.iter().any(|e| e.contains(s));
+        assert!(has("fraction 1.5"), "{errs:?}");
+        assert!(has("unknown node `rack9`"), "{errs:?}");
+        assert!(has("cannot fail"), "{errs:?}");
+        assert!(has("already offline"), "{errs:?}");
+        assert!(has("already online"), "{errs:?}");
+        assert!(has("factor 40"), "{errs:?}");
+    }
+
+    #[test]
+    fn lint_enforces_fleet_liveness() {
+        // Both racks of a 2-rack fleet offline at once: dead fleet.
+        let dead = FleetScenario {
+            name: "dead".into(),
+            description: "all racks fail".into(),
+            events: vec![
+                at(
+                    4,
+                    FleetAction::NodeOffline {
+                        node: "rack0".into(),
+                    },
+                ),
+                at(
+                    5,
+                    FleetAction::NodeOffline {
+                        node: "rack1".into(),
+                    },
+                ),
+            ],
+        };
+        let errs = dead.lint(&racks(2));
+        assert!(errs.iter().any(|e| e.contains("stay live")), "{errs:?}");
+        // Staggered failure with recovery in between is fine.
+        let staggered = FleetScenario {
+            name: "staggered".into(),
+            description: "one at a time".into(),
+            events: vec![
+                at(
+                    4,
+                    FleetAction::NodeOffline {
+                        node: "rack0".into(),
+                    },
+                ),
+                at(
+                    8,
+                    FleetAction::NodeOnline {
+                        node: "rack0".into(),
+                    },
+                ),
+                at(
+                    10,
+                    FleetAction::NodeOffline {
+                        node: "rack1".into(),
+                    },
+                ),
+                at(
+                    14,
+                    FleetAction::NodeOnline {
+                        node: "rack1".into(),
+                    },
+                ),
+            ],
+        };
+        assert!(staggered.lint(&racks(2)).is_empty());
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_lint_clean() {
+        let cfg = FleetGeneratorConfig::default();
+        let rs = racks(cfg.racks);
+        for seed in 0..64 {
+            let a = generate_fleet(&cfg, seed);
+            let b = generate_fleet(&cfg, seed);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert_eq!(a.to_json(), b.to_json());
+            let errs = a.lint(&rs);
+            assert!(errs.is_empty(), "seed {seed}: {errs:?}");
+            for ev in &a.events {
+                assert!(
+                    ev.at_epoch < cfg.horizon,
+                    "seed {seed}: event at {}",
+                    ev.at_epoch
+                );
+            }
+        }
+        // Different seeds explore different scenarios.
+        assert_ne!(generate_fleet(&cfg, 1), generate_fleet(&cfg, 2));
+    }
+
+    #[test]
+    fn generator_population_exercises_every_motif_family() {
+        let cfg = FleetGeneratorConfig {
+            racks: 4,
+            horizon: 64,
+            max_budget_motifs: 2,
+            max_failure_motifs: 2,
+            max_surge_motifs: 2,
+            max_cap_motifs: 2,
+        };
+        let (mut budget, mut fail, mut surge, mut cap) = (0, 0, 0, 0);
+        for seed in 0..64 {
+            for ev in generate_fleet(&cfg, seed).events {
+                match ev.action {
+                    FleetAction::FleetBudgetStep { .. } => budget += 1,
+                    FleetAction::NodeOffline { .. } => fail += 1,
+                    FleetAction::NodeSurge { .. } => surge += 1,
+                    FleetAction::NodeCapStep { .. } => cap += 1,
+                    FleetAction::NodeOnline { .. } => {}
+                }
+            }
+        }
+        assert!(budget > 0 && fail > 0 && surge > 0 && cap > 0);
+    }
+}

@@ -55,11 +55,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fleet;
 mod format;
 pub mod generate;
 pub mod oracle;
 mod runtime;
 
+pub use fleet::{
+    generate_fleet, rack_name, FleetAction, FleetEvent, FleetGeneratorConfig, FleetScenario,
+    ROOT_NODE,
+};
 pub use format::{Action, Scenario, ScenarioEvent};
 pub use generate::{generate, GeneratorConfig};
 pub use runtime::{PolicyFactory, ScenarioRunner};

@@ -22,8 +22,16 @@
 //!   (no divide-through-zero artifacts, no starved-to-death cores
 //!   masquerading as data).
 //!
+//! * **Tree conservation** — at every fleet epoch, each interior budget-
+//!   tree node's committed budget equals the sum it handed its children,
+//!   within 1 µW ([`check_tree_allocs`]). This is the fleet-level
+//!   counterpart of counter conservation: the water-filling solver at
+//!   every node must neither mint nor lose watts.
+//!
 //! The matrix runner evaluates this on **every cell** and publishes the
 //! verdict as a column; the test suites reuse it as their assertion core.
+//! The fleet engine likewise evaluates [`check_tree_allocs`] on every
+//! epoch of every fleet cell.
 
 use crate::runtime::ScenarioRunner;
 use fastcap_core::units::Watts;
@@ -134,6 +142,62 @@ pub fn check_run(
         check_degradations(run, base, cfg, &mut v);
     }
     OracleReport { violations: v }
+}
+
+/// Default tolerance for the tree-conservation invariant: 1 µW. Interior
+/// splits are sums of at most a few thousand doubles in the hundreds of
+/// watts, so honest float error sits orders of magnitude below this.
+pub const TREE_CONSERVATION_EPS: f64 = 1e-6;
+
+/// One interior budget-tree node's split at one fleet epoch: the budget
+/// the node committed downward and the per-child shares the water-filling
+/// solver produced. `committed` is computed independently of the solver
+/// (the clamp of the node's received budget to its children's feasible
+/// range), so a residual means the solver minted or lost watts.
+#[derive(Debug, Clone)]
+pub struct TreeAlloc {
+    /// Node name (e.g. `dc`, `rack3`).
+    pub node: String,
+    /// Watts this node committed to its subtree.
+    pub committed: f64,
+    /// Watts handed to each child, in child order.
+    pub children: Vec<f64>,
+}
+
+impl TreeAlloc {
+    /// `|committed − Σ children|` in watts.
+    #[must_use]
+    pub fn residual(&self) -> f64 {
+        (self.committed - self.children.iter().sum::<f64>()).abs()
+    }
+}
+
+/// Evaluates the tree-conservation invariant on one fleet epoch's interior
+/// splits: every node's committed budget must equal the sum of its
+/// children's shares within `eps` watts (see [`TREE_CONSERVATION_EPS`]).
+/// Non-finite values are violations in their own right. Returns every
+/// violation found; empty means green.
+#[must_use]
+pub fn check_tree_allocs(allocs: &[TreeAlloc], eps: f64) -> Vec<String> {
+    let mut v = Vec::new();
+    for a in allocs {
+        if !a.committed.is_finite() || a.children.iter().any(|c| !c.is_finite()) {
+            v.push(format!("tree: node {}: non-finite allocation", a.node));
+            continue;
+        }
+        let r = a.residual();
+        if r > eps {
+            v.push(format!(
+                "tree: node {}: committed {:.6} W but split {:.6} W across {} children \
+                 (residual {r:.3e} W > {eps:.1e} W)",
+                a.node,
+                a.committed,
+                a.children.iter().sum::<f64>(),
+                a.children.len()
+            ));
+        }
+    }
+    v
 }
 
 fn check_sanity(run: &RunResult, v: &mut Vec<String>) {
@@ -456,6 +520,46 @@ mod tests {
         let rep = check_run(&run(&[50.0, 50.0]), &runner, Watts(4.0), None, &cfg());
         assert_eq!(rep.violations.len(), 1);
         assert!(rep.violations[0].contains("shape:"), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn tree_conservation_catches_minted_and_lost_watts() {
+        let good = vec![
+            TreeAlloc {
+                node: "dc".into(),
+                committed: 300.0,
+                children: vec![100.0, 120.0, 80.0],
+            },
+            TreeAlloc {
+                node: "rack0".into(),
+                committed: 100.0,
+                children: vec![25.0; 4],
+            },
+        ];
+        assert!(check_tree_allocs(&good, TREE_CONSERVATION_EPS).is_empty());
+        // Exactly representable 1 µW-scale drift: 2 µW is a violation,
+        // 0.5 µW is not.
+        let drift = |d: f64| {
+            vec![TreeAlloc {
+                node: "rack1".into(),
+                committed: 100.0 + d,
+                children: vec![50.0, 50.0],
+            }]
+        };
+        assert_eq!(
+            check_tree_allocs(&drift(2e-6), TREE_CONSERVATION_EPS).len(),
+            1
+        );
+        assert!(check_tree_allocs(&drift(5e-7), TREE_CONSERVATION_EPS).is_empty());
+        let v = check_tree_allocs(&drift(2e-6), TREE_CONSERVATION_EPS);
+        assert!(v[0].contains("tree: node rack1"), "{v:?}");
+        // Non-finite splits are their own violation, not a comparison.
+        let nan = vec![TreeAlloc {
+            node: "dc".into(),
+            committed: f64::NAN,
+            children: vec![1.0],
+        }];
+        assert_eq!(check_tree_allocs(&nan, TREE_CONSERVATION_EPS).len(), 1);
     }
 
     #[test]

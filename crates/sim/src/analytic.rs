@@ -135,6 +135,14 @@ impl AnalyticServer {
         &self.cfg
     }
 
+    /// Deterministic count of fixed-point solver iterations executed so far
+    /// (epochs × cores × iterations-per-solve) — this backend's analogue of
+    /// [`crate::Server::events_scheduled`], the work unit of the fleet cost
+    /// model.
+    pub fn solver_ops(&self) -> u64 {
+        self.epoch_index * self.cfg.n_cores as u64 * ITERATIONS as u64
+    }
+
     /// The observation a policy would receive right now.
     pub fn observation(&self) -> Option<EpochObservation> {
         self.prev

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod backend;
 pub mod config;
 pub mod core_model;
 pub mod dram;
@@ -52,6 +53,7 @@ pub mod power_model;
 pub mod server;
 
 pub use analytic::AnalyticServer;
+pub use backend::EpochBackend;
 pub use config::{CoreMode, Interleaving, SimConfig};
 pub use metrics::{EpochReport, RunResult};
 pub use server::{ControlAction, Server};

@@ -442,6 +442,52 @@ mod tests {
     }
 
     #[derive(Debug, PartialEq, serde_derive::Serialize, serde_derive::Deserialize)]
+    struct Labeled<T> {
+        label: String,
+        payload: T,
+    }
+
+    #[derive(Debug, PartialEq, serde_derive::Serialize, serde_derive::Deserialize)]
+    struct Pair<A, B: Clone> {
+        first: A,
+        second: B,
+        rest: Vec<A>,
+    }
+
+    #[test]
+    fn generic_struct_round_trips() {
+        // Single unbounded type parameter — the `Tree<M: ServerModel>`
+        // config shape the fleet layer needs.
+        let w = Labeled {
+            label: "rack0".to_string(),
+            payload: vec![1u32, 2, 3],
+        };
+        assert_eq!(Labeled::<Vec<u32>>::from_value(&w.to_value()).unwrap(), w);
+        // Nested generic payloads resolve through the blanket field path.
+        let nested = Labeled {
+            label: "dc".to_string(),
+            payload: Labeled {
+                label: "leaf".to_string(),
+                payload: 0.75f64,
+            },
+        };
+        assert_eq!(
+            Labeled::<Labeled<f64>>::from_value(&nested.to_value()).unwrap(),
+            nested
+        );
+        // Multiple parameters, declaration bounds skipped by the parser.
+        let p = Pair {
+            first: 7u64,
+            second: "x".to_string(),
+            rest: vec![8, 9],
+        };
+        assert_eq!(Pair::<u64, String>::from_value(&p.to_value()).unwrap(), p);
+        // Missing-field errors still name the container.
+        let bad = Value::Object(vec![("label".into(), Value::Str("a".into()))]);
+        assert!(Labeled::<u32>::from_value(&bad).is_err());
+    }
+
+    #[derive(Debug, PartialEq, serde_derive::Serialize, serde_derive::Deserialize)]
     #[serde(tag = "kind", rename_all = "snake_case")]
     enum TaggedAction {
         BudgetStep { fraction: f64 },

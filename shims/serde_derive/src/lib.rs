@@ -4,7 +4,11 @@
 //! build environment is offline) and emits impls of the shim's `Serialize` /
 //! `Deserialize` traits. Supported shapes are the ones this workspace uses:
 //! structs with named fields, tuple structs, unit structs, and enums with
-//! unit / tuple / struct variants. Generic types are not supported.
+//! unit / tuple / struct variants. Generic containers are supported for
+//! plain type parameters (bounds on the declaration are accepted and
+//! skipped); every parameter is re-bound to the derived trait in the
+//! emitted impl, mirroring real serde's conservative default. Lifetime and
+//! const parameters, and `where` clauses, are not supported.
 //!
 //! `#[serde(...)]` container attributes: `tag = "..."` (internally tagged
 //! enums, used by the scenario event format) and `rename_all =
@@ -253,7 +257,103 @@ fn parse_variants(g: &Group) -> Vec<Variant> {
     out
 }
 
-fn parse_shape(input: TokenStream) -> (Shape, ContainerAttrs) {
+/// One parsed type parameter: its ident plus any declaration bounds
+/// (rendered back to source text, e.g. `Clone + Send`).
+struct TypeParam {
+    ident: String,
+    bounds: String,
+}
+
+/// Parses the `<...>` generic-parameter list after the type name, if any.
+/// Returns the type parameters in declaration order. Declaration bounds
+/// (`M: ServerModel + Clone`) are kept and re-emitted on the impl header —
+/// the type itself requires them — with the derived trait appended to each
+/// parameter, mirroring real serde's conservative default. Lifetimes and
+/// const parameters are rejected: the impl header this shim emits has no
+/// way to forward them.
+fn parse_generics(toks: &[TokenTree], i: &mut usize, name: &str) -> Vec<TypeParam> {
+    if !is_punct(toks.get(*i), '<') {
+        return Vec::new();
+    }
+    *i += 1;
+    let mut params = Vec::new();
+    while !is_punct(toks.get(*i), '>') {
+        let tok = toks
+            .get(*i)
+            .unwrap_or_else(|| panic!("serde shim derive: unterminated generics on `{name}`"));
+        let ident = ident_str(tok).unwrap_or_else(|| {
+            panic!(
+                "serde shim derive: `{name}` has generic parameter `{tok}`; \
+                 only plain type parameters are supported"
+            )
+        });
+        assert!(
+            ident != "const",
+            "serde shim derive: const generics on `{name}` are not supported"
+        );
+        *i += 1;
+        // Collect bounds (after a `:`, stopping at a top-level `=` default)
+        // up to the separating top-level `,` (consumed) or the closing `>`
+        // (left for the loop condition), tracking `<...>` nesting inside
+        // bound arguments.
+        let mut bounds = String::new();
+        let mut in_bounds = false;
+        let mut depth: i32 = 0;
+        loop {
+            match toks.get(*i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' && depth > 0 => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    *i += 1;
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' && depth == 0 && !in_bounds => {
+                    in_bounds = true;
+                    *i += 1;
+                    continue;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' && depth == 0 => in_bounds = false,
+                Some(_) => {}
+                None => panic!("serde shim derive: unterminated generics on `{name}`"),
+            }
+            if in_bounds {
+                let _ = write!(bounds, "{} ", toks[*i]);
+            }
+            *i += 1;
+        }
+        params.push(TypeParam { ident, bounds });
+    }
+    *i += 1; // closing `>`
+    params
+}
+
+/// `impl` header pieces for a possibly-generic container: the parameter
+/// list with every type parameter carrying its declaration bounds plus
+/// `trait_path`, and the bare argument list for the self type. Empty
+/// strings for non-generic types.
+fn generics_header(params: &[TypeParam], trait_path: &str) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let bounded: Vec<String> = params
+        .iter()
+        .map(|p| {
+            if p.bounds.is_empty() {
+                format!("{}: {trait_path}", p.ident)
+            } else {
+                format!("{}: {}+ {trait_path}", p.ident, p.bounds)
+            }
+        })
+        .collect();
+    let args: Vec<&str> = params.iter().map(|p| p.ident.as_str()).collect();
+    (
+        format!("<{}>", bounded.join(", ")),
+        format!("<{}>", args.join(", ")),
+    )
+}
+
+fn parse_shape(input: TokenStream) -> (Shape, ContainerAttrs, Vec<TypeParam>) {
     let toks: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
     let attrs = parse_container_attrs(&toks, &mut i);
@@ -262,9 +362,10 @@ fn parse_shape(input: TokenStream) -> (Shape, ContainerAttrs) {
     i += 1;
     let name = ident_str(&toks[i]).expect("serde shim derive: expected type name");
     i += 1;
+    let generics = parse_generics(&toks, &mut i, &name);
     assert!(
-        !is_punct(toks.get(i), '<'),
-        "serde shim derive: generic type `{name}` is not supported"
+        !matches!(toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where"),
+        "serde shim derive: `where` clause on `{name}` is not supported"
     );
     let shape = match kw.as_str() {
         "struct" => match toks.get(i) {
@@ -301,7 +402,7 @@ fn parse_shape(input: TokenStream) -> (Shape, ContainerAttrs) {
             );
         }
     }
-    (shape, attrs)
+    (shape, attrs, generics)
 }
 
 /// The on-the-wire name of a variant under the container's casing rule.
@@ -316,7 +417,7 @@ fn wire_name(attrs: &ContainerAttrs, variant: &str) -> String {
 /// Derives the shim's `Serialize` trait.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let (shape, attrs) = parse_shape(input);
+    let (shape, attrs, generics) = parse_shape(input);
     let name = shape.name().to_owned();
     let body = match &shape {
         Shape::NamedStruct { fields, .. } => {
@@ -435,9 +536,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             format!("match self {{ {arms} }}")
         }
     };
+    let (impl_params, ty_args) = generics_header(&generics, "::serde::Serialize");
     let out = format!(
         "#[automatically_derived]\n\
-         impl ::serde::Serialize for {name} {{\n\
+         impl{impl_params} ::serde::Serialize for {name}{ty_args} {{\n\
              fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
          }}"
     );
@@ -448,7 +550,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 /// Derives the shim's `Deserialize` trait.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let (shape, attrs) = parse_shape(input);
+    let (shape, attrs, generics) = parse_shape(input);
     let name = shape.name().to_owned();
     let body = match &shape {
         Shape::NamedStruct { fields, .. } => {
@@ -600,9 +702,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
+    let (impl_params, ty_args) = generics_header(&generics, "::serde::Deserialize");
     let out = format!(
         "#[automatically_derived]\n\
-         impl ::serde::Deserialize for {name} {{\n\
+         impl{impl_params} ::serde::Deserialize for {name}{ty_args} {{\n\
              fn from_value(__v: &::serde::Value) \
                  -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
          }}"

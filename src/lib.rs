@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the FastCap reproduction workspace.
 pub use fastcap_core as core;
+pub use fastcap_fleet as fleet;
 pub use fastcap_policies as policies;
 pub use fastcap_scenario as scenario;
 pub use fastcap_sim as sim;
