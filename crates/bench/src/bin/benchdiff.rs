@@ -2,7 +2,7 @@
 //! regressions.
 //!
 //! ```text
-//! benchdiff <reference.json> <current.json> [--max-ratio R]
+//! benchdiff <reference.json> <current.json> [--max-ratio R] [--json PATH]
 //! ```
 //!
 //! Reads two reports written by the criterion shim's `--json` mode,
@@ -12,6 +12,11 @@
 //! catch an accidental algorithmic regression). Benchmarks present in
 //! only one file are reported but never fail the gate, so adding or
 //! retiring benches does not break CI.
+//!
+//! `--json PATH` additionally writes a machine-readable diff summary —
+//! `{ schema: "fastcap-benchdiff-v1", max_ratio, rows: [{name, ref_ns,
+//! cur_ns, ratio}], failures: [name] }` — which the nightly workflow
+//! uploads as its delta report.
 
 use serde::Value;
 use std::process::ExitCode;
@@ -47,6 +52,7 @@ fn load(path: &str) -> Result<Vec<Record>, String> {
 
 fn main() -> ExitCode {
     let mut max_ratio = 3.0f64;
+    let mut json_out: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -58,8 +64,18 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(p),
+                None => {
+                    eprintln!("--json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: benchdiff <reference.json> <current.json> [--max-ratio R]");
+                println!(
+                    "usage: benchdiff <reference.json> <current.json> \
+                     [--max-ratio R] [--json PATH]"
+                );
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -70,7 +86,7 @@ fn main() -> ExitCode {
         }
     }
     if files.len() != 2 {
-        eprintln!("usage: benchdiff <reference.json> <current.json> [--max-ratio R]");
+        eprintln!("usage: benchdiff <reference.json> <current.json> [--max-ratio R] [--json PATH]");
         return ExitCode::from(2);
     }
     let (reference, current) = match (load(&files[0]), load(&files[1])) {
@@ -86,6 +102,7 @@ fn main() -> ExitCode {
         "benchmark", "ref median", "cur median", "ratio"
     );
     let mut failures = Vec::new();
+    let mut rows = Vec::new();
     for r in &reference {
         let Some(c) = current.iter().find(|c| c.name == r.name) else {
             println!(
@@ -100,6 +117,7 @@ fn main() -> ExitCode {
             "{:<44} {:>12.0} {:>12.0} {:>7.2}x{flag}",
             r.name, r.median_ns, c.median_ns, ratio
         );
+        rows.push((r.name.clone(), r.median_ns, c.median_ns, ratio));
         if ratio > max_ratio {
             failures.push((r.name.clone(), ratio));
         }
@@ -110,6 +128,41 @@ fn main() -> ExitCode {
                 "{:<44} {:>12} {:>12.0} {:>8}",
                 c.name, "-", c.median_ns, "new"
             );
+        }
+    }
+    if let Some(path) = &json_out {
+        let doc = Value::Object(vec![
+            ("schema".into(), Value::Str("fastcap-benchdiff-v1".into())),
+            ("max_ratio".into(), Value::Float(max_ratio)),
+            (
+                "rows".into(),
+                Value::Array(
+                    rows.iter()
+                        .map(|(name, ref_ns, cur_ns, ratio)| {
+                            Value::Object(vec![
+                                ("name".into(), Value::Str(name.clone())),
+                                ("ref_ns".into(), Value::Float(*ref_ns)),
+                                ("cur_ns".into(), Value::Float(*cur_ns)),
+                                ("ratio".into(), Value::Float(*ratio)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "failures".into(),
+                Value::Array(
+                    failures
+                        .iter()
+                        .map(|(n, _)| Value::Str(n.clone()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let text = serde_json::to_string_pretty(&doc).expect("render diff summary");
+        if let Err(e) = std::fs::write(path, text + "\n") {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
         }
     }
     if failures.is_empty() {

@@ -6,8 +6,18 @@
 //! repro all [--quick] [--jobs N]
 //! repro matrix [--count K] [--mixes LIST|all] [--policies LIST|all] [--quick] [--jobs N]
 //! repro scenario validate [DIR]
+//! repro calibrate [--check]
+//! repro costgate [--jobs N]
 //! repro --list
 //! ```
+//!
+//! The timing artifacts (`tab1`, `overhead`, `scaling`) publish **modeled**
+//! latencies by default — deterministic operation counts priced by the
+//! checked-in `COST_MODEL.json` weights (DESIGN.md §10) — and are
+//! golden-pinned like every other artifact. `--wall-clock` switches them
+//! back to measured host time (for EXPERIMENTS.md refreshes); `repro
+//! calibrate` refits the weights from this host's wall clock; `repro
+//! costgate` re-checks the goldens and the modeled-cost expectations.
 //!
 //! `--jobs N` shards each experiment's sweep across N worker threads
 //! (default: available parallelism). Artifacts are bit-identical at any
@@ -41,9 +51,11 @@ use std::time::Instant;
 fn usage() -> String {
     format!(
         "usage: repro <artifact|all>... [--quick] [--seed N] [--jobs N] [--out DIR] \
-         [--scenario FILE] [--list]\n\
+         [--scenario FILE] [--wall-clock] [--list]\n\
          \x20      repro matrix [--count K] [--mixes LIST|all] [--policies LIST|all]\n\
          \x20      repro scenario validate [DIR]\n\
+         \x20      repro calibrate [--check]\n\
+         \x20      repro costgate [--jobs N]\n\
          artifacts: {}",
         experiments::ALL.join(" ")
     )
@@ -169,6 +181,124 @@ fn scenario_validate(dir: &Path) -> ExitCode {
     }
 }
 
+/// `repro calibrate`: re-measure the wall-clock probe matrix, fit fresh
+/// per-op ns weights, and write `COST_MODEL.json` into the current
+/// directory (the repo root in the normal `cargo run` workflow). The
+/// file is embedded at **compile** time, so rebuild after committing it.
+fn calibrate_cmd() -> ExitCode {
+    let model = match fastcap_bench::costmodel::calibrate() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("calibration failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = Path::new("COST_MODEL.json");
+    if let Err(e) = std::fs::write(path, model.to_json()) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("# Calibrated cost model -> {}", path.display());
+    println!();
+    println!("| op | ns/op |");
+    println!("|---|---|");
+    for (k, op) in fastcap_core::cost::OPS.iter().enumerate() {
+        println!("| {op} | {:.3} |", model.weights.ns[k]);
+    }
+    println!();
+    println!(
+        "[{} expectation(s); rebuild (`cargo build --release`) to embed the new model]",
+        model.expectations.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `repro calibrate --check`: re-measure the probes on *this* host and
+/// report drift against the checked-in weights. Warn-only by design —
+/// wall-clock varies across hosts; only the deterministic counters gate
+/// (see `repro costgate`).
+fn calibrate_check_cmd() -> ExitCode {
+    let model = match fastcap_bench::costmodel::CostModel::embedded() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("embedded COST_MODEL.json is invalid: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rows = match fastcap_bench::costmodel::drift_report(&model) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("drift check failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("# Cost-model drift check (measured wall-clock vs checked-in model)");
+    println!();
+    println!("| probe | measured µs | modeled µs | ratio |");
+    println!("|---|---|---|---|");
+    let mut drifted = 0usize;
+    for (name, wall, modeled, ratio) in &rows {
+        let flag = if *ratio > 2.0 || *ratio < 0.5 {
+            drifted += 1;
+            " (!)"
+        } else {
+            ""
+        };
+        println!(
+            "| {name} | {:.1} | {:.1} | {ratio:.2}x{flag} |",
+            wall / 1_000.0,
+            modeled / 1_000.0
+        );
+    }
+    println!();
+    if drifted > 0 {
+        println!(
+            "warning: {drifted} of {} probe(s) drifted beyond 2x from the checked-in \
+             weights on this host; consider re-running `repro calibrate` (warn-only: \
+             modeled artifacts and the cost gate are unaffected by host speed)",
+            rows.len()
+        );
+    } else {
+        println!(
+            "[{} probe(s) within 2x of the checked-in weights]",
+            rows.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro costgate`: the deterministic timing gate — golden hashes of the
+/// modeled artifacts plus modeled-cost expectations, all host-independent.
+fn costgate_cmd(jobs: usize, inject: u64) -> ExitCode {
+    if inject > 0 {
+        eprintln!("[costgate: injecting {inject} extra solver iteration(s) per solve]");
+        fastcap_core::optimizer::set_injected_solver_iters(inject);
+    }
+    match fastcap_bench::costmodel::cost_gate(jobs) {
+        Ok(failures) if failures.is_empty() => {
+            println!(
+                "[costgate: OK — {} golden artifact(s), {} expectation probe(s)]",
+                fastcap_bench::costmodel::TIMING_GOLDENS.len(),
+                fastcap_bench::costmodel::CostModel::embedded()
+                    .map(|m| m.expectations.len())
+                    .unwrap_or(0)
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for f in &failures {
+                println!("FAIL {f}");
+            }
+            println!("[costgate: {} failure(s)]", failures.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("costgate could not run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut opts = Opts::default();
     let mut targets: Vec<String> = Vec::new();
@@ -176,10 +306,25 @@ fn main() -> ExitCode {
     let mut matrix_mixes: Option<String> = None;
     let mut matrix_policies: Option<String> = None;
     let mut matrix_count: Option<usize> = None;
+    // `repro calibrate --check`: drift report instead of refitting.
+    let mut calibrate_check = false;
+    // `repro costgate --inject-solver-iters N`: regression-injection hook
+    // for the gate's own negative test (deliberately not in the usage
+    // text — it exists to prove the gate trips, not for users).
+    let mut inject_solver_iters: u64 = 0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
+            "--wall-clock" => opts.wall_clock = true,
+            "--check" => calibrate_check = true,
+            "--inject-solver-iters" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(k) => inject_solver_iters = k,
+                None => {
+                    eprintln!("--inject-solver-iters needs an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(s) => opts.seed = s,
                 None => {
@@ -252,6 +397,43 @@ fn main() -> ExitCode {
     if targets.is_empty() {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
+    }
+    if calibrate_check && targets[0] != "calibrate" {
+        eprintln!("--check is only valid with `repro calibrate`\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if inject_solver_iters > 0 && targets[0] != "costgate" {
+        eprintln!("--inject-solver-iters is only valid with `repro costgate`");
+        return ExitCode::FAILURE;
+    }
+    // `repro calibrate [--check]` — fit (or drift-check) the cost model.
+    if targets[0] == "calibrate" {
+        if targets.len() > 1 {
+            eprintln!(
+                "calibrate takes no further targets (got {:?})\n{}",
+                &targets[1..],
+                usage()
+            );
+            return ExitCode::FAILURE;
+        }
+        return if calibrate_check {
+            calibrate_check_cmd()
+        } else {
+            calibrate_cmd()
+        };
+    }
+    // `repro costgate` — deterministic timing gate (goldens + modeled
+    // cost expectations); red under an injected regression.
+    if targets[0] == "costgate" {
+        if targets.len() > 1 {
+            eprintln!(
+                "costgate takes no further targets (got {:?})\n{}",
+                &targets[1..],
+                usage()
+            );
+            return ExitCode::FAILURE;
+        }
+        return costgate_cmd(opts.jobs, inject_solver_iters);
     }
     // `repro scenario validate [DIR]` — the scenario-file linter.
     if targets[0] == "scenario" {

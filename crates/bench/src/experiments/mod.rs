@@ -69,11 +69,13 @@ pub const ALL: &[&str] = &[
     "fleet_scale",
 ];
 
-/// Artifacts that measure host wall-clock latency (Table I, the overhead
-/// table, the decide-µs column of `scaling`). Their sweeps already pin to
-/// one worker; at the artifact level they additionally run *exclusively*
+/// Artifacts whose latency columns read the host wall clock **when
+/// `--wall-clock` is in force** (Table I, the overhead table, the
+/// decide-µs column of `scaling`). In that mode their sweeps pin to one
+/// worker, and at the artifact level they additionally run *exclusively*
 /// (after all concurrent artifacts finish), so co-running simulations
-/// cannot inflate the measured latencies.
+/// cannot inflate the measured latencies. In the default modeled mode
+/// they are ordinary deterministic artifacts and shard normally.
 pub const WALL_CLOCK: &[&str] = &["tab1", "overhead", "scaling"];
 
 /// Dispatches one artifact id to its runner.
@@ -130,9 +132,9 @@ pub struct ArtifactRun {
 ///
 /// Results come back **in input order**, and every artifact's bytes are
 /// identical to a serial `run` at the same seed (sweeps are jobs- and
-/// schedule-invariant; see DESIGN.md §5). Wall-clock artifacts
-/// ([`WALL_CLOCK`]) are held back and run exclusively, in input order,
-/// after the concurrent batch.
+/// schedule-invariant; see DESIGN.md §5). Under `--wall-clock`, the
+/// timing artifacts ([`WALL_CLOCK`]) are held back and run exclusively,
+/// in input order, after the concurrent batch.
 ///
 /// Returns every artifact that completed plus the lowest-indexed
 /// *observed* failure, if any — so a late failure in a long `repro all`
@@ -148,7 +150,7 @@ pub fn run_many(
     on_complete: impl Fn(&ArtifactRun) + Send + Sync,
 ) -> (Vec<ArtifactRun>, Option<fastcap_core::error::Error>) {
     let concurrent: Vec<usize> = (0..ids.len())
-        .filter(|&i| !WALL_CLOCK.contains(&ids[i]))
+        .filter(|&i| !(opts.wall_clock && WALL_CLOCK.contains(&ids[i])))
         .collect();
     let outer = opts.jobs.max(1).min(concurrent.len().max(1));
     // Every outer worker carries one implicit token; the rest start as
@@ -219,10 +221,10 @@ pub fn run_many(
         }
     }
 
-    // Wall-clock artifacts: exclusive, serial, in input order; skipped
-    // once anything has failed.
+    // Wall-clock artifacts (only in `--wall-clock` mode): exclusive,
+    // serial, in input order; skipped once anything has failed.
     for (at, &id) in ids.iter().enumerate() {
-        if !WALL_CLOCK.contains(&id) || first_err.is_some() {
+        if !(opts.wall_clock && WALL_CLOCK.contains(&id)) || first_err.is_some() {
             continue;
         }
         let start = Instant::now();

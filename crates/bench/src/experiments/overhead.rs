@@ -4,8 +4,14 @@
 //! The paper measures 33.5 / 64.9 / 133.5 µs — i.e. overhead grows linearly
 //! with the core count (0.7% / 1.3% / 2.7% of the epoch). Absolute numbers
 //! depend on the host; the *linearity* is the claim to check.
+//!
+//! By default the latency column is **modeled**: decision-path operation
+//! counts priced by the calibrated `COST_MODEL.json` weights (DESIGN.md
+//! §10), making the artifact byte-deterministic and golden-pinned.
+//! `--wall-clock` restores the measured variant for EXPERIMENTS.md.
 
-use crate::harness::{synthetic_controller_config, synthetic_observation, Opts};
+use crate::costmodel;
+use crate::harness::{synthetic_controller_config, synthetic_observation, Opts, PolicyKind};
 use crate::sweep::Sweep;
 use crate::table::{f2, pct, ResultTable};
 use fastcap_core::capper::FastCapController;
@@ -55,28 +61,45 @@ pub fn points_evaluated(n_cores: usize) -> Result<usize> {
     Ok(algorithm1(&model, &cands)?.points_evaluated)
 }
 
-/// Runs the experiment. Sweep: a **timing** sweep (serial regardless of
-/// `--jobs`) over the three core counts; the "scaling vs 16 cores"
-/// column is computed in the reduce step from the measured latencies.
+/// Runs the experiment. Modeled mode (the default) prices deterministic
+/// decision-path counters with the checked-in weights — no clock, no
+/// sweep needed. `--wall-clock` mode runs a **timing** sweep (serial
+/// regardless of `--jobs`) over the three core counts. The "scaling vs
+/// 16 cores" column is computed in the reduce step either way.
 ///
 /// # Errors
 ///
 /// Propagates measurement failures.
 pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
-    let iters = if opts.quick { 2_000 } else { 20_000 };
-    let mut sweep = Sweep::timing();
-    for n in [16usize, 32, 64] {
-        sweep.push(move |_| {
-            let us = measure_decide_micros(n, iters)?;
-            let points = points_evaluated(n)?;
-            Ok((n, us, points))
-        });
-    }
-    let measured = sweep.run(opts)?;
+    let measured: Vec<(usize, f64, usize)> = if opts.wall_clock {
+        let iters = if opts.quick { 2_000 } else { 20_000 };
+        let mut sweep = Sweep::timing();
+        for n in [16usize, 32, 64] {
+            sweep.push(move |_| {
+                let us = measure_decide_micros(n, iters)?;
+                let points = points_evaluated(n)?;
+                Ok((n, us, points))
+            });
+        }
+        sweep.run(opts)?
+    } else {
+        let mut rows = Vec::new();
+        for n in [16usize, 32, 64] {
+            let us =
+                costmodel::modeled_decide_micros(PolicyKind::FastCap, n, costmodel::DECIDE_REPS)?;
+            rows.push((n, us, points_evaluated(n)?));
+        }
+        rows
+    };
 
+    let title = if opts.wall_clock {
+        "FastCap decide() wall-clock latency (paper: 33.5/64.9/133.5 µs at 16/32/64 cores)"
+    } else {
+        "FastCap decide() modeled cost (paper wall-clock: 33.5/64.9/133.5 µs at 16/32/64 cores)"
+    };
     let mut t = ResultTable::new(
         "overhead",
-        "FastCap decide() latency (paper: 33.5/64.9/133.5 µs at 16/32/64 cores)",
+        title,
         &[
             "cores",
             "mean latency (µs)",

@@ -19,10 +19,12 @@ use fastcap_workloads::mixes;
 
 const CORE_COUNTS: [usize; 5] = [16, 32, 64, 128, 256];
 
-/// Runs the experiment. Two sweeps over the same core-count ladder: a
-/// parallel one for the closed-loop quality metrics (the expensive
-/// analytic simulations), and a serial **timing** sweep for the
-/// decide-µs column so co-running work cannot inflate the latencies.
+/// Runs the experiment. A parallel sweep over the core-count ladder for
+/// the closed-loop quality metrics (the expensive analytic simulations),
+/// plus the decide-µs column: **modeled** cost by default (operation
+/// counts × `COST_MODEL.json` weights — byte-deterministic at any
+/// `--jobs`), or a serial **timing** sweep under `--wall-clock` so
+/// co-running work cannot inflate the measured latencies.
 ///
 /// # Errors
 ///
@@ -53,20 +55,37 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
         ])
     })?;
 
-    let mut timing = Sweep::timing();
-    for n in CORE_COUNTS {
-        timing.push(move |_| {
-            crate::experiments::overhead::measure_decide_micros(
+    let latencies: Vec<f64> = if opts.wall_clock {
+        let mut timing = Sweep::timing();
+        for n in CORE_COUNTS {
+            timing.push(move |_| {
+                crate::experiments::overhead::measure_decide_micros(
+                    n,
+                    if opts.quick { 200 } else { 2_000 },
+                )
+            });
+        }
+        timing.run(opts)?
+    } else {
+        let mut v = Vec::new();
+        for n in CORE_COUNTS {
+            v.push(crate::costmodel::modeled_decide_micros(
+                crate::harness::PolicyKind::FastCap,
                 n,
-                if opts.quick { 200 } else { 2_000 },
-            )
-        });
-    }
-    let latencies = timing.run(opts)?;
+                crate::costmodel::DECIDE_REPS,
+            )?);
+        }
+        v
+    };
 
+    let title = if opts.wall_clock {
+        "Closed-loop FastCap from 16 to 256 cores (analytic backend, MIX2, B = 60%; wall-clock decide µs)"
+    } else {
+        "Closed-loop FastCap from 16 to 256 cores (analytic backend, MIX2, B = 60%; modeled decide µs)"
+    };
     let mut t = ResultTable::new(
         "scaling",
-        "Closed-loop FastCap from 16 to 256 cores (analytic backend, MIX2, B = 60%)",
+        title,
         &[
             "cores",
             "avg power / budget",

@@ -1,8 +1,14 @@
 //! Table I: time-complexity comparison — measured scaling of FastCap's
 //! `O(N log M)` search versus MaxBIPS's `O(Fᴺ·M)` exhaustive search, plus
 //! the theoretical rows for approaches we reproduce only analytically.
+//!
+//! The latency columns are **modeled** by default (operation counts ×
+//! `COST_MODEL.json` weights, DESIGN.md §10) so both measured tables are
+//! byte-deterministic and golden-pinned; `--wall-clock` restores the
+//! timed variant for EXPERIMENTS.md refreshes.
 
-use crate::harness::{synthetic_controller_config, synthetic_observation, Opts};
+use crate::costmodel;
+use crate::harness::{synthetic_controller_config, synthetic_observation, Opts, PolicyKind};
 use crate::sweep::Sweep;
 use crate::table::{f2, ResultTable};
 use fastcap_core::capper::FastCapConfig;
@@ -30,9 +36,11 @@ fn small_cfg(n: usize, budget: f64) -> Result<FastCapConfig> {
         .build()
 }
 
-/// Runs the experiment. Sweep: a **timing** sweep (serial regardless of
-/// `--jobs` — co-running simulations would inflate the measured
-/// latencies) over the FastCap and MaxBIPS core-count ladders.
+/// Runs the experiment over the FastCap and MaxBIPS core-count ladders.
+/// Modeled mode (the default) counts decision-path operations serially —
+/// byte-deterministic at any `--jobs`. `--wall-clock` mode uses a
+/// **timing** sweep (serial regardless of `--jobs` — co-running
+/// simulations would inflate the measured latencies).
 ///
 /// # Errors
 ///
@@ -56,42 +64,75 @@ pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
         theory.push_row(vec![m.into(), c.into(), d.into()]);
     }
 
-    // Measured: FastCap scaling should be ~linear in N.
-    let iters = if opts.quick { 1_000 } else { 10_000 };
-    let mut fast_sweep = Sweep::timing();
-    for n in [16usize, 32, 64, 128, 256] {
-        fast_sweep.push(move |_| {
-            let mut p = FastCapPolicy::new(synthetic_controller_config(n, 0.6)?)?;
-            let us = time_policy_micros(&mut p, n, iters)?;
-            Ok(vec![n.to_string(), f2(us), format!("{:.3}", us / n as f64)])
-        });
-    }
+    // Measured/modeled: FastCap scaling should be ~linear in N.
+    let fast_rows: Vec<Vec<String>> = if opts.wall_clock {
+        let iters = if opts.quick { 1_000 } else { 10_000 };
+        let mut fast_sweep = Sweep::timing();
+        for n in [16usize, 32, 64, 128, 256] {
+            fast_sweep.push(move |_| {
+                let mut p = FastCapPolicy::new(synthetic_controller_config(n, 0.6)?)?;
+                let us = time_policy_micros(&mut p, n, iters)?;
+                Ok(vec![n.to_string(), f2(us), format!("{:.3}", us / n as f64)])
+            });
+        }
+        fast_sweep.run(opts)?
+    } else {
+        let mut rows = Vec::new();
+        for n in [16usize, 32, 64, 128, 256] {
+            let us =
+                costmodel::modeled_decide_micros(PolicyKind::FastCap, n, costmodel::DECIDE_REPS)?;
+            rows.push(vec![n.to_string(), f2(us), format!("{:.3}", us / n as f64)]);
+        }
+        rows
+    };
+    let fast_title = if opts.wall_clock {
+        "Measured FastCap decide() latency vs core count (expect linear)"
+    } else {
+        "Modeled FastCap decide() cost vs core count (expect linear)"
+    };
     let mut fast = ResultTable::new(
         "tab1_fastcap",
-        "Measured FastCap decide() latency vs core count (expect linear)",
+        fast_title,
         &["cores", "µs per decide", "µs per core"],
     );
-    for row in fast_sweep.run(opts)? {
+    for row in fast_rows {
         fast.push_row(row);
     }
 
-    // Measured: MaxBIPS explodes with N (F^N·M grid).
-    let mut mb_sweep = Sweep::timing();
-    for n in [1usize, 2, 3, 4] {
-        mb_sweep.push(move |_| {
-            let iters_mb = if n >= 4 { 3 } else { 50 };
-            let mut p = MaxBipsPolicy::new(small_cfg(n, 0.6)?)?;
-            let us = time_policy_micros(&mut p, n, iters_mb)?;
+    // Measured/modeled: MaxBIPS explodes with N (F^N·M grid).
+    let mb_rows: Vec<Vec<String>> = if opts.wall_clock {
+        let mut mb_sweep = Sweep::timing();
+        for n in [1usize, 2, 3, 4] {
+            mb_sweep.push(move |_| {
+                let iters_mb = if n >= 4 { 3 } else { 50 };
+                let mut p = MaxBipsPolicy::new(small_cfg(n, 0.6)?)?;
+                let us = time_policy_micros(&mut p, n, iters_mb)?;
+                let grid = 10f64.powi(n as i32) * 10.0;
+                Ok(vec![n.to_string(), format!("{grid:.0}"), f2(us)])
+            });
+        }
+        mb_sweep.run(opts)?
+    } else {
+        let mut rows = Vec::new();
+        for n in [1usize, 2, 3, 4] {
+            let us =
+                costmodel::modeled_decide_micros(PolicyKind::MaxBips, n, costmodel::MAXBIPS_REPS)?;
             let grid = 10f64.powi(n as i32) * 10.0;
-            Ok(vec![n.to_string(), format!("{grid:.0}"), f2(us)])
-        });
-    }
+            rows.push(vec![n.to_string(), format!("{grid:.0}"), f2(us)]);
+        }
+        rows
+    };
+    let mb_title = if opts.wall_clock {
+        "Measured MaxBIPS decide() latency vs core count (expect exponential)"
+    } else {
+        "Modeled MaxBIPS decide() cost vs core count (expect exponential)"
+    };
     let mut mb = ResultTable::new(
         "tab1_maxbips",
-        "Measured MaxBIPS decide() latency vs core count (expect exponential)",
+        mb_title,
         &["cores", "grid points (F^N·M)", "µs per decide"],
     );
-    for row in mb_sweep.run(opts)? {
+    for row in mb_rows {
         mb.push_row(row);
     }
 

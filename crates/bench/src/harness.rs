@@ -36,6 +36,12 @@ pub struct Opts {
     /// Scenario-file override for the `scn_*` artifacts (`--scenario`).
     /// `None` runs each artifact's checked-in default scenario.
     pub scenario: Option<PathBuf>,
+    /// Publish measured wall-clock in the timing artifacts (`tab1_*`,
+    /// `overhead`, `scaling`) instead of the deterministic modeled cost
+    /// (`--wall-clock`). Off by default: modeled artifacts are
+    /// golden-pinned and byte-identical on any host; the wall-clock
+    /// variants exist to refresh EXPERIMENTS.md numbers.
+    pub wall_clock: bool,
 }
 
 impl Default for Opts {
@@ -47,6 +53,7 @@ impl Default for Opts {
             out_dir: PathBuf::from("results"),
             budget: None,
             scenario: None,
+            wall_clock: false,
         }
     }
 }

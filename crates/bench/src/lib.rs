@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod costmodel;
 pub mod experiments;
 pub mod fleet_support;
 pub mod harness;

@@ -1,0 +1,77 @@
+//! The deterministic cost gate, end to end through the `repro` binary:
+//! green on a clean tree, red when a regression is injected.
+//!
+//! The negative test is the important half — a gate that can't fail
+//! guards nothing. `--inject-solver-iters` (a hidden test hook) makes
+//! `solve_for_bus_time` burn one extra per-core model evaluation per
+//! solve without changing any decision: decisions, artifacts' *rows*, and
+//! every quality metric stay intact, but the operation counters move, the
+//! modeled latency columns move with them, and the golden hashes flip.
+//! That is exactly the class of silent overhead regression wall-clock CI
+//! timing could never catch reliably.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn cost_gate_is_green_on_a_clean_tree() {
+    let out = repro(&["costgate"]);
+    assert!(
+        out.status.success(),
+        "costgate failed on a clean tree:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("costgate: OK"),
+        "unexpected output: {stdout}"
+    );
+}
+
+#[test]
+fn cost_gate_trips_on_an_injected_solver_iteration() {
+    let out = repro(&["costgate", "--inject-solver-iters", "1"]);
+    assert!(
+        !out.status.success(),
+        "costgate stayed green under an injected extra solver iteration:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("drifted from the golden hash"),
+        "expected golden-hash failures, got: {stdout}"
+    );
+}
+
+#[test]
+fn calibrate_rejects_extra_targets() {
+    let out = repro(&["calibrate", "bogus"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "no usage on stderr: {stderr}");
+}
+
+#[test]
+fn costgate_rejects_extra_targets() {
+    let out = repro(&["costgate", "extra"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = repro(&["calibrote"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown artifact") && stderr.contains("usage:"),
+        "unexpected stderr: {stderr}"
+    );
+}

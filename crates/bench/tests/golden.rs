@@ -14,6 +14,14 @@
 //! and must either be a deliberate, documented artifact change or a bug.
 //! `--jobs 1` and `--jobs 8` are both checked and must agree (two-level
 //! sharding may never leak into bytes).
+//!
+//! Since the modeled cost model landed (DESIGN.md §10), the timing
+//! artifacts (`tab1`, `overhead`, `scaling`) are pinned too: their
+//! latency columns are operation counts priced by the checked-in
+//! `COST_MODEL.json`, not wall-clock, so they obey the same byte contract
+//! as everything else. Their pins live in
+//! `fastcap_bench::costmodel::TIMING_GOLDENS` (shared with `repro
+//! costgate`).
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -96,6 +104,9 @@ fn fig5_and_fig12_13_bytes_are_pinned_at_any_job_count() {
             "scn_capstep",
             "scn_flashcrowd",
             "scn_hotplug",
+            "tab1",
+            "overhead",
+            "scaling",
             "--quick",
             "--seed",
             "42",
@@ -112,13 +123,14 @@ fn fig5_and_fig12_13_bytes_are_pinned_at_any_job_count() {
     );
 
     let got = &per_jobs[0];
+    let timing = fastcap_bench::costmodel::TIMING_GOLDENS;
     assert_eq!(
         got.len(),
-        GOLDEN.len(),
+        GOLDEN.len() + timing.len(),
         "artifact set changed: {:?}",
         got.keys().collect::<Vec<_>>()
     );
-    for &(name, want) in GOLDEN {
+    for &(name, want) in GOLDEN.iter().chain(timing) {
         let have = got
             .get(name)
             .unwrap_or_else(|| panic!("missing artifact {name}"));

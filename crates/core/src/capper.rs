@@ -6,6 +6,7 @@
 //! runs Algorithm 1, and quantizes the continuous solution onto the DVFS
 //! ladders ("the closest frequency after normalization").
 
+use crate::cost::CostCounter;
 use crate::counters::EpochObservation;
 use crate::error::{Error, Result};
 use crate::freq::FreqLadder;
@@ -292,6 +293,7 @@ pub struct FastCapController {
     mem_fitter: PowerModelFitter,
     candidates: Vec<Secs>,
     epochs_seen: u64,
+    cost: CostCounter,
 }
 
 impl FastCapController {
@@ -313,6 +315,7 @@ impl FastCapController {
             mem_fitter,
             candidates,
             epochs_seen: 0,
+            cost: CostCounter::default(),
         })
     }
 
@@ -384,6 +387,7 @@ impl FastCapController {
             mem_fitter: self.mem_fitter.clone(),
             candidates: self.candidates.clone(),
             epochs_seen: self.epochs_seen,
+            cost: self.cost,
         })
     }
 
@@ -448,8 +452,18 @@ impl FastCapController {
     /// this internally; baseline policies that reuse FastCap's modelling but
     /// search differently call it before [`FastCapController::build_model`].
     pub fn observe(&mut self, obs: &EpochObservation) {
-        self.update_fitters(obs);
+        let updates = self.update_fitters(obs);
+        self.cost.fitter_updates += updates;
         self.epochs_seen += 1;
+    }
+
+    /// Cumulative deterministic operation counts for everything this
+    /// controller has done (fitter updates, bus-point evaluations, solver
+    /// inner-loop terms, ladder quantizations). Same inputs → same counts,
+    /// on any host at any parallelism level.
+    #[inline]
+    pub fn cost(&self) -> CostCounter {
+        self.cost
     }
 
     /// The ordered candidate bus-transfer-time array (one per memory
@@ -458,9 +472,13 @@ impl FastCapController {
         &self.candidates
     }
 
-    /// Feeds the fitters with this epoch's (frequency, power) observations.
-    fn update_fitters(&mut self, obs: &EpochObservation) {
+    /// Feeds the fitters with this epoch's (frequency, power) observations,
+    /// returning how many fitter updates actually ran (cores with zero
+    /// dynamic power are skipped, so the count is data-dependent but
+    /// deterministic).
+    fn update_fitters(&mut self, obs: &EpochObservation) -> u64 {
         let f_max = self.cfg.core_ladder.max();
+        let mut updates = 0u64;
         for (i, s) in obs.cores.iter().enumerate() {
             let dynamic = s.power - self.cfg.core_static_power;
             if dynamic.get() > 0.0 {
@@ -468,6 +486,7 @@ impl FastCapController {
                     scale: s.freq / f_max,
                     dynamic_power: dynamic,
                 });
+                updates += 1;
             }
         }
         let mem_dyn = obs.memory.power - self.cfg.mem_static_power;
@@ -476,7 +495,9 @@ impl FastCapController {
                 scale: obs.memory.bus_freq / self.cfg.mem_ladder.max(),
                 dynamic_power: mem_dyn,
             });
+            updates += 1;
         }
+        updates
     }
 
     /// Runs one FastCap iteration: refit, optimize, quantize.
@@ -505,13 +526,16 @@ impl FastCapController {
     ///
     /// Same conditions as [`FastCapController::decide`].
     pub fn solve_quantized(
-        &self,
+        &mut self,
         obs: &EpochObservation,
         candidates: &[Secs],
     ) -> Result<DvfsDecision> {
         let model = self.build_model(obs)?;
         match optimizer::algorithm1(&model, candidates) {
             Ok(sol) => {
+                self.cost.bus_evals += sol.points_evaluated as u64;
+                self.cost.solver_iters += sol.core_terms;
+                self.cost.quantize_ops += self.cfg.n_cores as u64 + 1;
                 let core_freqs = sol
                     .inner
                     .core_scales

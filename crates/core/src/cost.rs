@@ -1,0 +1,161 @@
+//! Deterministic operation-count cost taxonomy.
+//!
+//! [`CostCounter`] is the currency of the deterministic cost model: every
+//! layer of the stack counts the abstract operations it performs (event
+//! pops, RNG draws, solver inner-loop iterations, …) instead of timing
+//! them. The counts are exact functions of the inputs — identical at any
+//! `--jobs` level and across hosts — so multiplying them by a checked-in
+//! per-op nanosecond weight vector (`COST_MODEL.json`, fitted once by
+//! `repro calibrate`) yields *modeled* latencies that are byte-reproducible
+//! and therefore golden-pinnable and CI-gateable, unlike wall clock.
+//!
+//! The taxonomy is deliberately small: one counter per op class whose unit
+//! cost is roughly constant. Consumers that need a scalar combine the
+//! counts with weights (see `fastcap-bench::costmodel`); the core crate
+//! itself stays unit-free.
+
+/// Canonical op-class names, index-aligned with [`CostCounter::as_array`].
+///
+/// The order is part of the `COST_MODEL.json` schema: weight `i` prices op
+/// class `OPS[i]`. Append-only; never reorder.
+pub const OPS: [&str; 9] = [
+    "event_push",
+    "event_pop",
+    "rng_draw",
+    "fitter_update",
+    "solver_iter",
+    "bus_eval",
+    "grid_point",
+    "quantize_op",
+    "waterfill_pass",
+];
+
+/// Counts of abstract operations performed, one field per op class.
+///
+/// All counts advance deterministically: the same inputs produce the same
+/// counts on any host, at any `--jobs` level, and under either event-queue
+/// implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostCounter {
+    /// Events pushed into a simulation event queue.
+    pub event_pushes: u64,
+    /// Events popped from a simulation event queue.
+    pub event_pops: u64,
+    /// Pseudo-random numbers drawn by workload generators.
+    pub rng_draws: u64,
+    /// Power-model fitter updates (one per `PowerSample` observed).
+    pub fitter_updates: u64,
+    /// Solver inner-loop iterations: per-core terms evaluated inside
+    /// Algorithm 1's bisection (or the analytic backend's fixed-point
+    /// solver).
+    pub solver_iters: u64,
+    /// Candidate bus points evaluated by the optimizer's outer search.
+    pub bus_evals: u64,
+    /// Grid points touched by baseline policies' configuration searches
+    /// (Eql-Pwr/Eql-Freq ladder scans, MaxBIPS combination enumeration).
+    pub grid_points: u64,
+    /// Frequency-ladder quantizations (`nearest_scale` calls).
+    pub quantize_ops: u64,
+    /// Water-filling divide passes in the fleet budget tree.
+    pub waterfill_passes: u64,
+}
+
+impl CostCounter {
+    /// The counts as an array, index-aligned with [`OPS`].
+    #[must_use]
+    pub fn as_array(&self) -> [u64; 9] {
+        [
+            self.event_pushes,
+            self.event_pops,
+            self.rng_draws,
+            self.fitter_updates,
+            self.solver_iters,
+            self.bus_evals,
+            self.grid_points,
+            self.quantize_ops,
+            self.waterfill_passes,
+        ]
+    }
+
+    /// Builds a counter from an [`OPS`]-ordered array.
+    #[must_use]
+    pub fn from_array(a: [u64; 9]) -> Self {
+        CostCounter {
+            event_pushes: a[0],
+            event_pops: a[1],
+            rng_draws: a[2],
+            fitter_updates: a[3],
+            solver_iters: a[4],
+            bus_evals: a[5],
+            grid_points: a[6],
+            quantize_ops: a[7],
+            waterfill_passes: a[8],
+        }
+    }
+
+    /// Adds another counter's counts into this one, field-wise.
+    pub fn add(&mut self, other: &CostCounter) {
+        let mut a = self.as_array();
+        for (x, y) in a.iter_mut().zip(other.as_array()) {
+            *x += y;
+        }
+        *self = CostCounter::from_array(a);
+    }
+
+    /// The field-wise difference `self - earlier` (saturating at zero), for
+    /// metering a cumulative counter across a region of interest.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CostCounter) -> CostCounter {
+        let mut a = self.as_array();
+        for (x, y) in a.iter_mut().zip(earlier.as_array()) {
+            *x = x.saturating_sub(y);
+        }
+        CostCounter::from_array(a)
+    }
+
+    /// Total operations across all classes (a quick magnitude check; the
+    /// classes have different unit costs, so this is not a latency proxy).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.as_array().iter().sum()
+    }
+
+    /// `true` when every count is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.as_array().iter().all(|&x| x == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CostCounter {
+        CostCounter::from_array([1, 2, 3, 4, 5, 6, 7, 8, 9])
+    }
+
+    #[test]
+    fn array_round_trip_is_ops_ordered() {
+        let c = sample();
+        assert_eq!(CostCounter::from_array(c.as_array()), c);
+        assert_eq!(c.event_pushes, 1);
+        assert_eq!(c.waterfill_passes, 9);
+        assert_eq!(OPS.len(), c.as_array().len());
+    }
+
+    #[test]
+    fn add_and_delta_are_inverse() {
+        let mut c = sample();
+        c.add(&sample());
+        assert_eq!(c.delta_since(&sample()), sample());
+        assert_eq!(c.total(), 2 * 45);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let d = CostCounter::default().delta_since(&sample());
+        assert!(d.is_zero());
+        assert!(!sample().is_zero());
+    }
+}

@@ -40,6 +40,9 @@
 //!   quantized [`capper::DvfsDecision`].
 //! * [`fairness`] — degradation / fairness metrics used throughout the
 //!   evaluation (average vs. worst normalized performance, Jain's index).
+//! * [`cost`] — the deterministic operation-count taxonomy
+//!   ([`cost::CostCounter`]) behind the modeled-latency timing artifacts:
+//!   counted ops × checked-in ns/op weights instead of wall clock.
 //!
 //! ## Quick example
 //!
@@ -83,6 +86,7 @@
 #![warn(missing_docs)]
 
 pub mod capper;
+pub mod cost;
 pub mod counters;
 pub mod error;
 pub mod fairness;

@@ -97,6 +97,12 @@ pub trait ServerModel {
     /// Deterministic count of backend ops executed so far (see
     /// [`ModelTier::ns_per_op`] for the unit).
     fn ops(&self) -> u64;
+
+    /// Deterministic per-operation cost breakdown executed so far —
+    /// backend simulation work merged with the policy's decision-path
+    /// counts, in the cost-model taxonomy
+    /// ([`fastcap_core::cost::CostCounter`]).
+    fn cost(&self) -> fastcap_core::cost::CostCounter;
 }
 
 /// Aggregate instruction throughput of one epoch report: instructions per

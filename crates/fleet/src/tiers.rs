@@ -126,6 +126,10 @@ impl ServerModel for DesModel {
     fn ops(&self) -> u64 {
         self.inner.backend().ops()
     }
+
+    fn cost(&self) -> fastcap_core::cost::CostCounter {
+        self.inner.cost()
+    }
 }
 
 /// The fast rung: the same policy cycle against the closed-form
@@ -189,6 +193,10 @@ impl ServerModel for AnalyticModel {
 
     fn ops(&self) -> u64 {
         self.inner.backend().ops()
+    }
+
+    fn cost(&self) -> fastcap_core::cost::CostCounter {
+        self.inner.cost()
     }
 }
 
@@ -369,6 +377,14 @@ impl ServerModel for SampledModel {
 
     fn ops(&self) -> u64 {
         self.steps
+    }
+
+    fn cost(&self) -> fastcap_core::cost::CostCounter {
+        // Each replay step is one piecewise-linear surface lookup.
+        fastcap_core::cost::CostCounter {
+            grid_points: self.steps,
+            ..Default::default()
+        }
     }
 }
 

@@ -244,6 +244,7 @@ pub struct Fleet<M: ServerModel> {
     next_event: usize,
     epoch: u64,
     traced: Vec<usize>,
+    waterfill_passes: u64,
 }
 
 fn invalid(why: String) -> Error {
@@ -286,6 +287,7 @@ impl<M: ServerModel> Fleet<M> {
             next_event: 0,
             epoch: 0,
             traced: Vec::new(),
+            waterfill_passes: 0,
         };
         let mut names: HashMap<String, usize> = HashMap::new();
         fleet.flatten(spec, None, &mut names, fleet_seed, fraction, build)?;
@@ -455,6 +457,28 @@ impl<M: ServerModel> Fleet<M> {
         self.leaves.iter().map(|l| l.model.ops()).sum()
     }
 
+    /// Water-fill divisions executed so far (one per interior node per
+    /// epoch) — the fleet engine's own contribution to the cost model.
+    #[must_use]
+    pub fn waterfill_passes(&self) -> u64 {
+        self.waterfill_passes
+    }
+
+    /// Deterministic cost breakdown of the whole fleet: every leaf's
+    /// backend + policy counts merged, plus the engine's water-fill
+    /// passes.
+    #[must_use]
+    pub fn total_cost(&self) -> fastcap_core::cost::CostCounter {
+        let mut c = fastcap_core::cost::CostCounter {
+            waterfill_passes: self.waterfill_passes,
+            ..Default::default()
+        };
+        for l in &self.leaves {
+            c.add(&l.model.cost());
+        }
+        c
+    }
+
     /// Names of the interior (rack-level) nodes, in arena order — the
     /// rack set fleet scenarios are linted against.
     #[must_use]
@@ -597,6 +621,7 @@ impl<M: ServerModel> Fleet<M> {
                 let lo: Vec<f64> = node.children.iter().map(|&c| self.nodes[c].lo).collect();
                 let hi: Vec<f64> = node.children.iter().map(|&c| self.nodes[c].hi).collect();
                 let shares = divide(alloc[i], &d, &lo, &hi);
+                self.waterfill_passes += 1;
                 // Committed is recomputed independently of the solver so
                 // the oracle can catch minted/lost watts.
                 let committed = alloc[i].clamp(lo.iter().sum(), hi.iter().sum());

@@ -41,6 +41,14 @@ impl<B: EpochBackend> ClosedLoop<B> {
         self.policy.name()
     }
 
+    /// Deterministic operation counts of the whole loop: the backend's
+    /// simulation work merged with the policy's decision-path work.
+    pub fn cost(&self) -> fastcap_core::cost::CostCounter {
+        let mut c = self.backend.cost();
+        c.add(&self.policy.decision_cost());
+        c
+    }
+
     /// The backend's configuration.
     pub fn config(&self) -> &SimConfig {
         self.backend.config()

@@ -8,6 +8,7 @@
 
 use crate::policy::CappingPolicy;
 use fastcap_core::capper::{DvfsDecision, FastCapConfig, FastCapController};
+use fastcap_core::cost::CostCounter;
 use fastcap_core::counters::EpochObservation;
 use fastcap_core::error::Result;
 
@@ -54,6 +55,10 @@ impl CappingPolicy for CpuOnlyPolicy {
     fn on_active_set_change(&mut self, carried: &[Option<usize>]) -> Result<bool> {
         self.controller = self.controller.warm_carry(carried)?;
         Ok(true)
+    }
+
+    fn decision_cost(&self) -> CostCounter {
+        self.controller.cost()
     }
 }
 

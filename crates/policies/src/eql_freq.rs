@@ -11,6 +11,7 @@
 
 use crate::policy::CappingPolicy;
 use fastcap_core::capper::{DvfsDecision, FastCapConfig, FastCapController};
+use fastcap_core::cost::CostCounter;
 use fastcap_core::counters::EpochObservation;
 use fastcap_core::error::Result;
 use fastcap_core::optimizer::evaluate_point;
@@ -20,6 +21,7 @@ use fastcap_core::units::Watts;
 #[derive(Debug, Clone)]
 pub struct EqlFreqPolicy {
     controller: FastCapController,
+    search_cost: CostCounter,
 }
 
 impl EqlFreqPolicy {
@@ -31,6 +33,7 @@ impl EqlFreqPolicy {
     pub fn new(cfg: FastCapConfig) -> Result<Self> {
         Ok(Self {
             controller: FastCapController::new(cfg)?,
+            search_cost: CostCounter::default(),
         })
     }
 }
@@ -51,10 +54,13 @@ impl CappingPolicy for EqlFreqPolicy {
         for &sb in &candidates {
             let bus_scale = model.memory.min_bus_transfer_time / sb;
             let mem_idx = cfg.mem_ladder.nearest_scale(bus_scale);
+            self.search_cost.quantize_ops += 1;
             for level in 0..cfg.core_ladder.len() {
                 let scale = cfg.core_ladder.scale(level);
                 let scales = vec![scale; n];
                 let (d, power) = evaluate_point(&model, &scales, sb)?;
+                // Each (level, s_b) pair costs n grid terms.
+                self.search_cost.grid_points += n as u64;
                 if power.get() <= model.budget.get() + 1e-9
                     && best.as_ref().is_none_or(|(bd, ..)| d > *bd)
                 {
@@ -85,6 +91,12 @@ impl CappingPolicy for EqlFreqPolicy {
 
     fn on_budget_change(&mut self, fraction: f64) -> Result<()> {
         self.controller.set_budget_fraction(fraction)
+    }
+
+    fn decision_cost(&self) -> CostCounter {
+        let mut c = self.controller.cost();
+        c.add(&self.search_cost);
+        c
     }
 }
 

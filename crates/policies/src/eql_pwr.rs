@@ -14,6 +14,7 @@
 
 use crate::policy::CappingPolicy;
 use fastcap_core::capper::{DvfsDecision, FastCapConfig, FastCapController};
+use fastcap_core::cost::CostCounter;
 use fastcap_core::counters::EpochObservation;
 use fastcap_core::error::Result;
 use fastcap_core::optimizer::evaluate_point;
@@ -23,6 +24,7 @@ use fastcap_core::units::Watts;
 #[derive(Debug, Clone)]
 pub struct EqlPwrPolicy {
     controller: FastCapController,
+    search_cost: CostCounter,
 }
 
 impl EqlPwrPolicy {
@@ -34,6 +36,7 @@ impl EqlPwrPolicy {
     pub fn new(cfg: FastCapConfig) -> Result<Self> {
         Ok(Self {
             controller: FastCapController::new(cfg)?,
+            search_cost: CostCounter::default(),
         })
     }
 }
@@ -71,6 +74,10 @@ impl CappingPolicy for EqlPwrPolicy {
             }
             let (d, power) = evaluate_point(&model, &scales, sb)?;
             let mem_idx = cfg.mem_ladder.nearest_scale(bus_scale);
+            // Per candidate: n per-core share quantizations + the memory
+            // one, and n grid terms inside evaluate_point.
+            self.search_cost.quantize_ops += n as u64 + 1;
+            self.search_cost.grid_points += n as u64;
             if best.as_ref().is_none_or(|(bd, ..)| d > *bd) {
                 best = Some((d, power, idxs, mem_idx));
             }
@@ -99,6 +106,12 @@ impl CappingPolicy for EqlPwrPolicy {
 
     fn on_budget_change(&mut self, fraction: f64) -> Result<()> {
         self.controller.set_budget_fraction(fraction)
+    }
+
+    fn decision_cost(&self) -> CostCounter {
+        let mut c = self.controller.cost();
+        c.add(&self.search_cost);
+        c
     }
 }
 

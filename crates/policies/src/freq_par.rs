@@ -17,6 +17,7 @@
 
 use crate::policy::CappingPolicy;
 use fastcap_core::capper::{DvfsDecision, FastCapConfig};
+use fastcap_core::cost::CostCounter;
 use fastcap_core::counters::EpochObservation;
 use fastcap_core::error::{Error, Result};
 use fastcap_core::units::Watts;
@@ -30,6 +31,8 @@ pub struct FreqParPolicy {
     quota: f64,
     /// Proportional gain of the feedback loop.
     gain: f64,
+    /// Deterministic decision-path op counts.
+    cost: CostCounter,
 }
 
 impl FreqParPolicy {
@@ -64,7 +67,12 @@ impl FreqParPolicy {
                 why: "must be positive".into(),
             });
         }
-        Ok(Self { cfg, quota, gain })
+        Ok(Self {
+            cfg,
+            quota,
+            gain,
+            cost: CostCounter::default(),
+        })
     }
 
     /// Current frequency quota (sum of per-core scaling factors).
@@ -102,6 +110,7 @@ impl CappingPolicy for FreqParPolicy {
             .collect();
         let eff_sum: f64 = eff.iter().sum();
         let core_freqs: Vec<usize> = if eff_sum > 0.0 {
+            self.cost.quantize_ops += n as u64;
             eff.iter()
                 .map(|e| {
                     let scale = (self.quota * e / eff_sum).clamp(min_scale, 1.0);
@@ -111,6 +120,8 @@ impl CappingPolicy for FreqParPolicy {
         } else {
             vec![self.cfg.core_ladder.len() - 1; n]
         };
+        // One feedback pass over n efficiency terms per decide.
+        self.cost.grid_points += n as u64;
 
         Ok(DvfsDecision {
             core_freqs,
@@ -128,6 +139,10 @@ impl CappingPolicy for FreqParPolicy {
         // documented oscillation, not a bug).
         self.cfg = self.cfg.with_budget_fraction(fraction)?;
         Ok(())
+    }
+
+    fn decision_cost(&self) -> CostCounter {
+        self.cost
     }
 }
 

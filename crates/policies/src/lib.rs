@@ -115,6 +115,45 @@ mod tests {
     }
 
     #[test]
+    fn decision_costs_are_deterministic_and_nonzero() {
+        // Two identical runs of every policy must report identical cost
+        // counters — the property the modeled timing artifacts stand on —
+        // and every capping policy's decision path must count *something*.
+        let obs = obs_16();
+        let build = || -> Vec<Box<dyn CappingPolicy>> {
+            vec![
+                Box::new(FastCapPolicy::new(cfg_16(0.6)).unwrap()),
+                Box::new(CpuOnlyPolicy::new(cfg_16(0.6)).unwrap()),
+                Box::new(FreqParPolicy::new(cfg_16(0.6)).unwrap()),
+                Box::new(EqlPwrPolicy::new(cfg_16(0.6)).unwrap()),
+                Box::new(EqlFreqPolicy::new(cfg_16(0.6)).unwrap()),
+                Box::new(MaxBipsBeamPolicy::new(cfg_16(0.6)).unwrap()),
+            ]
+        };
+        let run = || {
+            build()
+                .iter_mut()
+                .map(|p| {
+                    for _ in 0..3 {
+                        p.decide(&obs).unwrap();
+                    }
+                    (p.name(), p.decision_cost())
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "cost counters must be run-invariant");
+        for (name, cost) in &a {
+            assert!(!cost.is_zero(), "{name} counted nothing");
+        }
+        // Uncapped has no decision path worth modelling: all zeros.
+        let mut un = UncappedPolicy::new(10, 10);
+        un.decide(&obs).unwrap();
+        assert!(un.decision_cost().is_zero());
+    }
+
+    #[test]
     fn policy_names_are_distinct() {
         let names = [
             FastCapPolicy::new(cfg_16(0.6)).unwrap().name().to_string(),

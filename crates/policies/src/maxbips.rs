@@ -17,6 +17,7 @@
 
 use crate::policy::CappingPolicy;
 use fastcap_core::capper::{DvfsDecision, FastCapConfig, FastCapController};
+use fastcap_core::cost::CostCounter;
 use fastcap_core::counters::EpochObservation;
 use fastcap_core::error::{Error, Result};
 use fastcap_core::optimizer::evaluate_point;
@@ -29,6 +30,7 @@ pub struct MaxBipsPolicy {
     /// Objective value of the last decision (test/diagnostic hook shared
     /// with the beam variant so the two can be pinned against each other).
     last_total_bips: f64,
+    search_cost: CostCounter,
 }
 
 /// Cap on `F^N · M` grid size (keeps per-epoch latency finite; the paper
@@ -66,6 +68,7 @@ impl MaxBipsPolicy {
         Ok(Self {
             controller: FastCapController::new(cfg)?,
             last_total_bips: 0.0,
+            search_cost: CostCounter::default(),
         })
     }
 }
@@ -140,6 +143,7 @@ impl CappingPolicy for MaxBipsPolicy {
             }
             // Per-core BIPS table at this memory point.
             let bips = bips_table(&model, &scales, &ipm, sb);
+            self.search_cost.grid_points += (n * f_levels) as u64;
 
             // Exhaustive odometer over F^N combinations.
             let mut combo = vec![0usize; n];
@@ -150,9 +154,12 @@ impl CappingPolicy for MaxBipsPolicy {
                     power += pcost[i][l];
                     total_bips += bips[i][l];
                 }
+                self.search_cost.grid_points += n as u64;
                 if power <= core_budget && best.as_ref().is_none_or(|(bb, ..)| total_bips > *bb) {
                     let scales_now: Vec<f64> = combo.iter().map(|&l| scales[l]).collect();
                     let (d, p) = evaluate_point(&model, &scales_now, sb)?;
+                    self.search_cost.grid_points += n as u64;
+                    self.search_cost.quantize_ops += 1;
                     best = Some((
                         total_bips,
                         d,
@@ -210,6 +217,12 @@ impl CappingPolicy for MaxBipsPolicy {
     fn on_budget_change(&mut self, fraction: f64) -> Result<()> {
         self.controller.set_budget_fraction(fraction)
     }
+
+    fn decision_cost(&self) -> CostCounter {
+        let mut c = self.controller.cost();
+        c.add(&self.search_cost);
+        c
+    }
 }
 
 /// One partial assignment in the beam: power and BIPS accumulated over the
@@ -242,6 +255,7 @@ pub struct MaxBipsBeamPolicy {
     controller: FastCapController,
     width: usize,
     last_total_bips: f64,
+    search_cost: CostCounter,
 }
 
 impl MaxBipsBeamPolicy {
@@ -271,6 +285,7 @@ impl MaxBipsBeamPolicy {
             controller: FastCapController::new(cfg)?,
             width,
             last_total_bips: 0.0,
+            search_cost: CostCounter::default(),
         })
     }
 }
@@ -322,6 +337,7 @@ impl CappingPolicy for MaxBipsBeamPolicy {
                 continue;
             }
             let bips = bips_table(&model, &scales, &ipm, sb);
+            self.search_cost.grid_points += (n * f_levels) as u64;
 
             let mut beam = vec![BeamState {
                 power: 0.0,
@@ -330,6 +346,7 @@ impl CappingPolicy for MaxBipsBeamPolicy {
             }];
             for i in 0..n {
                 let mut next = Vec::with_capacity(beam.len() * f_levels);
+                self.search_cost.grid_points += (beam.len() * f_levels) as u64;
                 for s in &beam {
                     for l in 0..f_levels {
                         let power = s.power + pcost[i][l];
@@ -372,6 +389,7 @@ impl CappingPolicy for MaxBipsBeamPolicy {
             }
             if let Some(top) = beam.first() {
                 if best.as_ref().is_none_or(|(b, ..)| top.bips > *b) {
+                    self.search_cost.quantize_ops += 1;
                     best = Some((
                         top.bips,
                         top.combo.clone(),
@@ -386,6 +404,7 @@ impl CappingPolicy for MaxBipsBeamPolicy {
             Some((bips, combo, sb, mem_freq)) => {
                 let scales_now: Vec<f64> = combo.iter().map(|&l| scales[l]).collect();
                 let (d, power) = evaluate_point(&model, &scales_now, sb)?;
+                self.search_cost.grid_points += n as u64;
                 self.last_total_bips = bips;
                 DvfsDecision {
                     core_freqs: combo,
@@ -412,6 +431,12 @@ impl CappingPolicy for MaxBipsBeamPolicy {
 
     fn on_budget_change(&mut self, fraction: f64) -> Result<()> {
         self.controller.set_budget_fraction(fraction)
+    }
+
+    fn decision_cost(&self) -> CostCounter {
+        let mut c = self.controller.cost();
+        c.add(&self.search_cost);
+        c
     }
 }
 

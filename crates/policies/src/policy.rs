@@ -1,6 +1,7 @@
 //! The policy abstraction shared by FastCap and all baselines.
 
 use fastcap_core::capper::DvfsDecision;
+use fastcap_core::cost::CostCounter;
 use fastcap_core::counters::EpochObservation;
 use fastcap_core::error::Result;
 use fastcap_core::units::Watts;
@@ -51,6 +52,17 @@ pub trait CappingPolicy {
     fn on_active_set_change(&mut self, carried: &[Option<usize>]) -> Result<bool> {
         let _ = carried;
         Ok(false)
+    }
+
+    /// Cumulative deterministic operation counts along this policy's
+    /// decision path (solver iterations, grid points, quantizations, …).
+    /// The counts are exact functions of the observations fed in — no wall
+    /// clock — which is what the modeled-latency timing artifacts multiply
+    /// by the checked-in `COST_MODEL.json` weights. The default (for
+    /// policies with no decision cost worth modelling, like Uncapped)
+    /// reports all zeros.
+    fn decision_cost(&self) -> CostCounter {
+        CostCounter::default()
     }
 }
 

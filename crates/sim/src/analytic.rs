@@ -143,6 +143,15 @@ impl AnalyticServer {
         self.epoch_index * self.cfg.n_cores as u64 * ITERATIONS as u64
     }
 
+    /// Deterministic operation counts for this backend: everything it does
+    /// is fixed-point solver iterations.
+    pub fn cost(&self) -> fastcap_core::cost::CostCounter {
+        fastcap_core::cost::CostCounter {
+            solver_iters: self.solver_ops(),
+            ..Default::default()
+        }
+    }
+
     /// The observation a policy would receive right now.
     pub fn observation(&self) -> Option<EpochObservation> {
         self.prev

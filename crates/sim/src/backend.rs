@@ -20,6 +20,7 @@ use crate::config::SimConfig;
 use crate::metrics::EpochReport;
 use crate::server::Server;
 use fastcap_core::capper::DvfsDecision;
+use fastcap_core::cost::CostCounter;
 use fastcap_core::counters::EpochObservation;
 
 /// One server-under-control, stepped an epoch at a time.
@@ -38,6 +39,11 @@ pub trait EpochBackend {
     /// differs per backend (DES events vs solver iterations); consumers
     /// convert with a per-tier cost constant.
     fn ops(&self) -> u64;
+
+    /// Deterministic per-operation cost breakdown executed so far —
+    /// `ops()` split into the cost-model taxonomy so modeled timings can
+    /// weight each operation class separately.
+    fn cost(&self) -> CostCounter;
 }
 
 impl EpochBackend for Server {
@@ -56,6 +62,10 @@ impl EpochBackend for Server {
     fn ops(&self) -> u64 {
         self.events_scheduled()
     }
+
+    fn cost(&self) -> CostCounter {
+        Server::cost(self)
+    }
 }
 
 impl EpochBackend for AnalyticServer {
@@ -73,6 +83,10 @@ impl EpochBackend for AnalyticServer {
 
     fn ops(&self) -> u64 {
         self.solver_ops()
+    }
+
+    fn cost(&self) -> CostCounter {
+        AnalyticServer::cost(self)
     }
 }
 
@@ -120,6 +134,14 @@ mod tests {
             EpochBackend::run_epoch(&mut des2, None);
         }
         assert_eq!(EpochBackend::ops(&des2), ops1);
+        // Cost breakdowns are consistent with the scalar counters and
+        // repeatable for the same seed.
+        assert_eq!(EpochBackend::cost(&ana).solver_iters, 3 * 4 * 60);
+        let c = EpochBackend::cost(&des);
+        assert_eq!(c.event_pushes, ops1);
+        assert!(c.event_pops > 0 && c.event_pops <= c.event_pushes);
+        assert!(c.rng_draws > 0);
+        assert_eq!(EpochBackend::cost(&des2), c);
     }
 
     #[test]

@@ -191,6 +191,7 @@ pub struct EventQueue {
     overflow_min: Ps,
     len: usize,
     seq: u64,
+    popped: u64,
 }
 
 impl Default for EventQueue {
@@ -203,6 +204,7 @@ impl Default for EventQueue {
             overflow_min: Ps::MAX,
             len: 0,
             seq: 0,
+            popped: 0,
         }
     }
 }
@@ -396,6 +398,7 @@ impl EventQueue {
             }
             self.head += 1;
             self.len -= 1;
+            self.popped += 1;
             return Some((t, meta));
         }
         if self.len == 0 {
@@ -406,6 +409,7 @@ impl EventQueue {
                 return None;
             }
             self.take_from_slot(s, at);
+            self.popped += 1;
             return Some((t, meta));
         }
         self.refill_ready();
@@ -415,6 +419,7 @@ impl EventQueue {
         }
         self.head += 1;
         self.len -= 1;
+        self.popped += 1;
         Some((t, meta))
     }
 
@@ -463,6 +468,14 @@ impl EventQueue {
     pub fn scheduled(&self) -> u64 {
         self.seq
     }
+
+    /// Total events ever consumed — the `event_pop` term of the
+    /// deterministic cost model. Counts only consuming pops (a bounded
+    /// [`Self::pop_if_before`] that leaves the event in place does not
+    /// count), so the value is queue-implementation-invariant.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
 }
 
 /// The pre-overhaul `BinaryHeap` event queue, kept as the reference
@@ -473,6 +486,7 @@ impl EventQueue {
 pub struct HeapQueue {
     heap: BinaryHeap<Reverse<(Ps, u64, Event)>>,
     seq: u64,
+    popped: u64,
 }
 
 impl HeapQueue {
@@ -489,7 +503,16 @@ impl HeapQueue {
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(Ps, Event)> {
-        self.heap.pop().map(|Reverse((t, _, e))| (t, e))
+        let e = self.heap.pop().map(|Reverse((t, _, e))| (t, e));
+        if e.is_some() {
+            self.popped += 1;
+        }
+        e
+    }
+
+    /// Total events ever consumed (mirrors [`EventQueue::popped`]).
+    pub fn popped(&self) -> u64 {
+        self.popped
     }
 
     /// The timestamp of the earliest pending event.
@@ -683,5 +706,25 @@ mod tests {
                 break;
             }
         }
+        // The cost model's event_pop counter must be implementation
+        // invariant: both queues consumed the same trace.
+        assert_eq!(wheel.popped(), heap.popped());
+        assert_eq!(wheel.popped(), wheel.scheduled());
+    }
+
+    #[test]
+    fn popped_counts_only_consuming_pops() {
+        let mut q = EventQueue::new();
+        q.push(10, Event::CoreReady { core: 0 });
+        q.push(20, Event::CoreReady { core: 1 });
+        assert_eq!(q.popped(), 0);
+        assert!(q.pop_if_before(15).is_some());
+        assert_eq!(q.popped(), 1);
+        // Bounded pop that leaves the event in place: not a pop.
+        assert!(q.pop_if_before(15).is_none());
+        assert_eq!(q.popped(), 1);
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+        assert_eq!(q.popped(), 2);
     }
 }

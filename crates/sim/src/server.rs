@@ -262,6 +262,25 @@ impl Server {
         &self.rng_draws
     }
 
+    /// Total events consumed from the queue since construction — the
+    /// `event_pop` term of the deterministic cost model.
+    pub fn events_popped(&self) -> u64 {
+        self.queue.popped()
+    }
+
+    /// Deterministic operation counts attributable to this server's
+    /// discrete-event machinery: queue pushes/pops plus attributed RNG
+    /// draws. Counts are cumulative since construction and identical for
+    /// either event-queue implementation.
+    pub fn cost(&self) -> fastcap_core::cost::CostCounter {
+        fastcap_core::cost::CostCounter {
+            event_pushes: self.events_scheduled(),
+            event_pops: self.events_popped(),
+            rng_draws: self.rng_draws.iter().sum(),
+            ..Default::default()
+        }
+    }
+
     /// Whether a core is currently online (scenario hotplug state).
     ///
     /// # Panics

@@ -18,6 +18,14 @@
 //!   `{ schema, commit, cores, benches: [{name, median_ns, min_ns,
 //!   max_ns}] }`. The commit is taken from `$GITHUB_SHA` or
 //!   `$BENCH_COMMIT` (`"local"` otherwise).
+//! * `--save-baseline PATH` — write this run's records (merged with any
+//!   existing records at PATH) as a baseline file, same schema as
+//!   `--json`.
+//! * `--baseline PATH` — after all groups run, compare this run's
+//!   medians against the baseline at PATH and print a per-bench delta
+//!   table. A change is flagged only when it exceeds the noise band
+//!   (3× the summed median-absolute-deviations of the two runs) — the
+//!   shim's statistics engine: median over samples, MAD for spread.
 //! * `--quick` — shorter warm-up and fewer samples for CI smoke gates.
 //! * `--bench` and unrecognized flags are accepted and ignored (cargo
 //!   passes `--bench` through).
@@ -38,6 +46,8 @@ pub fn black_box<T>(x: T) -> T {
 struct Config {
     quick: bool,
     json: Option<String>,
+    save_baseline: Option<String>,
+    baseline: Option<String>,
 }
 
 fn config() -> &'static Config {
@@ -49,6 +59,8 @@ fn config() -> &'static Config {
             match a.as_str() {
                 "--quick" => cfg.quick = true,
                 "--json" => cfg.json = args.next(),
+                "--save-baseline" => cfg.save_baseline = args.next(),
+                "--baseline" => cfg.baseline = args.next(),
                 _ => {} // `--bench`, filters, ...: accepted, ignored
             }
         }
@@ -65,6 +77,9 @@ pub struct Stats {
     pub min_ns: f64,
     /// Slowest sample.
     pub max_ns: f64,
+    /// Median absolute deviation of the samples — the robust spread
+    /// estimate baseline comparisons use as their noise band.
+    pub mad_ns: f64,
 }
 
 fn registry() -> &'static Mutex<Vec<(String, Stats)>> {
@@ -149,10 +164,14 @@ impl Bencher {
             })
             .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples[samples.len() / 2];
+        let mut deviations: Vec<f64> = samples.iter().map(|&s| (s - median).abs()).collect();
+        deviations.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
         self.stats = Stats {
-            median_ns: samples[samples.len() / 2],
+            median_ns: median,
             min_ns: samples[0],
             max_ns: samples[samples.len() - 1],
+            mad_ns: deviations[deviations.len() / 2],
         };
     }
 }
@@ -298,49 +317,104 @@ fn stats_value(name: &str, s: Stats) -> serde::Value {
         ("median_ns".into(), serde::Value::Float(s.median_ns)),
         ("min_ns".into(), serde::Value::Float(s.min_ns)),
         ("max_ns".into(), serde::Value::Float(s.max_ns)),
+        ("mad_ns".into(), serde::Value::Float(s.mad_ns)),
     ])
 }
 
-/// Writes (or merges into) the `--json` report from every benchmark run
-/// so far in this process. Called by `criterion_main!` after all groups;
-/// a no-op without `--json`.
+/// Parses a report file's `benches` array. `mad_ns` is optional so
+/// reports written before the statistics engine landed still load (their
+/// noise band is then 0 — every delta gets flagged, which errs loud).
+fn parse_benches(text: &str) -> Vec<(String, Stats)> {
+    let mut out = Vec::new();
+    if let Ok(v) = serde_json::from_str::<serde::Value>(text) {
+        if let Some(serde::Value::Array(benches)) = v.get("benches") {
+            for b in benches {
+                let (Some(name), Some(median), Some(min), Some(max)) = (
+                    b.get("name").and_then(serde::Value::as_str),
+                    b.get("median_ns").and_then(serde::Value::as_f64),
+                    b.get("min_ns").and_then(serde::Value::as_f64),
+                    b.get("max_ns").and_then(serde::Value::as_f64),
+                ) else {
+                    continue;
+                };
+                let mad = b
+                    .get("mad_ns")
+                    .and_then(serde::Value::as_f64)
+                    .unwrap_or(0.0);
+                out.push((
+                    name.to_owned(),
+                    Stats {
+                        median_ns: median,
+                        min_ns: min,
+                        max_ns: max,
+                        mad_ns: mad,
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the `--baseline` comparison: one line per bench measured this
+/// run that also exists in the baseline, flagging only deltas outside the
+/// noise band (3× the summed MADs of the two runs).
+fn compare_lines(baseline: &[(String, Stats)], records: &[(String, Stats)]) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (name, now) in records {
+        let Some((_, old)) = baseline.iter().find(|(n, _)| n == name) else {
+            lines.push(format!("{name:<50} (new — no baseline record)"));
+            continue;
+        };
+        let ratio = now.median_ns / old.median_ns.max(1e-9);
+        let noise = 3.0 * (now.mad_ns + old.mad_ns);
+        let verdict = if (now.median_ns - old.median_ns).abs() <= noise {
+            "within noise"
+        } else if ratio > 1.0 {
+            "SLOWER"
+        } else {
+            "faster"
+        };
+        lines.push(format!(
+            "{name:<50} {:>12} -> {:>12}  ({ratio:.2}x, {verdict})",
+            human_ns(old.median_ns),
+            human_ns(now.median_ns),
+        ));
+    }
+    lines
+}
+
+/// Writes reports and runs the baseline comparison from every benchmark
+/// run so far in this process. Called by `criterion_main!` after all
+/// groups; a no-op without `--json`/`--save-baseline`/`--baseline`.
 pub fn finalize() {
-    let Some(path) = config().json.clone() else {
-        return;
-    };
     let records = registry().lock().expect("bench registry poisoned").clone();
-    write_report(&path, records);
+    if let Some(path) = config().json.clone() {
+        write_report(&path, records.clone());
+    }
+    if let Some(path) = config().save_baseline.clone() {
+        write_report(&path, records.clone());
+    }
+    if let Some(path) = config().baseline.clone() {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                println!("\nbaseline comparison vs {path}:");
+                for line in compare_lines(&parse_benches(&text), &records) {
+                    println!("{line}");
+                }
+            }
+            Err(e) => eprintln!("warning: cannot read baseline {path}: {e}"),
+        }
+    }
 }
 
 /// The config-independent body of [`finalize`]: merges `records` into the
 /// report at `path` (by bench name; existing records survive unless
 /// re-measured) and rewrites it.
 fn write_report(path: &str, records: Vec<(String, Stats)>) {
-    let mut merged: Vec<(String, Stats)> = Vec::new();
-    if let Ok(text) = std::fs::read_to_string(path) {
-        if let Ok(v) = serde_json::from_str::<serde::Value>(&text) {
-            if let Some(serde::Value::Array(benches)) = v.get("benches") {
-                for b in benches {
-                    let (Some(name), Some(median), Some(min), Some(max)) = (
-                        b.get("name").and_then(serde::Value::as_str),
-                        b.get("median_ns").and_then(serde::Value::as_f64),
-                        b.get("min_ns").and_then(serde::Value::as_f64),
-                        b.get("max_ns").and_then(serde::Value::as_f64),
-                    ) else {
-                        continue;
-                    };
-                    merged.push((
-                        name.to_owned(),
-                        Stats {
-                            median_ns: median,
-                            min_ns: min,
-                            max_ns: max,
-                        },
-                    ));
-                }
-            }
-        }
-    }
+    let mut merged: Vec<(String, Stats)> = std::fs::read_to_string(path)
+        .map(|t| parse_benches(&t))
+        .unwrap_or_default();
     for (name, stats) in records {
         if let Some(slot) = merged.iter_mut().find(|(n, _)| *n == name) {
             slot.1 = stats;
@@ -420,7 +494,37 @@ mod tests {
         for (_, s) in reg.iter() {
             assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
             assert!(s.min_ns > 0.0);
+            // MAD is a spread within the sample range.
+            assert!(s.mad_ns >= 0.0 && s.mad_ns <= s.max_ns - s.min_ns);
         }
+    }
+
+    #[test]
+    fn baseline_comparison_flags_only_outside_noise() {
+        let s = |median_ns: f64, mad_ns: f64| Stats {
+            median_ns,
+            min_ns: median_ns * 0.9,
+            max_ns: median_ns * 1.1,
+            mad_ns,
+        };
+        let baseline = vec![
+            ("steady".to_string(), s(100.0, 5.0)),
+            ("regressed".to_string(), s(100.0, 1.0)),
+        ];
+        let now = vec![
+            ("steady".to_string(), s(110.0, 2.0)),    // Δ10 ≤ 3×(5+2)
+            ("regressed".to_string(), s(200.0, 1.0)), // Δ100 > 3×2
+            ("fresh".to_string(), s(7.0, 0.5)),
+        ];
+        let lines = compare_lines(&baseline, &now);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("within noise"), "{}", lines[0]);
+        assert!(
+            lines[1].contains("SLOWER") && lines[1].contains("2.00x"),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].contains("no baseline record"), "{}", lines[2]);
     }
 
     #[test]
@@ -459,6 +563,7 @@ mod tests {
                         median_ns: 1.0,
                         min_ns: 0.5,
                         max_ns: 2.0,
+                        mad_ns: 0.1,
                     },
                 ),
                 (
@@ -467,6 +572,7 @@ mod tests {
                         median_ns: 7.0,
                         min_ns: 6.0,
                         max_ns: 8.0,
+                        mad_ns: 0.2,
                     },
                 ),
             ],
