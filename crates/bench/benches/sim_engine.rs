@@ -37,6 +37,40 @@ fn bench_epochs(c: &mut Criterion) {
     group.finish();
 }
 
+/// Lane-parallel draw engine: one MEM1/16-core epoch at 1, 2 and 4
+/// physical lanes. Artifact bytes are identical at every width
+/// (determinism contract v2, DESIGN.md §11) — what moves is wall clock:
+/// barrier-prefill parallelism minus lane-sync overhead. On a
+/// single-hardware-thread host the >1× target is unobservable (the pool
+/// threads serialize), but the group still exposes the sync-path
+/// overhead, so a lane-machinery regression shows up as `lanes_1`
+/// drifting against `sim_epoch/MEM1_16c`.
+fn bench_lanes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(10);
+    for lanes in [1usize, 2, 4] {
+        let cfg = SimConfig::ispass(16)
+            .expect("valid config")
+            .with_time_dilation(100.0)
+            .with_meter_noise(0.0)
+            .with_lanes(lanes);
+        let mix = mixes::by_name("MEM1").expect("mix exists");
+        let mut server = Server::for_workload(cfg, &mix, 7).expect("server builds");
+        server.run(2, |_| None);
+        let before = server.events_scheduled();
+        server.run_epoch(None);
+        group.throughput(Throughput::Elements(server.events_scheduled() - before));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("lanes_{lanes}")),
+            &(),
+            |b, ()| {
+                b.iter(|| server.run_epoch(None));
+            },
+        );
+    }
+    group.finish();
+}
+
 /// splitmix64 — dependency-free deterministic bits for the trace table.
 fn splitmix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -102,5 +136,5 @@ fn bench_queue(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_epochs, bench_queue);
+criterion_group!(benches, bench_epochs, bench_lanes, bench_queue);
 criterion_main!(benches);

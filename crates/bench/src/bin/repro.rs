@@ -2,7 +2,7 @@
 //! scenario-engine transient artifacts.
 //!
 //! ```text
-//! repro <artifact>... [--quick] [--seed N] [--jobs N] [--out DIR] [--scenario FILE]
+//! repro <artifact>... [--quick] [--seed N] [--jobs N] [--lanes N] [--out DIR] [--scenario FILE]
 //! repro all [--quick] [--jobs N]
 //! repro matrix [--count K] [--mixes LIST|all] [--policies LIST|all] [--quick] [--jobs N]
 //! repro scenario validate [DIR]
@@ -20,8 +20,12 @@
 //! costgate` re-checks the goldens and the modeled-cost expectations.
 //!
 //! `--jobs N` shards each experiment's sweep across N worker threads
-//! (default: available parallelism). Artifacts are bit-identical at any
-//! job count for a fixed `--seed`; see DESIGN.md §5.
+//! (default: available parallelism). `--lanes N` sets the lane-pool width
+//! *inside* each simulation (determinism contract v2, DESIGN.md §11;
+//! default: available parallelism capped by the simulated core count,
+//! dropping to 1 when `--jobs` parallelism is in force). Artifacts are
+//! bit-identical at any job **and** lane count for a fixed `--seed`; see
+//! DESIGN.md §5 and §11.
 //!
 //! `--scenario FILE` replaces the checked-in default scenario of the
 //! `scn_*` artifacts; `scenario validate` lints every `*.json` under a
@@ -50,7 +54,7 @@ use std::time::Instant;
 
 fn usage() -> String {
     format!(
-        "usage: repro <artifact|all>... [--quick] [--seed N] [--jobs N] [--out DIR] \
+        "usage: repro <artifact|all>... [--quick] [--seed N] [--jobs N] [--lanes N] [--out DIR] \
          [--scenario FILE] [--wall-clock] [--list]\n\
          \x20      repro matrix [--count K] [--mixes LIST|all] [--policies LIST|all]\n\
          \x20      repro scenario validate [DIR]\n\
@@ -329,6 +333,13 @@ fn main() -> ExitCode {
                 Some(s) => opts.seed = s,
                 None => {
                     eprintln!("--seed needs an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--lanes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(l) if l >= 1 => opts.lanes = Some(l),
+                _ => {
+                    eprintln!("--lanes needs an integer >= 1\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },

@@ -51,14 +51,14 @@ pub const GATE_TOLERANCE: f64 = 0.05;
 /// (`repro tab1 overhead scaling --quick --seed 42`, any `--jobs`).
 /// Shared between the golden byte-equality test and `repro costgate`.
 pub const TIMING_GOLDENS: &[(&str, u64)] = &[
-    ("overhead.csv", 0xf576_7e9c_fb8f_f11b),
-    ("overhead.json", 0x1eec_1956_f93f_3d35),
-    ("scaling.csv", 0xcbeb_7022_7731_5892),
-    ("scaling.json", 0x9251_e862_526a_d117),
-    ("tab1_fastcap.csv", 0xfa76_9daf_0275_0a46),
-    ("tab1_fastcap.json", 0x4170_4018_66c8_be58),
-    ("tab1_maxbips.csv", 0x7502_bfc2_78e1_839b),
-    ("tab1_maxbips.json", 0x6c01_3d0e_72c1_5c29),
+    ("overhead.csv", 0x383a_35df_b035_8def),
+    ("overhead.json", 0xf73a_8c9a_8b83_855b),
+    ("scaling.csv", 0x8fa7_743a_1d56_1ae4),
+    ("scaling.json", 0x6602_23be_df0b_31a9),
+    ("tab1_fastcap.csv", 0xad1b_de3d_4101_a0d5),
+    ("tab1_fastcap.json", 0x26cd_12e1_4a01_a007),
+    ("tab1_maxbips.csv", 0x2d51_d042_8168_b1e8),
+    ("tab1_maxbips.json", 0x8187_0219_b531_02ba),
     ("tab1_theory.csv", 0x411e_88d2_9d99_aef9),
     ("tab1_theory.json", 0xb0cc_6af8_8345_085a),
 ];
@@ -426,6 +426,28 @@ pub fn waterfill_probe_wall(iters: u64) -> (CostCounter, f64) {
     )
 }
 
+/// Wall-clock lane-machinery probe: `rounds` isolated lane-stream
+/// barrier/refill cycles ([`fastcap_sim::lane_calibration_probe`]),
+/// isolating the `{lane_sync, barrier_wait}` weights. Inside the full DES
+/// probe those ops scale with epoch count exactly like the event-queue
+/// ops, so without this probe the fit collapses their weight into
+/// `event_push` and a lane-sync count regression would price at 0 ns.
+#[must_use]
+pub fn lane_probe_wall(rounds: u64) -> (CostCounter, f64) {
+    let start = Instant::now();
+    let (lane_syncs, barrier_waits) =
+        std::hint::black_box(fastcap_sim::lane_calibration_probe(rounds));
+    let elapsed = start.elapsed().as_secs_f64() * 1e9;
+    (
+        CostCounter {
+            lane_syncs,
+            barrier_waits,
+            ..Default::default()
+        },
+        elapsed,
+    )
+}
+
 /// Fits non-negative per-op ns weights from `(counter, measured ns)`
 /// probe rows by NNLS coordinate descent (200 passes of
 /// `w_k = max(0, A_k·(b − Aw + A_k w_k) / A_k·A_k)`). Operations never
@@ -506,6 +528,8 @@ pub fn wall_probes() -> Result<Vec<(String, CostCounter, f64)>> {
     rows.push((SIM_PROBE.into(), c, ns));
     let (c, ns) = waterfill_probe_wall(20_000);
     rows.push(("calib/waterfill".into(), c, ns));
+    let (c, ns) = lane_probe_wall(2_000);
+    rows.push(("calib/lanes".into(), c, ns));
     Ok(rows)
 }
 
@@ -692,7 +716,7 @@ mod tests {
     fn nnls_recovers_planted_weights() {
         // Synthetic probes with known weights and disjoint-ish support.
         let truth = CostWeights {
-            ns: [2.0, 3.0, 0.5, 10.0, 1.5, 4.0, 0.25, 7.0, 90.0],
+            ns: [2.0, 3.0, 0.5, 10.0, 1.5, 4.0, 0.25, 7.0, 90.0, 5.0, 12.0],
         };
         let mut rows = Vec::new();
         for i in 0..24u64 {
@@ -716,6 +740,10 @@ mod tests {
     fn sim_probe_counts_queue_work() {
         let c = sim_probe_counter().unwrap();
         assert!(c.event_pushes > 0 && c.event_pops > 0 && c.rng_draws > 0);
+        assert!(
+            c.lane_syncs > 0 && c.barrier_waits == 20,
+            "the DES probe anchors the lane-sync weights: {c:?}"
+        );
         assert_eq!(c, sim_probe_counter().unwrap());
     }
 }

@@ -9,10 +9,11 @@
 //!    be bitwise no-ops for the ladder's "exact" rung to mean exact.
 //! 2. **Byte-pinned `fleet_*` artifacts.** `repro fleet_ladder
 //!    fleet_settle fleet_scale --quick --seed 42` is pinned via FNV-1a
-//!    hashes and must agree between `--jobs 1` and `--jobs 8` — the
+//!    hashes and must agree across a `(--jobs, --lanes)` matrix — the
 //!    fleet sweeps (surface recording, tier fleets, DES replays, the
 //!    generated scenario population) may never leak scheduling into
-//!    bytes.
+//!    bytes, whether the scheduling is artifact sharding or the
+//!    intra-sim lane pool.
 
 use fastcap_bench::harness::{run_capped_only, Opts, PolicyKind};
 use fastcap_bench::sweep::derive_seed;
@@ -33,13 +34,16 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The golden hashes of the fleet artifacts, taken when the fleet layer
-/// landed (quick mode, seed 42).
+/// The golden hashes of the fleet artifacts (quick mode, seed 42). The
+/// `fleet_ladder*` pins were re-taken when the lane-parallel draw engine
+/// re-goldened every DES-derived artifact (determinism contract v2); the
+/// analytic-tier artifacts (`fleet_scale`, `fleet_settle*`) kept their
+/// original bytes — they run no simulation.
 const FLEET_GOLDEN: &[(&str, u64)] = &[
-    ("fleet_ladder.csv", 0xdd17_7dc5_f5b0_87a6),
-    ("fleet_ladder.json", 0x8a59_88fa_f7ea_7bd5),
-    ("fleet_ladder_leaves.csv", 0xe417_db0c_64d1_f26e),
-    ("fleet_ladder_leaves.json", 0x6d14_f5bc_5489_3468),
+    ("fleet_ladder.csv", 0xa5c9_6e58_11a3_7769),
+    ("fleet_ladder.json", 0x4e1a_4139_f65b_9fee),
+    ("fleet_ladder_leaves.csv", 0xc2a1_30ef_b184_b213),
+    ("fleet_ladder_leaves.json", 0x0a94_c2b2_b93e_faab),
     ("fleet_scale.csv", 0x1558_c866_7a8d_4635),
     ("fleet_scale.json", 0x6dde_8a71_3b86_9468),
     ("fleet_settle.csv", 0x593a_6e58_097e_6008),
@@ -110,12 +114,13 @@ fn des_tier_in_a_one_server_tree_reproduces_fig5_bit_for_bit() {
 }
 
 #[test]
-fn fleet_artifact_bytes_are_pinned_at_any_job_count() {
+fn fleet_artifact_bytes_are_pinned_at_any_job_and_lane_count() {
     let base = std::env::temp_dir().join("fastcap_fleet_golden");
     let _ = std::fs::remove_dir_all(&base);
-    let mut per_jobs = Vec::new();
-    for jobs in ["1", "8"] {
-        let dir = base.join(format!("jobs{jobs}"));
+    let matrix = [("1", "1"), ("8", "1"), ("1", "4")];
+    let mut per_cell = Vec::new();
+    for (jobs, lanes) in matrix {
+        let dir = base.join(format!("jobs{jobs}_lanes{lanes}"));
         run_repro(&[
             "fleet_ladder",
             "fleet_settle",
@@ -125,17 +130,21 @@ fn fleet_artifact_bytes_are_pinned_at_any_job_count() {
             "42",
             "--jobs",
             jobs,
+            "--lanes",
+            lanes,
             "--out",
             dir.to_str().unwrap(),
         ]);
-        per_jobs.push(hash_dir(&dir));
+        per_cell.push(hash_dir(&dir));
     }
-    assert_eq!(
-        per_jobs[0], per_jobs[1],
-        "fleet artifact bytes differ between --jobs 1 and --jobs 8"
-    );
+    for (i, (jobs, lanes)) in matrix.iter().enumerate().skip(1) {
+        assert_eq!(
+            per_cell[0], per_cell[i],
+            "fleet artifact bytes differ at --jobs {jobs} --lanes {lanes}"
+        );
+    }
 
-    let got = &per_jobs[0];
+    let got = &per_cell[0];
     assert_eq!(
         got.len(),
         FLEET_GOLDEN.len(),

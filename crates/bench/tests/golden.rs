@@ -12,8 +12,9 @@
 //! comparison set (incl. beam-search MaxBIPS). Any future change that perturbs
 //! event order, RNG draw order, or reduce order will flip these hashes —
 //! and must either be a deliberate, documented artifact change or a bug.
-//! `--jobs 1` and `--jobs 8` are both checked and must agree (two-level
-//! sharding may never leak into bytes).
+//! A `(--jobs, --lanes)` matrix is checked and every cell must agree:
+//! neither two-level sharding nor the intra-sim lane pool may leak into
+//! bytes (determinism contract v2, DESIGN.md §11).
 //!
 //! Since the modeled cost model landed (DESIGN.md §10), the timing
 //! artifacts (`tab1`, `overhead`, `scaling`) are pinned too: their
@@ -37,35 +38,38 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The golden hashes. fig5/fig12/fig13: taken at the last commit before
-/// the timing-wheel swap and reverified after it and after the scenario
-/// hooks (both byte-exact). scn_capstep: taken when the scenario engine
-/// landed.
+/// The golden hashes, re-pinned when the lane-parallel draw engine split
+/// the per-server RNG into per-core lane streams (determinism contract
+/// v2) — a deliberate whole-set re-golden: every simulation-derived
+/// artifact changed bytes exactly once, and the new pins are again
+/// invariant across jobs, lanes and queue implementation. (The previous
+/// pins dated from the pre-overhaul `BinaryHeap` engine and had survived
+/// the timing-wheel swap and the scenario hooks unchanged.)
 const GOLDEN: &[(&str, u64)] = &[
-    ("fig12.csv", 0xd584_59ca_98f2_3eb8),
-    ("fig12.json", 0x511f_d81a_ade5_0898),
-    ("fig13.csv", 0x03c7_21c3_c44e_1119),
-    ("fig13.json", 0xb0b5_f75d_4ce6_2624),
-    ("fig5.csv", 0x8e96_ed4e_af15_0e5a),
-    ("fig5.json", 0xa8ff_9b5f_2abc_645e),
-    ("fig5_recovery.csv", 0x4172_e1b5_ccc5_8758),
-    ("fig5_recovery.json", 0x8ec6_7d29_beb3_d477),
-    ("scn_capstep.csv", 0xb5e2_5d66_aaaa_d2ad),
-    ("scn_capstep.json", 0xeb28_84fa_f0eb_47c8),
-    ("scn_capstep_recovery.csv", 0xad2a_a48b_8f50_2fc8),
-    ("scn_capstep_recovery.json", 0x63b8_c96c_48b3_93c0),
-    ("scn_capstep_trace.csv", 0x547e_94b7_0e00_6dbe),
-    ("scn_capstep_trace.json", 0xf849_c237_1539_5aad),
-    ("scn_flashcrowd.csv", 0x2909_54ac_74d0_0392),
-    ("scn_flashcrowd.json", 0x0f30_c22d_d4af_7adb),
-    ("scn_flashcrowd_pre.csv", 0x3151_103f_336d_c6bb),
-    ("scn_flashcrowd_pre.json", 0xa43f_1e90_9eeb_7101),
-    ("scn_flashcrowd_trace.csv", 0x7dcd_c566_2fa9_145c),
-    ("scn_flashcrowd_trace.json", 0xce14_ef22_c6bf_3e3b),
-    ("scn_hotplug.csv", 0x1a61_fd1b_599b_b422),
-    ("scn_hotplug.json", 0xda2a_6455_ee63_b004),
-    ("scn_hotplug_trace.csv", 0x85c8_fac6_5712_a593),
-    ("scn_hotplug_trace.json", 0xf271_9c4d_6e71_2b19),
+    ("fig12.csv", 0x394a_66f3_3c53_0b51),
+    ("fig12.json", 0xc2a9_1d27_fc30_65e1),
+    ("fig13.csv", 0xf3a6_7f68_08f1_8719),
+    ("fig13.json", 0xa632_814c_1d61_8750),
+    ("fig5.csv", 0x6862_103d_dc0d_635e),
+    ("fig5.json", 0xe9fe_fcf8_9635_9dce),
+    ("fig5_recovery.csv", 0x255f_fd29_1530_6b6e),
+    ("fig5_recovery.json", 0xf5a9_b1f6_b0e1_e79b),
+    ("scn_capstep.csv", 0x01bf_fbb1_0145_c98e),
+    ("scn_capstep.json", 0x4985_d346_c3f0_29db),
+    ("scn_capstep_recovery.csv", 0x0e4f_8c54_f8a4_3503),
+    ("scn_capstep_recovery.json", 0x3e93_1a20_78a8_40a3),
+    ("scn_capstep_trace.csv", 0x0a4d_4887_0064_ae0a),
+    ("scn_capstep_trace.json", 0x9b8b_9ce8_b1f6_6d6d),
+    ("scn_flashcrowd.csv", 0x81c3_6d45_8589_2b1f),
+    ("scn_flashcrowd.json", 0x47c5_2899_7edf_96aa),
+    ("scn_flashcrowd_pre.csv", 0x6b6d_f946_5a29_00a6),
+    ("scn_flashcrowd_pre.json", 0x5b97_9095_7c5a_6adc),
+    ("scn_flashcrowd_trace.csv", 0xb6a8_f6b0_47e9_b5d1),
+    ("scn_flashcrowd_trace.json", 0xa501_ff18_0a5a_8c34),
+    ("scn_hotplug.csv", 0xa88d_4a74_dfd4_cb55),
+    ("scn_hotplug.json", 0x9756_c640_0a34_f42b),
+    ("scn_hotplug_trace.csv", 0x14c3_770a_4da6_8713),
+    ("scn_hotplug_trace.json", 0xb598_c89f_b6bf_466d),
 ];
 
 fn run_repro(args: &[&str]) {
@@ -92,12 +96,16 @@ fn hash_dir(dir: &Path) -> BTreeMap<String, u64> {
 }
 
 #[test]
-fn fig5_and_fig12_13_bytes_are_pinned_at_any_job_count() {
+fn fig5_and_fig12_13_bytes_are_pinned_at_any_job_and_lane_count() {
     let base = std::env::temp_dir().join("fastcap_golden");
     let _ = std::fs::remove_dir_all(&base);
-    let mut per_jobs = Vec::new();
-    for jobs in ["1", "8"] {
-        let dir = base.join(format!("jobs{jobs}"));
+    // Determinism contract v2 (DESIGN.md §11): bytes are invariant in
+    // BOTH parallelism axes — outer artifact sharding (--jobs) and the
+    // intra-sim lane pool (--lanes).
+    let matrix = [("1", "1"), ("8", "1"), ("1", "4"), ("8", "4")];
+    let mut per_cell = Vec::new();
+    for (jobs, lanes) in matrix {
+        let dir = base.join(format!("jobs{jobs}_lanes{lanes}"));
         run_repro(&[
             "fig5",
             "fig12",
@@ -112,17 +120,21 @@ fn fig5_and_fig12_13_bytes_are_pinned_at_any_job_count() {
             "42",
             "--jobs",
             jobs,
+            "--lanes",
+            lanes,
             "--out",
             dir.to_str().unwrap(),
         ]);
-        per_jobs.push(hash_dir(&dir));
+        per_cell.push(hash_dir(&dir));
     }
-    assert_eq!(
-        per_jobs[0], per_jobs[1],
-        "artifact bytes differ between --jobs 1 and --jobs 8"
-    );
+    for (i, (jobs, lanes)) in matrix.iter().enumerate().skip(1) {
+        assert_eq!(
+            per_cell[0], per_cell[i],
+            "artifact bytes differ at --jobs {jobs} --lanes {lanes}"
+        );
+    }
 
-    let got = &per_jobs[0];
+    let got = &per_cell[0];
     let timing = fastcap_bench::costmodel::TIMING_GOLDENS;
     assert_eq!(
         got.len(),

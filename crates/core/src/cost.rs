@@ -18,7 +18,7 @@
 ///
 /// The order is part of the `COST_MODEL.json` schema: weight `i` prices op
 /// class `OPS[i]`. Append-only; never reorder.
-pub const OPS: [&str; 9] = [
+pub const OPS: [&str; 11] = [
     "event_push",
     "event_pop",
     "rng_draw",
@@ -28,6 +28,8 @@ pub const OPS: [&str; 9] = [
     "grid_point",
     "quantize_op",
     "waterfill_pass",
+    "lane_sync",
+    "barrier_wait",
 ];
 
 /// Counts of abstract operations performed, one field per op class.
@@ -58,12 +60,19 @@ pub struct CostCounter {
     pub quantize_ops: u64,
     /// Water-filling divide passes in the fleet budget tree.
     pub waterfill_passes: u64,
+    /// Lane-stream synchronizations in the lane-parallel DES engine: one
+    /// per draw-stream refill at a conservative sync point. Logical —
+    /// counted identically at any `--lanes` level (contract v2).
+    pub lane_syncs: u64,
+    /// Epoch-boundary hard barriers in the lane-parallel DES engine: one
+    /// per epoch prefill round, regardless of physical lane count.
+    pub barrier_waits: u64,
 }
 
 impl CostCounter {
     /// The counts as an array, index-aligned with [`OPS`].
     #[must_use]
-    pub fn as_array(&self) -> [u64; 9] {
+    pub fn as_array(&self) -> [u64; 11] {
         [
             self.event_pushes,
             self.event_pops,
@@ -74,12 +83,14 @@ impl CostCounter {
             self.grid_points,
             self.quantize_ops,
             self.waterfill_passes,
+            self.lane_syncs,
+            self.barrier_waits,
         ]
     }
 
     /// Builds a counter from an [`OPS`]-ordered array.
     #[must_use]
-    pub fn from_array(a: [u64; 9]) -> Self {
+    pub fn from_array(a: [u64; 11]) -> Self {
         CostCounter {
             event_pushes: a[0],
             event_pops: a[1],
@@ -90,6 +101,8 @@ impl CostCounter {
             grid_points: a[6],
             quantize_ops: a[7],
             waterfill_passes: a[8],
+            lane_syncs: a[9],
+            barrier_waits: a[10],
         }
     }
 
@@ -132,7 +145,7 @@ mod tests {
     use super::*;
 
     fn sample() -> CostCounter {
-        CostCounter::from_array([1, 2, 3, 4, 5, 6, 7, 8, 9])
+        CostCounter::from_array([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11])
     }
 
     #[test]
@@ -141,6 +154,8 @@ mod tests {
         assert_eq!(CostCounter::from_array(c.as_array()), c);
         assert_eq!(c.event_pushes, 1);
         assert_eq!(c.waterfill_passes, 9);
+        assert_eq!(c.lane_syncs, 10);
+        assert_eq!(c.barrier_waits, 11);
         assert_eq!(OPS.len(), c.as_array().len());
     }
 
@@ -149,7 +164,7 @@ mod tests {
         let mut c = sample();
         c.add(&sample());
         assert_eq!(c.delta_since(&sample()), sample());
-        assert_eq!(c.total(), 2 * 45);
+        assert_eq!(c.total(), 2 * 66);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod config;
 pub mod core_model;
 pub mod dram;
 pub mod engine;
+mod lanes;
 pub mod memory;
 pub mod metrics;
 pub mod power_model;
@@ -55,5 +56,6 @@ pub mod server;
 pub use analytic::AnalyticServer;
 pub use backend::EpochBackend;
 pub use config::{CoreMode, Interleaving, SimConfig};
+pub use lanes::lane_calibration_probe;
 pub use metrics::{EpochReport, RunResult};
 pub use server::{ControlAction, Server};

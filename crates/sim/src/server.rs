@@ -21,6 +21,7 @@
 use crate::config::SimConfig;
 use crate::core_model::CoreSim;
 use crate::engine::{to_ps, Event, EventQueue, Ps, PS_PER_SEC};
+use crate::lanes::LaneSet;
 use crate::memory::{MemController, Request};
 use crate::metrics::{EpochReport, RunResult};
 use fastcap_core::capper::DvfsDecision;
@@ -29,8 +30,6 @@ use fastcap_core::error::{Error, Result};
 use fastcap_core::freq::VoltageCurve;
 use fastcap_core::units::{Secs, Watts};
 use fastcap_workloads::{AppInstance, PhaseSpec, WorkloadSpec};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A scheduled mid-run mutation of the simulated platform, injected into
 /// the DES event stream by [`Server::schedule_control`] (the scenario
@@ -94,7 +93,10 @@ impl ControlAction {
 #[derive(Debug)]
 pub struct Server {
     cfg: SimConfig,
-    rng: SmallRng,
+    /// Per-core draw lanes (determinism contract v2, DESIGN.md §11): one
+    /// private RNG stream partition per core plus a memory/meter lane,
+    /// prefilled in parallel at every epoch barrier.
+    lanes: LaneSet,
     queue: EventQueue,
     now: Ps,
     cores: Vec<CoreSim>,
@@ -115,8 +117,6 @@ pub struct Server {
     core_stall: Ps,
     /// Dilated memory DVFS transition freeze.
     mem_freeze: Ps,
-    /// Cumulative controller-choice distribution.
-    ctrl_cum: Vec<f64>,
     mc_vcurve: VoltageCurve,
     epoch_index: u64,
     /// Reused observation buffer, refilled in place every epoch (the
@@ -185,10 +185,27 @@ impl Server {
             },
             total_power: Watts::ZERO,
         };
+        let l2_ps = to_ps(cfg.l2_time);
+        let service_hit = to_ps(cfg.dram.bank_service_time(true));
+        // Conservative lookahead (contract v2): a core cannot consume more
+        // than one think sample per minimum in-flight round trip (1 ps
+        // think + L2 + row-hit service + fastest bus transfer), so the
+        // per-epoch prefill target is capped at span / that bound.
+        let span = to_ps(cfg.sim_epoch_length());
+        let min_cycle = 1 + l2_ps + service_hit + bus_tbl[max_mem];
+        let think_cap = (span / min_cycle.max(1)) as usize + 64;
+        let lanes = LaneSet::new(
+            seed,
+            cfg.n_cores,
+            cum,
+            cfg.banks_per_controller,
+            think_cap,
+            cfg.lanes,
+        );
         let mut server = Self {
-            l2_ps: to_ps(cfg.l2_time),
+            l2_ps,
             bus_transfer: bus_tbl[max_mem],
-            service_hit: to_ps(cfg.dram.bank_service_time(true)),
+            service_hit,
             service_miss: to_ps(cfg.dram.bank_service_time(false)),
             bus_tbl,
             core_stall: dilate(cfg.core_transition),
@@ -199,10 +216,9 @@ impl Server {
             cores: apps.into_iter().map(CoreSim::new).collect(),
             core_freq_idx: vec![max_core; cfg.n_cores],
             mem_freq_idx: max_mem,
-            rng: SmallRng::seed_from_u64(seed),
+            lanes,
             queue: EventQueue::new(),
             now: 0,
-            ctrl_cum: cum,
             mc_vcurve,
             epoch_index: 0,
             obs,
@@ -212,9 +228,10 @@ impl Server {
             cfg,
         };
         server.refresh_cores();
-        // Stagger initial activity so cores do not issue in lockstep.
+        // Stagger initial activity so cores do not issue in lockstep; each
+        // core's jitter comes from its own lane's one-off jitter stream.
         for core in 0..server.cores.len() {
-            let jitter = server.rng.gen_range(0..=server.l2_ps * 4 + 1000);
+            let jitter = server.lanes.jitter(core, server.l2_ps * 4 + 1000);
             server.rng_draws[core] += 1;
             server.schedule_core(core, jitter);
         }
@@ -262,6 +279,39 @@ impl Server {
         &self.rng_draws
     }
 
+    /// Cumulative draw records consumed from `core`'s lane streams
+    /// (contract v2's per-lane counterpart of [`Server::rng_draws`]): an
+    /// offline core's lane freezes — no think, access, or meter records
+    /// are taken on its behalf until it comes back online.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn lane_draws(&self, core: usize) -> u64 {
+        self.lanes.lane_draws(core)
+    }
+
+    /// Switches draw generation to the serial byte-exact oracle: every
+    /// record is generated at its consumption site, one at a time, with no
+    /// epoch prefill, no lane pool, and no `lane_sync`/`barrier_wait`
+    /// accounting. Artifact bytes are identical to the lane engine's by
+    /// contract v2 (proptested in `tests/proptests.rs`); the oracle exists
+    /// to verify exactly that, the way `HeapQueue` verifies the timing
+    /// wheel.
+    pub fn use_serial_oracle(&mut self) {
+        self.lanes.use_serial_oracle();
+    }
+
+    /// Physical lane-pool width in force (`SimConfig::lanes` capped to the
+    /// core count); 1 after [`Server::use_serial_oracle`].
+    pub fn lane_threads(&self) -> usize {
+        if self.lanes.is_oracle() {
+            1
+        } else {
+            self.lanes.threads()
+        }
+    }
+
     /// Total events consumed from the queue since construction — the
     /// `event_pop` term of the deterministic cost model.
     pub fn events_popped(&self) -> u64 {
@@ -269,14 +319,18 @@ impl Server {
     }
 
     /// Deterministic operation counts attributable to this server's
-    /// discrete-event machinery: queue pushes/pops plus attributed RNG
-    /// draws. Counts are cumulative since construction and identical for
-    /// either event-queue implementation.
+    /// discrete-event machinery: queue pushes/pops, attributed RNG draws,
+    /// and the lane engine's logical sync ops (stream refills and epoch
+    /// barriers — counted identically at any physical lane count, zero
+    /// under the serial oracle). Counts are cumulative since construction
+    /// and identical for either event-queue implementation.
     pub fn cost(&self) -> fastcap_core::cost::CostCounter {
         fastcap_core::cost::CostCounter {
             event_pushes: self.events_scheduled(),
             event_pops: self.events_popped(),
             rng_draws: self.rng_draws.iter().sum(),
+            lane_syncs: self.lanes.lane_syncs(),
+            barrier_waits: self.lanes.barrier_waits(),
             ..Default::default()
         }
     }
@@ -386,6 +440,9 @@ impl Server {
             ctl.counters.reset();
             ctl.activity.reset();
         }
+        // Epoch boundary = hard barrier: refill every lane's draw streams
+        // (in parallel across the lane pool) before the event loop runs.
+        self.lanes.epoch_barrier(self.cfg.meter_noise > 0.0);
 
         self.advance_until(end);
 
@@ -498,12 +555,6 @@ impl Server {
         self.cores[core].refresh(epoch, self.cfg.core_mode, f);
     }
 
-    /// Samples an exponential think time (mean `mean` ps).
-    fn sample_exp(&mut self, mean: f64) -> Ps {
-        let u: f64 = self.rng.gen_range(1e-12..1.0);
-        (-mean * u.ln()).round().max(1.0) as Ps
-    }
-
     fn schedule_core(&mut self, core: usize, now: Ps) {
         if !self.cores[core].active {
             // Offline: the chain dies here (no reschedule, no RNG draw);
@@ -513,23 +564,15 @@ impl Server {
         }
         let mean = self.cores[core].think_mean;
         self.rng_draws[core] += 1;
-        let z = self.sample_exp(mean);
+        // Exponential think time: the lane record carries the unit-mean
+        // `-ln(u)` factor; scaling by the mean at consumption time keeps
+        // the record valid across mid-epoch intensity/app changes.
+        let z = (mean * self.lanes.next_think(core)).round().max(1.0) as Ps;
         let c = &mut self.cores[core];
         c.pending_think = z;
         let start = now.max(c.stall_until);
         self.queue
             .push(start + z + self.l2_ps, Event::CoreReady { core });
-    }
-
-    fn pick_controller(&mut self) -> usize {
-        if self.ctrl_cum.len() == 1 {
-            return 0;
-        }
-        let u: f64 = self.rng.gen();
-        self.ctrl_cum
-            .iter()
-            .position(|&c| u <= c)
-            .unwrap_or(self.ctrl_cum.len() - 1)
     }
 
     fn on_core_ready(&mut self, core: usize) {
@@ -547,16 +590,17 @@ impl Server {
         let now = self.now;
         self.cores[core].outstanding = burst;
         for _ in 0..burst {
-            let ctrl = self.pick_controller();
-            let bank = self.rng.gen_range(0..self.cfg.banks_per_controller);
-            let hit = self.rng.gen::<f64>() < row_hit_p;
-            let service = if hit {
+            // One fixed-size lane record per burst slot; the probability
+            // thresholds are applied here, at consumption, so the stream
+            // stays valid across mid-epoch wb/row-hit parameter changes.
+            let d = self.lanes.next_access(core);
+            let service = if d.hit_u < row_hit_p {
                 self.service_hit
             } else {
                 self.service_miss
             };
-            self.ctrls[ctrl].enqueue(
-                bank,
+            self.ctrls[d.ctrl as usize].enqueue(
+                d.bank as usize,
                 Request {
                     owner: Some(core),
                     service,
@@ -566,17 +610,14 @@ impl Server {
                 &mut self.queue,
             );
             // Background writeback, off the critical path.
-            if self.rng.gen::<f64>() < wb_p {
-                let wb_ctrl = self.pick_controller();
-                let wb_bank = self.rng.gen_range(0..self.cfg.banks_per_controller);
-                let wb_hit = self.rng.gen::<f64>() < row_hit_p;
-                let wb_service = if wb_hit {
+            if d.wb_u < wb_p {
+                let wb_service = if d.wb_hit_u < row_hit_p {
                     self.service_hit
                 } else {
                     self.service_miss
                 };
-                self.ctrls[wb_ctrl].enqueue(
-                    wb_bank,
+                self.ctrls[d.wb_ctrl as usize].enqueue(
+                    d.wb_bank as usize,
                     Request {
                         owner: None,
                         service: wb_service,
@@ -589,18 +630,10 @@ impl Server {
         }
     }
 
-    /// A cheap approximately-normal sample (Irwin–Hall with n=3, rescaled).
-    fn gauss(&mut self) -> f64 {
-        let s: f64 = (0..3).map(|_| self.rng.gen::<f64>()).sum();
-        (s - 1.5) * 2.0
-    }
-
-    fn noisy(&mut self, w: Watts) -> Watts {
-        if self.cfg.meter_noise <= 0.0 {
-            return w;
-        }
-        let g = self.gauss();
-        Watts((w.get() * (1.0 + self.cfg.meter_noise * g)).max(0.0))
+    /// Applies one lane-drawn approximately-normal meter sample `g` to a
+    /// true power reading.
+    fn noisy(noise: f64, g: f64, w: Watts) -> Watts {
+        Watts((w.get() * (1.0 + noise * g)).max(0.0))
     }
 
     fn measure(&mut self, _start: Ps, span: Ps, emergency: bool) -> EpochReport {
@@ -618,8 +651,11 @@ impl Server {
                 let p_true = crate::power_model::core_power(&self.cfg, f, busy_frac);
                 if self.cfg.meter_noise > 0.0 {
                     self.rng_draws[i] += 1;
+                    let g = self.lanes.next_meter(i);
+                    Self::noisy(self.cfg.meter_noise, g, p_true)
+                } else {
+                    p_true
                 }
-                self.noisy(p_true)
             } else {
                 // Hot-unplugged cores are power-gated: no dynamic, no
                 // static, no meter sample (and no RNG draw).
@@ -698,7 +734,13 @@ impl Server {
             agg.service_sum += ctl.counters.service_sum;
             agg.service_n += ctl.counters.service_n;
         }
-        let mem_power = self.noisy(mem_power_total);
+        // The memory subsystem meters from its own lane (index `n_cores`).
+        let mem_power = if self.cfg.meter_noise > 0.0 {
+            let g = self.lanes.next_mem_meter();
+            Self::noisy(self.cfg.meter_noise, g, mem_power_total)
+        } else {
+            mem_power_total
+        };
         self.obs.memory = MemorySample {
             bus_freq: f_mem,
             bank_queue: agg.mean_q(),
