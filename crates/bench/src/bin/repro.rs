@@ -55,14 +55,65 @@ use std::time::Instant;
 fn usage() -> String {
     format!(
         "usage: repro <artifact|all>... [--quick] [--seed N] [--jobs N] [--lanes N] [--out DIR] \
-         [--scenario FILE] [--wall-clock] [--list]\n\
+         [--scenario FILE] [--wall-clock] [--trace FILE] [--list]\n\
          \x20      repro matrix [--count K] [--mixes LIST|all] [--policies LIST|all]\n\
          \x20      repro scenario validate [DIR]\n\
+         \x20      repro trace <artifact>\n\
+         \x20      repro explain <artifact>\n\
          \x20      repro calibrate [--check]\n\
          \x20      repro costgate [--jobs N]\n\
          artifacts: {}",
         experiments::ALL.join(" ")
     )
+}
+
+/// Arms the process-global trace hub with the embedded cost model's per-op
+/// weights (the modeled clock every trace timestamp reads).
+fn arm_tracing() -> Result<(), String> {
+    let model = fastcap_bench::costmodel::CostModel::embedded()
+        .map_err(|e| format!("embedded COST_MODEL.json is invalid: {e}"))?;
+    fastcap_trace::install(fastcap_trace::TraceConfig {
+        ns_weights: model.weights.ns,
+        ..fastcap_trace::TraceConfig::default()
+    });
+    Ok(())
+}
+
+/// Drains the hub and writes the Chrome-trace JSON to `path` (plus the
+/// metrics CSV beside it), printing the terminal roll-up. Returns `false`
+/// on any I/O failure (already reported on stderr).
+fn flush_trace(path: &Path) -> bool {
+    let Some(hub) = fastcap_trace::hub() else {
+        eprintln!("trace hub was never armed");
+        return false;
+    };
+    let streams = hub.drain_sorted();
+    if streams.is_empty() {
+        eprintln!("warning: no trace streams captured (artifact records no traced runs)");
+    }
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return false;
+        }
+    }
+    if let Err(e) = std::fs::write(path, fastcap_trace::chrome_trace_json(&streams)) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return false;
+    }
+    let metrics_path = PathBuf::from(format!("{}.metrics.csv", path.display()));
+    if let Err(e) = std::fs::write(&metrics_path, fastcap_trace::metrics_csv(&streams)) {
+        eprintln!("cannot write {}: {e}", metrics_path.display());
+        return false;
+    }
+    print!("{}", fastcap_trace::terminal_summary(&streams));
+    println!(
+        "[trace: {} stream(s) -> {} (+ {})]",
+        streams.len(),
+        path.display(),
+        metrics_path.display()
+    );
+    true
 }
 
 /// Lints one fleet-scenario file. The rack set is inferred from the
@@ -312,6 +363,8 @@ fn main() -> ExitCode {
     let mut matrix_count: Option<usize> = None;
     // `repro calibrate --check`: drift report instead of refitting.
     let mut calibrate_check = false;
+    // `--trace FILE` / `repro trace <artifact>`: Chrome-trace output path.
+    let mut trace_out: Option<PathBuf> = None;
     // `repro costgate --inject-solver-iters N`: regression-injection hook
     // for the gate's own negative test (deliberately not in the usage
     // text — it exists to prove the gate trips, not for users).
@@ -364,6 +417,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match args.next() {
+                Some(f) => trace_out = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("--trace needs a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--mixes" => match args.next() {
                 Some(list) => matrix_mixes = Some(list),
                 None => {
@@ -407,6 +467,45 @@ fn main() -> ExitCode {
     }
     if targets.is_empty() {
         eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    // `repro explain <artifact>` — the oracle-violation post-mortem:
+    // re-run traced, print the per-epoch decision audit trail around any
+    // violation (or the first budget move when green).
+    if targets[0] == "explain" {
+        if targets.len() != 2 {
+            eprintln!("explain takes exactly one artifact\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+        return match fastcap_bench::explain::run_explain(&targets[1], &opts) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // `repro trace <artifact>` — sugar for `repro <artifact> --trace
+    // <out>/<artifact>.trace.json`.
+    if targets[0] == "trace" {
+        if targets.len() != 2 {
+            eprintln!("trace takes exactly one artifact\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+        let artifact = targets[1].clone();
+        trace_out.get_or_insert_with(|| opts.out_dir.join(format!("{artifact}.trace.json")));
+        targets = vec![artifact];
+    }
+    if trace_out.is_some()
+        && ["calibrate", "costgate", "scenario", "matrix"].contains(&targets[0].as_str())
+    {
+        eprintln!(
+            "--trace is only valid with artifact targets (or `repro trace <artifact>`)\n{}",
+            usage()
+        );
         return ExitCode::FAILURE;
     }
     if calibrate_check && targets[0] != "calibrate" {
@@ -558,6 +657,13 @@ fn main() -> ExitCode {
             .collect();
     }
 
+    if trace_out.is_some() {
+        if let Err(e) = arm_tracing() {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     let mode = if opts.quick { "quick" } else { "full" };
     println!(
         "# FastCap reproduction — {} artifact(s), {mode} mode, seed {}, {} job(s)",
@@ -600,6 +706,11 @@ fn main() -> ExitCode {
         ids.len(),
         start.elapsed().as_secs_f64()
     );
+    if let Some(path) = &trace_out {
+        if !flush_trace(path) {
+            return ExitCode::FAILURE;
+        }
+    }
     match err {
         None => ExitCode::SUCCESS,
         Some(e) => {

@@ -1,0 +1,325 @@
+//! `repro explain <artifact>` — the oracle-violation post-mortem.
+//!
+//! Re-runs a scenario artifact's policy set serially with an explicit
+//! [`Tracer`] per run, evaluates the invariant oracle on every run, and
+//! prints the per-epoch **decision audit trail** (in-force budget,
+//! solver iterations, candidate count, chosen frequency vector,
+//! predicted vs measured power, slack, modeled decide latency) around
+//! each oracle violation — or, for a green run, around the scenario's
+//! first budget move so the settle transient is still explained.
+//!
+//! Everything here is deterministic: the runs use the same derived seed
+//! as the artifact's sweep (stream 0), and timestamps come from the
+//! modeled-cost clock, so two invocations print identical trails.
+
+use crate::harness::{resolve_scenario, Opts, PolicyKind};
+use fastcap_core::error::{Error, Result};
+use fastcap_scenario::{oracle, ScenarioRunner};
+use fastcap_sim::Server;
+use fastcap_trace::{DecisionRecord, TraceEvent, Tracer};
+use fastcap_workloads::mixes;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// How a scenario artifact is reconstructed outside its sweep: the same
+/// embedded scenario, initial budget and mix its runner uses.
+#[derive(Debug, Clone, Copy)]
+pub struct ScnArtifactSpec {
+    /// Artifact id (`scn_capstep`, …).
+    pub id: &'static str,
+    /// The checked-in default scenario JSON (compile-time embedded).
+    pub scenario_json: &'static str,
+    /// Budget fraction in force at epoch 0.
+    pub initial_budget: f64,
+    /// Workload mix the artifact runs.
+    pub mix: &'static str,
+}
+
+/// The explainable scenario artifacts, mirroring each `scn_*` runner's
+/// constants (same embedded scenario, initial budget, and mix).
+pub const SCN_ARTIFACTS: [ScnArtifactSpec; 3] = [
+    ScnArtifactSpec {
+        id: "scn_capstep",
+        scenario_json: include_str!("../../../scenarios/scn_capstep.json"),
+        initial_budget: 0.9,
+        mix: "MID1",
+    },
+    ScnArtifactSpec {
+        id: "scn_flashcrowd",
+        scenario_json: include_str!("../../../scenarios/scn_flashcrowd.json"),
+        initial_budget: 0.6,
+        mix: "MIX2",
+    },
+    ScnArtifactSpec {
+        id: "scn_hotplug",
+        scenario_json: include_str!("../../../scenarios/scn_hotplug.json"),
+        initial_budget: 0.6,
+        mix: "MIX3",
+    },
+];
+
+/// Context epochs printed on each side of a violation (the K of the
+/// "K epochs around it" trail).
+const CONTEXT_EPOCHS: u64 = 3;
+
+/// Post-move epochs printed for a green run (covers the settle window).
+const SETTLE_EPOCHS: u64 = 8;
+
+/// Ring capacity for explain runs: large enough that a full-length run's
+/// events (≈3 per epoch) never wrap.
+const EXPLAIN_RING: usize = 1 << 14;
+
+/// Formats a frequency vector compactly: `all@7` when uniform, the
+/// space-joined levels otherwise.
+fn fmt_freqs(freqs: &[usize]) -> String {
+    match freqs.first() {
+        Some(&f0) if freqs.iter().all(|&f| f == f0) => format!("all@{f0}"),
+        _ => freqs
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" "),
+    }
+}
+
+fn fmt_opt_w(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |w| format!("{w:.2}"))
+}
+
+/// The epochs worth printing: a ±[`CONTEXT_EPOCHS`] window around every
+/// violation epoch, or (green run) around the first budget move plus its
+/// settle window.
+fn focus_epochs(violations: &[u64], first_move: Option<u64>, epochs: u64) -> BTreeSet<u64> {
+    let mut focus = BTreeSet::new();
+    let mut widen = |center: u64, after: u64| {
+        let lo = center.saturating_sub(CONTEXT_EPOCHS);
+        let hi = (center + after).min(epochs.saturating_sub(1));
+        focus.extend(lo..=hi);
+    };
+    if violations.is_empty() {
+        if let Some(m) = first_move {
+            widen(m, SETTLE_EPOCHS);
+        }
+    } else {
+        for &v in violations {
+            widen(v, CONTEXT_EPOCHS);
+        }
+    }
+    focus
+}
+
+/// Appends one policy's decision-trail table over `focus` epochs.
+fn write_trail(
+    out: &mut String,
+    focus: &BTreeSet<u64>,
+    decisions: &[&DecisionRecord],
+    controls: &[(u64, &'static str, &str)],
+) {
+    let _ = writeln!(
+        out,
+        "| epoch | budget W | observed W | iters | cands | core freqs | mem | predicted W | \
+         measured W | slack W | decide µs | flags |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|---|");
+    let mut last: Option<u64> = None;
+    for &e in focus {
+        if last.is_some_and(|l| e > l + 1) {
+            let _ = writeln!(out, "| … | | | | | | | | | | | |");
+        }
+        last = Some(e);
+        for (_, kind, detail) in controls.iter().filter(|&&(ce, _, _)| ce == e) {
+            let _ = writeln!(out, "| {e} | *{kind}: {detail}* | | | | | | | | | | |");
+        }
+        for d in decisions.iter().filter(|d| d.epoch == e) {
+            let mut flags = String::new();
+            if d.budget_bound {
+                flags.push('B');
+            }
+            if d.emergency {
+                flags.push('E');
+            }
+            let _ = writeln!(
+                out,
+                "| {e} | {} | {:.2} | {} | {} | {} | {} | {:.2} | {:.2} | {} | {:.1} | {flags} |",
+                fmt_opt_w(d.budget_w),
+                d.observed_w,
+                d.solver_iters,
+                d.candidates,
+                fmt_freqs(&d.core_freqs),
+                d.mem_freq,
+                d.predicted_w,
+                d.measured_w,
+                fmt_opt_w(d.slack_w),
+                d.decide_ns as f64 / 1_000.0,
+            );
+        }
+    }
+}
+
+/// Runs the explain pass and returns the rendered report.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for an unknown artifact id and
+/// propagates simulator/policy/scenario failures.
+pub fn run_explain(artifact: &str, opts: &Opts) -> Result<String> {
+    let spec = SCN_ARTIFACTS
+        .iter()
+        .find(|s| s.id == artifact)
+        .ok_or_else(|| Error::InvalidConfig {
+            what: "explain",
+            why: format!(
+                "unknown explainable artifact `{artifact}`; known: {:?}",
+                SCN_ARTIFACTS.map(|s| s.id)
+            ),
+        })?;
+    let cfg = opts.sim_config(16)?;
+    let mix = mixes::by_name(spec.mix).ok_or_else(|| Error::InvalidConfig {
+        what: "explain",
+        why: format!("unknown mix `{}`", spec.mix),
+    })?;
+    let scenario = resolve_scenario(opts, spec.scenario_json)?;
+    let runner = ScenarioRunner::new(&scenario, spec.initial_budget)?;
+    let epochs = opts.epochs();
+    let seed = crate::sweep::derive_seed(opts.seed, 0);
+    let ns = crate::costmodel::CostModel::embedded()?.weights.ns;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# repro explain {artifact} — {} on {} ({} epochs, seed {}, initial budget {}%)",
+        scenario.name,
+        spec.mix,
+        epochs,
+        opts.seed,
+        (spec.initial_budget * 100.0).round()
+    );
+
+    // Uncapped reference under the same scenario (the oracle's
+    // degradation baseline).
+    let mut base_srv = Server::for_workload(cfg.clone(), &mix, seed)?;
+    runner.install(&mut base_srv)?;
+    let base = runner.run(&mut base_srv, epochs, None)?;
+    let first_move = runner.budget_moves().first().map(|&(e, _)| e);
+
+    for kind in PolicyKind::SCENARIO_SET {
+        let mut tracer = Tracer::new(EXPLAIN_RING, ns);
+        let mut server = Server::for_workload(cfg.clone(), &mix, seed)?;
+        runner.install(&mut server)?;
+        let mut factory =
+            |n_active: usize, budget: f64| kind.build(cfg.controller_config_n(budget, n_active)?);
+        let run = runner.run_traced(&mut server, epochs, Some(&mut factory), Some(&mut tracer))?;
+        let report = oracle::check_run(
+            &run,
+            &runner,
+            cfg.other_power,
+            Some(&base),
+            &oracle::OracleConfig::default(),
+        )
+        .for_policy(kind.name());
+
+        let _ = writeln!(out);
+        if report.is_green() {
+            let _ = writeln!(out, "## {} — oracle green", kind.name());
+        } else {
+            let _ = writeln!(
+                out,
+                "## {} — {} oracle violation(s)",
+                kind.name(),
+                report.violations.len()
+            );
+            for v in &report.violations {
+                let _ = writeln!(out, "- [{}] {v}", v.check);
+            }
+        }
+
+        let violation_epochs: Vec<u64> = report.violations.iter().filter_map(|v| v.epoch).collect();
+        let focus = focus_epochs(&violation_epochs, first_move, epochs as u64);
+        if focus.is_empty() {
+            let _ = writeln!(
+                out,
+                "(no budget moves and no violations — nothing to trail)"
+            );
+            continue;
+        }
+        let stamped: Vec<&fastcap_trace::Stamped> = tracer.events().collect();
+        let decisions: Vec<&DecisionRecord> = stamped
+            .iter()
+            .filter_map(|s| match &s.event {
+                TraceEvent::Decision(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        let controls: Vec<(u64, &'static str, &str)> = stamped
+            .iter()
+            .filter_map(|s| match &s.event {
+                TraceEvent::Control {
+                    epoch,
+                    kind,
+                    detail,
+                } => Some((*epoch, *kind, detail.as_str())),
+                _ => None,
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "decision trail ({} epoch(s), {} decision record(s) captured):",
+            focus.len(),
+            decisions.len()
+        );
+        let _ = writeln!(out);
+        write_trail(&mut out, &focus, &decisions, &controls);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn focus_windows_center_on_violations_or_the_first_move() {
+        // Violations win: window is ±CONTEXT_EPOCHS, clamped to the run.
+        let f = focus_epochs(&[5], Some(16), 40);
+        assert_eq!(
+            f.iter().copied().collect::<Vec<_>>(),
+            (2..=8).collect::<Vec<_>>()
+        );
+        // Green: the first move plus the settle window.
+        let f = focus_epochs(&[], Some(16), 40);
+        assert!(f.contains(&13) && f.contains(&24) && !f.contains(&12));
+        // Clamped at both ends.
+        let f = focus_epochs(&[0, 39], None, 40);
+        assert!(f.contains(&0) && f.contains(&39) && !f.contains(&40));
+    }
+
+    #[test]
+    fn freq_vectors_render_compactly() {
+        assert_eq!(fmt_freqs(&[7, 7, 7]), "all@7");
+        assert_eq!(fmt_freqs(&[7, 3]), "7 3");
+        assert_eq!(fmt_opt_w(None), "-");
+        assert_eq!(fmt_opt_w(Some(60.0)), "60.00");
+    }
+
+    #[test]
+    fn explain_covers_the_capstep_artifact() {
+        let opts = Opts {
+            quick: true,
+            ..Opts::default()
+        };
+        let text = run_explain("scn_capstep", &opts).unwrap();
+        // Every policy of the comparison set gets a section...
+        for kind in PolicyKind::SCENARIO_SET {
+            assert!(
+                text.contains(kind.name()),
+                "missing section {}",
+                kind.name()
+            );
+        }
+        // ...with a decision trail showing the audit columns.
+        assert!(text.contains("| epoch | budget W |"));
+        assert!(text.contains("budget_step"));
+        // Unknown artifacts fail loudly.
+        assert!(run_explain("fig5", &opts).is_err());
+    }
+}

@@ -220,8 +220,11 @@ pub fn settled_mean(series: &[f64], skip: usize) -> f64 {
     }
 }
 
-/// Builds and runs one analytic-tier fleet under a scenario, tracing
-/// nothing — the workhorse of the settle/population cells.
+/// Builds and runs one analytic-tier fleet under a scenario — the
+/// workhorse of the settle/population cells. When the process-global
+/// trace hub is armed it records the fleet's audit trail (tree-alloc
+/// snapshots, scenario events, epoch spans) under a deterministic
+/// `fleet/…` stream name.
 ///
 /// # Errors
 ///
@@ -238,7 +241,18 @@ pub fn run_analytic_fleet(
 ) -> Result<(Fleet<AnalyticModel>, FleetRun)> {
     let mut build = analytic_builder(dilation);
     let mut fleet = Fleet::new(spec, scenario, fraction, fleet_seed, &mut build)?;
-    let run = fleet.run(epochs)?;
+    let run = match fastcap_trace::hub() {
+        None => fleet.run(epochs)?,
+        Some(hub) => {
+            let mut tracer = hub.tracer();
+            let run = fleet.run_traced(epochs, Some(&mut tracer))?;
+            hub.submit(
+                format!("fleet/{cell}/b{fraction}/e{epochs}/s{fleet_seed}"),
+                tracer,
+            );
+            run
+        }
+    };
     ensure_conserved(cell, &run)?;
     Ok((fleet, run))
 }

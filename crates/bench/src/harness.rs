@@ -263,7 +263,23 @@ pub fn run_capped_only(
     // `server.run(epochs, |obs| policy.decide(obs).ok())` byte for byte
     // (pinned by the golden-hash suite) while letting the fleet layer run
     // the same decision cycle against any model tier.
-    Ok(ClosedLoop::new(server, policy).run(epochs))
+    let mut loop_ = ClosedLoop::new(server, policy);
+    match fastcap_trace::hub() {
+        None => Ok(loop_.run(epochs)),
+        Some(hub) => {
+            let mut tracer = hub.tracer();
+            let result = loop_.run_traced(epochs, Some(&mut tracer));
+            hub.submit(
+                format!(
+                    "cap/{}/{}/b{budget_frac}/e{epochs}/s{seed}",
+                    mix.name,
+                    kind.name()
+                ),
+                tracer,
+            );
+            Ok(result)
+        }
+    }
 }
 
 /// Resolves the scenario an `scn_*` artifact runs: the `--scenario` file
@@ -308,13 +324,32 @@ pub fn run_scenario(
 ) -> Result<RunResult> {
     let mut server = Server::for_workload(sim_cfg.clone(), mix, seed)?;
     runner.install(&mut server)?;
-    match kind {
-        None => runner.run(&mut server, epochs, None),
+    let mut factory;
+    let factory: Option<&mut fastcap_scenario::PolicyFactory<'_>> = match kind {
+        None => None,
         Some(kind) => {
-            let mut factory = |n_active: usize, budget: f64| {
+            factory = move |n_active: usize, budget: f64| {
                 kind.build(sim_cfg.controller_config_n(budget, n_active)?)
             };
-            runner.run(&mut server, epochs, Some(&mut factory))
+            Some(&mut factory)
+        }
+    };
+    match fastcap_trace::hub() {
+        None => runner.run_traced(&mut server, epochs, factory, None),
+        Some(hub) => {
+            let mut tracer = hub.tracer();
+            let result = runner.run_traced(&mut server, epochs, factory, Some(&mut tracer));
+            hub.submit(
+                format!(
+                    "scn/{}/{}/b{}x{}/e{epochs}/s{seed}",
+                    mix.name,
+                    kind.map_or("uncapped", PolicyKind::name),
+                    runner.initial_budget(),
+                    runner.budget_moves().len(),
+                ),
+                tracer,
+            );
+            result
         }
     }
 }

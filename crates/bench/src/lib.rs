@@ -16,6 +16,7 @@
 
 pub mod costmodel;
 pub mod experiments;
+pub mod explain;
 pub mod fleet_support;
 pub mod harness;
 pub mod sweep;

@@ -4,6 +4,7 @@
 //! markdown (stdout) and CSV/JSON (written under `results/`), so the
 //! reproduction is diffable against EXPERIMENTS.md.
 
+use fastcap_scenario::oracle::Violation;
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::fs;
@@ -103,29 +104,40 @@ impl ResultTable {
 
     /// Table-level invariant oracle: the artifact-shape checks every
     /// emitted table must satisfy regardless of which experiment built it.
-    /// Returns one message per violation (empty = green): a table must
-    /// have at least one row, no blank cells, and every numeric-looking
-    /// cell (plain floats and `%`-suffixed percentages) must be finite —
-    /// a `NaN`/`inf` in a published artifact always means an upstream
-    /// metric divided through zero instead of guarding the window.
-    pub fn oracle_violations(&self) -> Vec<String> {
+    /// Returns one structured [`Violation`] per problem (empty = green,
+    /// message text unchanged from the historical string form): a table
+    /// must have at least one row, no blank cells, and every
+    /// numeric-looking cell (plain floats and `%`-suffixed percentages)
+    /// must be finite — a `NaN`/`inf` in a published artifact always means
+    /// an upstream metric divided through zero instead of guarding the
+    /// window.
+    pub fn oracle_violations(&self) -> Vec<Violation> {
         let mut v = Vec::new();
         if self.rows.is_empty() {
-            v.push(format!("table {}: no rows", self.id));
+            v.push(Violation::new(
+                "table",
+                format!("table {}: no rows", self.id),
+            ));
         }
         for (r, row) in self.rows.iter().enumerate() {
             for (c, cell) in row.iter().enumerate() {
                 let cell = cell.trim();
                 if cell.is_empty() {
-                    v.push(format!("table {}: row {r} col {c} is blank", self.id));
+                    v.push(Violation::new(
+                        "table",
+                        format!("table {}: row {r} col {c} is blank", self.id),
+                    ));
                     continue;
                 }
                 let numeric = cell.strip_suffix('%').unwrap_or(cell);
                 if let Ok(x) = numeric.parse::<f64>() {
                     if !x.is_finite() {
-                        v.push(format!(
-                            "table {}: row {r} col {c} ({}): non-finite value `{cell}`",
-                            self.id, self.columns[c]
+                        v.push(Violation::new(
+                            "table",
+                            format!(
+                                "table {}: row {r} col {c} ({}): non-finite value `{cell}`",
+                                self.id, self.columns[c]
+                            ),
                         ));
                     }
                 }

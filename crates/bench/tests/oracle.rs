@@ -111,7 +111,10 @@ fn oracle_flags_a_policyless_run_over_a_tight_cap() {
         &oracle::OracleConfig::default(),
     );
     assert!(
-        report.violations.iter().any(|v| v.contains("budget:")),
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("budget:")),
         "uncapped ILP1 at a 50% cap must violate: {:?}",
         report.violations
     );

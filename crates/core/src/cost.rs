@@ -138,6 +138,23 @@ impl CostCounter {
     pub fn is_zero(&self) -> bool {
         self.as_array().iter().all(|&x| x == 0)
     }
+
+    /// Prices the counts against an [`OPS`]-ordered per-op nanosecond
+    /// weight vector, in fixed index order.
+    ///
+    /// This is the canonical modeled-clock evaluation: the accumulation
+    /// order is part of the determinism contract (f64 addition is not
+    /// associative), so every consumer — the timing tables, the cost
+    /// gate, trace timestamps — must price through this one function to
+    /// agree bit-for-bit.
+    #[must_use]
+    pub fn priced_ns(&self, ns: &[f64; OPS.len()]) -> f64 {
+        self.as_array()
+            .iter()
+            .zip(ns.iter())
+            .map(|(&count, &w)| count as f64 * w)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +182,17 @@ mod tests {
         c.add(&sample());
         assert_eq!(c.delta_since(&sample()), sample());
         assert_eq!(c.total(), 2 * 66);
+    }
+
+    #[test]
+    fn priced_ns_is_the_ops_ordered_dot_product() {
+        let mut ns = [0.0f64; OPS.len()];
+        ns[0] = 2.0; // event_push
+        ns[4] = 10.0; // solver_iter
+        ns[10] = 0.5; // barrier_wait
+        let t = sample().priced_ns(&ns);
+        assert_eq!(t, 1.0 * 2.0 + 5.0 * 10.0 + 11.0 * 0.5);
+        assert_eq!(CostCounter::default().priced_ns(&ns), 0.0);
     }
 
     #[test]

@@ -42,6 +42,7 @@ use fastcap_core::seed::derive_seed;
 use fastcap_core::units::Watts;
 use fastcap_scenario::oracle::{check_tree_allocs, TreeAlloc, TREE_CONSERVATION_EPS};
 use fastcap_scenario::{rack_name, FleetAction, FleetScenario, ROOT_NODE};
+use fastcap_trace::{TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -519,6 +520,27 @@ impl<M: ServerModel> Fleet<M> {
     /// bounds keep fractions inside `[MIN_FRACTION, 1]`, so an error here
     /// indicates a model bug, not data).
     pub fn run(&mut self, epochs: usize) -> Result<FleetRun> {
+        self.run_traced(epochs, None)
+    }
+
+    /// [`Fleet::run`] with an optional audit-trail tracer: when `trace` is
+    /// `Some`, each epoch appends an epoch span, one [`TraceEvent::TreeAlloc`]
+    /// snapshot per interior node (the water-fill split the conservation
+    /// oracle audits), and a control event per fleet scenario action, all
+    /// timestamped on the modeled-cost clock ([`Fleet::total_cost`] deltas
+    /// priced by the tracer's weights). Tracing only reads state the run
+    /// already computes, so the [`FleetRun`] is byte-identical with `trace`
+    /// `Some` or `None`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates leaf-model budget-validation failures, exactly as
+    /// [`Fleet::run`].
+    pub fn run_traced(
+        &mut self,
+        epochs: usize,
+        mut trace: Option<&mut Tracer>,
+    ) -> Result<FleetRun> {
         let mut out = FleetRun {
             epochs: Vec::with_capacity(epochs),
             traces: self
@@ -537,18 +559,44 @@ impl<M: ServerModel> Fleet<M> {
         let n = self.nodes.len();
         let mut alloc = vec![0.0f64; n];
         let mut step_results = vec![(0.0f64, 0.0f64, 0.0f64); self.leaves.len()];
+        // Cost snapshot for the modeled trace clock (advanced by the delta
+        // each fleet epoch adds across all leaf models + the engine).
+        let mut cost = self.total_cost();
 
         for _ in 0..epochs {
             // 1. Scenario events due at (or before) this epoch.
             while self.next_event < self.events.len()
                 && self.events[self.next_event].0 <= self.epoch
             {
-                match self.events[self.next_event].1 {
-                    CompiledAction::Budget(f) => self.budget_fraction = f,
-                    CompiledAction::Cap(i, f) => self.nodes[i].cap_override = f,
-                    CompiledAction::Offline(i) => self.nodes[i].online = false,
-                    CompiledAction::Online(i) => self.nodes[i].online = true,
-                    CompiledAction::Surge(i, f) => self.nodes[i].surge = f,
+                let detail = match self.events[self.next_event].1 {
+                    CompiledAction::Budget(f) => {
+                        self.budget_fraction = f;
+                        format!("fraction={f}")
+                    }
+                    CompiledAction::Cap(i, f) => {
+                        self.nodes[i].cap_override = f;
+                        format!("node={} cap={f}", self.nodes[i].name)
+                    }
+                    CompiledAction::Offline(i) => {
+                        self.nodes[i].online = false;
+                        format!("node={} offline", self.nodes[i].name)
+                    }
+                    CompiledAction::Online(i) => {
+                        self.nodes[i].online = true;
+                        format!("node={} online", self.nodes[i].name)
+                    }
+                    CompiledAction::Surge(i, f) => {
+                        self.nodes[i].surge = f;
+                        format!("node={} surge={f}", self.nodes[i].name)
+                    }
+                };
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(TraceEvent::Control {
+                        epoch: self.epoch,
+                        kind: "fleet_event",
+                        detail,
+                    });
+                    t.metrics.counter_add("fleet.scenario_events", 1);
                 }
                 self.next_event += 1;
             }
@@ -640,6 +688,16 @@ impl<M: ServerModel> Fleet<M> {
             for v in check_tree_allocs(&tree_allocs, TREE_CONSERVATION_EPS) {
                 out.violations.push(format!("epoch {}: {v}", self.epoch));
             }
+            if let Some(t) = trace.as_deref_mut() {
+                for a in &tree_allocs {
+                    t.record(TraceEvent::TreeAlloc {
+                        epoch: self.epoch,
+                        node: a.node.clone(),
+                        committed_w: a.committed,
+                        children_w: a.children.clone(),
+                    });
+                }
+            }
 
             // 5. Step the leaves, in leaf index order.
             let mut power_w = 0.0;
@@ -672,6 +730,25 @@ impl<M: ServerModel> Fleet<M> {
                 trace.fractions.push(f);
                 trace.power.push(p);
                 trace.bips.push(b);
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                let now = self.total_cost();
+                let delta = now.delta_since(&cost);
+                cost = now;
+                let t_start_ns = t.now_ns();
+                t.advance(&delta);
+                t.record_at(
+                    t_start_ns,
+                    TraceEvent::EpochSpan {
+                        epoch: self.epoch,
+                        t_start_ns,
+                        t_end_ns: t.now_ns(),
+                        power_w,
+                    },
+                );
+                t.metrics
+                    .counter_add("fleet.waterfill_passes", delta.waterfill_passes);
+                t.metrics.gauge_set("fleet.committed_w", committed_root);
             }
             out.epochs.push(FleetEpoch {
                 epoch: self.epoch,

@@ -15,6 +15,7 @@ use crate::policy::CappingPolicy;
 use fastcap_core::error::Result;
 use fastcap_sim::metrics::{EpochReport, RunResult};
 use fastcap_sim::{EpochBackend, SimConfig};
+use fastcap_trace::{DecisionRecord, LaneRecord, TraceEvent, Tracer};
 
 /// A capping policy wired to a simulation backend, stepped one epoch at a
 /// time (fleet use) or run to completion (single-server use).
@@ -79,12 +80,98 @@ impl<B: EpochBackend> ClosedLoop<B> {
 
     /// Runs `epochs` epochs and packages the reports.
     pub fn run(&mut self, epochs: usize) -> RunResult {
+        self.run_traced(epochs, None)
+    }
+
+    /// [`ClosedLoop::run`] with an optional audit-trail tracer: when
+    /// `trace` is `Some`, each epoch appends an epoch span, a decision
+    /// record (when the policy decided), and a lane-engine record to the
+    /// tracer's ring, timestamped on the modeled-cost clock ([`ClosedLoop::cost`]
+    /// deltas priced by the tracer's weights). Tracing only reads the
+    /// counters the loop already maintains, so the [`RunResult`] is
+    /// byte-identical with `trace` `Some` or `None`.
+    pub fn run_traced(&mut self, epochs: usize, mut trace: Option<&mut Tracer>) -> RunResult {
         let cfg = self.backend.config();
         let (n_cores, sim_epoch_length, peak_power) =
             (cfg.n_cores, cfg.sim_epoch_length(), cfg.peak_power);
         let mut reports = Vec::with_capacity(epochs);
-        for _ in 0..epochs {
-            reports.push(self.step());
+        let mut backend_cost = self.backend.cost();
+        let mut policy_cost = self.policy.decision_cost();
+        for e in 0..epochs as u64 {
+            let obs = self.backend.observation();
+            let (observed_w, bank_queue) = obs
+                .as_ref()
+                .map_or((0.0, 0.0), |o| (o.total_power.get(), o.memory.bank_queue));
+            let decision = obs.and_then(|o| self.policy.decide(&o).ok());
+            let report = self.backend.run_epoch(decision.as_ref());
+            if let Some(t) = trace.as_deref_mut() {
+                let policy_delta = {
+                    let now = self.policy.decision_cost();
+                    let d = now.delta_since(&policy_cost);
+                    policy_cost = now;
+                    d
+                };
+                let backend_delta = {
+                    let now = self.backend.cost();
+                    let d = now.delta_since(&backend_cost);
+                    backend_cost = now;
+                    d
+                };
+                let t_start_ns = t.now_ns();
+                let mut epoch_delta = backend_delta;
+                epoch_delta.add(&policy_delta);
+                t.advance(&epoch_delta);
+                let measured_w = report.total_power.get();
+                t.record_at(
+                    t_start_ns,
+                    TraceEvent::EpochSpan {
+                        epoch: e,
+                        t_start_ns,
+                        t_end_ns: t.now_ns(),
+                        power_w: measured_w,
+                    },
+                );
+                if let Some(d) = &decision {
+                    let budget_w = self
+                        .policy
+                        .in_force_budget()
+                        .map(fastcap_core::units::Watts::get);
+                    t.record(TraceEvent::Decision(DecisionRecord {
+                        epoch: e,
+                        policy: self.policy.name().to_string(),
+                        budget_w,
+                        observed_w,
+                        solver_iters: policy_delta.solver_iters,
+                        candidates: policy_delta.grid_points + policy_delta.bus_evals,
+                        core_freqs: d.core_freqs.clone(),
+                        mem_freq: d.mem_freq,
+                        predicted_w: d.predicted_power.get(),
+                        measured_w,
+                        slack_w: budget_w.map(|b| b - measured_w),
+                        budget_bound: d.budget_bound,
+                        emergency: d.emergency,
+                        decide_ns: t.price_ns(&policy_delta),
+                    }));
+                    t.metrics.counter_add("policy.decisions", 1);
+                    if let Some(b) = budget_w {
+                        if b > 0.0 {
+                            t.metrics.histogram_observe(
+                                "policy.overshoot_pct",
+                                &[0.0, 1.0, 2.0, 5.0, 10.0, 20.0],
+                                (measured_w - b) / b * 100.0,
+                            );
+                        }
+                    }
+                }
+                t.record(TraceEvent::Lane(LaneRecord {
+                    epoch: e,
+                    prefill_draws: backend_delta.rng_draws,
+                    refill_fallbacks: backend_delta.lane_syncs,
+                    barrier_waits: backend_delta.barrier_waits,
+                }));
+                t.metrics.gauge_set("sim.mem_bank_queue", bank_queue);
+            }
+            reports.push(report);
         }
         RunResult {
             n_cores,

@@ -11,6 +11,7 @@ use fastcap_core::capper::{DvfsDecision, FastCapConfig, FastCapController};
 use fastcap_core::cost::CostCounter;
 use fastcap_core::counters::EpochObservation;
 use fastcap_core::error::Result;
+use fastcap_core::units::Watts;
 
 /// FastCap restricted to core DVFS (memory fixed at maximum).
 #[derive(Debug, Clone)]
@@ -59,6 +60,10 @@ impl CappingPolicy for CpuOnlyPolicy {
 
     fn decision_cost(&self) -> CostCounter {
         self.controller.cost()
+    }
+
+    fn in_force_budget(&self) -> Option<Watts> {
+        Some(self.controller.config().budget())
     }
 }
 

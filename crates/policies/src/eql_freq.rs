@@ -98,6 +98,10 @@ impl CappingPolicy for EqlFreqPolicy {
         c.add(&self.search_cost);
         c
     }
+
+    fn in_force_budget(&self) -> Option<Watts> {
+        Some(self.controller.config().budget())
+    }
 }
 
 #[cfg(test)]

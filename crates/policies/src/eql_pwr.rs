@@ -113,6 +113,10 @@ impl CappingPolicy for EqlPwrPolicy {
         c.add(&self.search_cost);
         c
     }
+
+    fn in_force_budget(&self) -> Option<Watts> {
+        Some(self.controller.config().budget())
+    }
 }
 
 #[cfg(test)]

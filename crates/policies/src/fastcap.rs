@@ -6,6 +6,7 @@ use fastcap_core::capper::{DvfsDecision, FastCapConfig, FastCapController};
 use fastcap_core::cost::CostCounter;
 use fastcap_core::counters::EpochObservation;
 use fastcap_core::error::Result;
+use fastcap_core::units::Watts;
 
 /// The paper's policy: joint core + memory DVFS via Algorithm 1.
 #[derive(Debug, Clone)]
@@ -51,6 +52,10 @@ impl CappingPolicy for FastCapPolicy {
 
     fn decision_cost(&self) -> CostCounter {
         self.controller.cost()
+    }
+
+    fn in_force_budget(&self) -> Option<Watts> {
+        Some(self.controller.config().budget())
     }
 }
 

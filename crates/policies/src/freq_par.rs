@@ -144,6 +144,10 @@ impl CappingPolicy for FreqParPolicy {
     fn decision_cost(&self) -> CostCounter {
         self.cost
     }
+
+    fn in_force_budget(&self) -> Option<Watts> {
+        Some(self.cfg.budget())
+    }
 }
 
 #[cfg(test)]

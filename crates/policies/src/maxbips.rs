@@ -223,6 +223,10 @@ impl CappingPolicy for MaxBipsPolicy {
         c.add(&self.search_cost);
         c
     }
+
+    fn in_force_budget(&self) -> Option<Watts> {
+        Some(self.controller.config().budget())
+    }
 }
 
 /// One partial assignment in the beam: power and BIPS accumulated over the
@@ -437,6 +441,10 @@ impl CappingPolicy for MaxBipsBeamPolicy {
         let mut c = self.controller.cost();
         c.add(&self.search_cost);
         c
+    }
+
+    fn in_force_budget(&self) -> Option<Watts> {
+        Some(self.controller.config().budget())
     }
 }
 

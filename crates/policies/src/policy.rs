@@ -64,6 +64,15 @@ pub trait CappingPolicy {
     fn decision_cost(&self) -> CostCounter {
         CostCounter::default()
     }
+
+    /// The absolute power budget currently in force, if this policy is
+    /// capping. The tracing layer reads this into every decision audit
+    /// record (the "what cap was it solving against" column of `repro
+    /// explain`); the default — for non-capping policies like Uncapped —
+    /// is `None`.
+    fn in_force_budget(&self) -> Option<Watts> {
+        None
+    }
 }
 
 /// The no-op baseline: always run at maximum frequencies (used to measure

@@ -33,9 +33,93 @@
 //! The fleet engine likewise evaluates [`check_tree_allocs`] on every
 //! epoch of every fleet cell.
 
+use std::fmt;
+
 use crate::runtime::ScenarioRunner;
 use fastcap_core::units::Watts;
 use fastcap_sim::RunResult;
+
+/// One violated invariant, with enough structured context to find the
+/// scene of the crime: *which* check tripped, *when*, under *which*
+/// policy and budget, and what was measured.
+///
+/// [`fmt::Display`] renders the full human-readable message (the same
+/// strings the oracle has always produced, plus a `[policy=…]` suffix
+/// when a policy has been stamped via [`Violation::for_policy`]), so
+/// string-matching consumers keep working; structured consumers — the
+/// `repro explain` decision-trail tool foremost — read the fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Invariant family: `shape`, `sanity`, `conservation`, `budget`,
+    /// `offline`, `degradation`, `tree`, or `table`.
+    pub check: &'static str,
+    /// Epoch the violation anchors to, when localizable (the budget
+    /// check reports its *worst* settled epoch).
+    pub epoch: Option<u64>,
+    /// Policy that drove the run; stamped by the caller, which is the
+    /// layer that knows it.
+    pub policy: Option<String>,
+    /// In-force absolute budget at the violating epoch, watts.
+    pub budget_w: Option<f64>,
+    /// Measured power at the violating epoch, watts.
+    pub measured_w: Option<f64>,
+    /// Human-readable description of what tripped.
+    pub message: String,
+}
+
+impl Violation {
+    /// A violation of `check` with the given message and no location
+    /// context yet.
+    #[must_use]
+    pub fn new(check: &'static str, message: impl Into<String>) -> Self {
+        Violation {
+            check,
+            epoch: None,
+            policy: None,
+            budget_w: None,
+            measured_w: None,
+            message: message.into(),
+        }
+    }
+
+    /// Anchors the violation to an epoch.
+    #[must_use]
+    pub fn at_epoch(mut self, e: usize) -> Self {
+        self.epoch = Some(e as u64);
+        self
+    }
+
+    /// Attaches the in-force budget, watts.
+    #[must_use]
+    pub fn with_budget_w(mut self, w: f64) -> Self {
+        self.budget_w = Some(w);
+        self
+    }
+
+    /// Attaches the measured power, watts.
+    #[must_use]
+    pub fn with_measured_w(mut self, w: f64) -> Self {
+        self.measured_w = Some(w);
+        self
+    }
+
+    /// Stamps the policy that drove the violating run.
+    #[must_use]
+    pub fn for_policy(mut self, name: &str) -> Self {
+        self.policy = Some(name.to_string());
+        self
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(p) = &self.policy {
+            write!(f, " [policy={p}]")?;
+        }
+        Ok(())
+    }
+}
 
 /// Tunable thresholds for one oracle evaluation.
 #[derive(Debug, Clone)]
@@ -86,8 +170,9 @@ impl Default for OracleConfig {
 /// The outcome of one oracle evaluation.
 #[derive(Debug, Clone)]
 pub struct OracleReport {
-    /// Every violated invariant, human-readable. Empty means green.
-    pub violations: Vec<String>,
+    /// Every violated invariant, with location context. Empty means
+    /// green.
+    pub violations: Vec<Violation>,
 }
 
 impl OracleReport {
@@ -103,6 +188,21 @@ impl OracleReport {
         } else {
             format!("{} viol", self.violations.len())
         }
+    }
+
+    /// Stamps every violation with the policy that drove the run.
+    #[must_use]
+    pub fn for_policy(mut self, name: &str) -> Self {
+        for v in &mut self.violations {
+            v.policy = Some(name.to_string());
+        }
+        self
+    }
+
+    /// The rendered [`fmt::Display`] form of every violation.
+    #[must_use]
+    pub fn messages(&self) -> Vec<String> {
+        self.violations.iter().map(|v| v.to_string()).collect()
     }
 }
 
@@ -125,10 +225,13 @@ pub fn check_run(
     // violation, not a panic.
     if run.n_cores != runner.n_cores() {
         return OracleReport {
-            violations: vec![format!(
-                "shape: run models {} cores but the scenario targets {}",
-                run.n_cores,
-                runner.n_cores()
+            violations: vec![Violation::new(
+                "shape",
+                format!(
+                    "shape: run models {} cores but the scenario targets {}",
+                    run.n_cores,
+                    runner.n_cores()
+                ),
             )],
         };
     }
@@ -178,38 +281,59 @@ impl TreeAlloc {
 /// Non-finite values are violations in their own right. Returns every
 /// violation found; empty means green.
 #[must_use]
-pub fn check_tree_allocs(allocs: &[TreeAlloc], eps: f64) -> Vec<String> {
+pub fn check_tree_allocs(allocs: &[TreeAlloc], eps: f64) -> Vec<Violation> {
     let mut v = Vec::new();
     for a in allocs {
         if !a.committed.is_finite() || a.children.iter().any(|c| !c.is_finite()) {
-            v.push(format!("tree: node {}: non-finite allocation", a.node));
+            v.push(Violation::new(
+                "tree",
+                format!("tree: node {}: non-finite allocation", a.node),
+            ));
             continue;
         }
         let r = a.residual();
         if r > eps {
-            v.push(format!(
-                "tree: node {}: committed {:.6} W but split {:.6} W across {} children \
-                 (residual {r:.3e} W > {eps:.1e} W)",
-                a.node,
-                a.committed,
-                a.children.iter().sum::<f64>(),
-                a.children.len()
-            ));
+            let split: f64 = a.children.iter().sum();
+            v.push(
+                Violation::new(
+                    "tree",
+                    format!(
+                        "tree: node {}: committed {:.6} W but split {split:.6} W across {} \
+                         children (residual {r:.3e} W > {eps:.1e} W)",
+                        a.node,
+                        a.committed,
+                        a.children.len()
+                    ),
+                )
+                .with_budget_w(a.committed)
+                .with_measured_w(split),
+            );
         }
     }
     v
 }
 
-fn check_sanity(run: &RunResult, v: &mut Vec<String>) {
+fn check_sanity(run: &RunResult, v: &mut Vec<Violation>) {
     for (e, ep) in run.epochs.iter().enumerate() {
         let bad_w = |w: Watts| !w.get().is_finite() || w.get() < 0.0;
         if bad_w(ep.total_power) || bad_w(ep.mem_power) || ep.core_power.iter().any(|&w| bad_w(w)) {
-            v.push(format!("sanity: epoch {e}: non-finite or negative power"));
+            v.push(
+                Violation::new(
+                    "sanity",
+                    format!("sanity: epoch {e}: non-finite or negative power"),
+                )
+                .at_epoch(e)
+                .with_measured_w(ep.total_power.get()),
+            );
         }
         if ep.instructions.iter().any(|&i| !i.is_finite() || i < 0.0) {
-            v.push(format!(
-                "sanity: epoch {e}: non-finite or negative instruction count"
-            ));
+            v.push(
+                Violation::new(
+                    "sanity",
+                    format!("sanity: epoch {e}: non-finite or negative instruction count"),
+                )
+                .at_epoch(e),
+            );
         }
     }
 }
@@ -218,19 +342,27 @@ fn check_conservation(
     run: &RunResult,
     other_static: Watts,
     cfg: &OracleConfig,
-    v: &mut Vec<String>,
+    v: &mut Vec<Violation>,
 ) {
     let residual = run.max_conservation_residual(other_static);
     if residual > cfg.conservation_eps {
-        v.push(format!(
-            "conservation: power components leave {residual:.3e} W unaccounted \
-             (tolerance {:.1e} W)",
-            cfg.conservation_eps
+        v.push(Violation::new(
+            "conservation",
+            format!(
+                "conservation: power components leave {residual:.3e} W unaccounted \
+                 (tolerance {:.1e} W)",
+                cfg.conservation_eps
+            ),
         ));
     }
 }
 
-fn check_budget(run: &RunResult, runner: &ScenarioRunner, cfg: &OracleConfig, v: &mut Vec<String>) {
+fn check_budget(
+    run: &RunResult,
+    runner: &ScenarioRunner,
+    cfg: &OracleConfig,
+    v: &mut Vec<Violation>,
+) {
     let budgets = runner.budget_trace(run.epochs.len());
     // Epochs inside a settle window after any scheduled perturbation are
     // exempt — budget moves, hotplug, and server-side events alike: the
@@ -268,15 +400,23 @@ fn check_budget(run: &RunResult, runner: &ScenarioRunner, cfg: &OracleConfig, v:
         }
     }
     if let Some((e, cap, over)) = worst {
-        v.push(format!(
-            "budget: {count} settled epoch(s) above the cap; worst at epoch {e}: \
-             {:.1}% over the {cap:.1} W budget",
-            over * 100.0
-        ));
+        v.push(
+            Violation::new(
+                "budget",
+                format!(
+                    "budget: {count} settled epoch(s) above the cap; worst at epoch {e}: \
+                     {:.1}% over the {cap:.1} W budget",
+                    over * 100.0
+                ),
+            )
+            .at_epoch(e)
+            .with_budget_w(cap)
+            .with_measured_w(run.epochs[e].total_power.get()),
+        );
     }
 }
 
-fn check_offline(run: &RunResult, runner: &ScenarioRunner, v: &mut Vec<String>) {
+fn check_offline(run: &RunResult, runner: &ScenarioRunner, v: &mut Vec<Violation>) {
     let masks = runner.mask_trace(run.epochs.len());
     for (e, (ep, mask)) in run.epochs.iter().zip(&masks).enumerate() {
         let Some(mask) = mask else { continue };
@@ -289,26 +429,47 @@ fn check_offline(run: &RunResult, runner: &ScenarioRunner, v: &mut Vec<String>) 
                 continue;
             }
             if ep.core_power[c] != Watts::ZERO {
-                v.push(format!(
-                    "offline: epoch {e}: offline core {c} draws {} (must be power-gated)",
-                    ep.core_power[c]
-                ));
+                v.push(
+                    Violation::new(
+                        "offline",
+                        format!(
+                            "offline: epoch {e}: offline core {c} draws {} (must be power-gated)",
+                            ep.core_power[c]
+                        ),
+                    )
+                    .at_epoch(e)
+                    .with_measured_w(ep.core_power[c].get()),
+                );
             }
             if !changed_now && ep.instructions[c] != 0.0 {
-                v.push(format!(
-                    "offline: epoch {e}: offline core {c} retired {} instructions",
-                    ep.instructions[c]
-                ));
+                v.push(
+                    Violation::new(
+                        "offline",
+                        format!(
+                            "offline: epoch {e}: offline core {c} retired {} instructions",
+                            ep.instructions[c]
+                        ),
+                    )
+                    .at_epoch(e),
+                );
             }
         }
     }
 }
 
-fn check_degradations(run: &RunResult, base: &RunResult, cfg: &OracleConfig, v: &mut Vec<String>) {
+fn check_degradations(
+    run: &RunResult,
+    base: &RunResult,
+    cfg: &OracleConfig,
+    v: &mut Vec<Violation>,
+) {
     if base.n_cores != run.n_cores {
-        v.push(format!(
-            "degradation: baseline models {} cores, run models {}",
-            base.n_cores, run.n_cores
+        v.push(Violation::new(
+            "degradation",
+            format!(
+                "degradation: baseline models {} cores, run models {}",
+                base.n_cores, run.n_cores
+            ),
         ));
         return;
     }
@@ -323,16 +484,20 @@ fn check_degradations(run: &RunResult, base: &RunResult, cfg: &OracleConfig, v: 
             continue;
         }
         if b <= 0.0 || m <= 0.0 {
-            v.push(format!(
-                "degradation: core {c}: throughput {b:.3e} uncapped vs {m:.3e} capped \
-                 (one side idle)"
+            v.push(Violation::new(
+                "degradation",
+                format!(
+                    "degradation: core {c}: throughput {b:.3e} uncapped vs {m:.3e} capped \
+                     (one side idle)"
+                ),
             ));
             continue;
         }
         let d = b / m;
         if !d.is_finite() || d < lo || d > hi {
-            v.push(format!(
-                "degradation: core {c}: D = {d:.3} outside sane band [{lo}, {hi}]"
+            v.push(Violation::new(
+                "degradation",
+                format!("degradation: core {c}: D = {d:.3} outside sane band [{lo}, {hi}]"),
             ));
         }
     }
@@ -411,7 +576,7 @@ mod tests {
         let rep = check_run(&r, &runner, Watts(4.0), None, &cfg());
         assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
         assert!(
-            rep.violations[0].contains("budget:"),
+            rep.violations[0].message.contains("budget:"),
             "{:?}",
             rep.violations
         );
@@ -428,7 +593,9 @@ mod tests {
         r.epochs[1].total_power = Watts(52.0); // 3 W appear from nowhere
         let rep = check_run(&r, &runner, Watts(4.0), None, &cfg());
         assert!(
-            rep.violations.iter().any(|v| v.contains("conservation:")),
+            rep.violations
+                .iter()
+                .any(|v| v.message.contains("conservation:")),
             "{:?}",
             rep.violations
         );
@@ -458,12 +625,14 @@ mod tests {
         r.epochs[2].instructions[1] = 10.0;
         let rep = check_run(&r, &runner, Watts(4.0), None, &cfg());
         assert!(
-            rep.violations.iter().any(|v| v.contains("power-gated")),
+            rep.violations
+                .iter()
+                .any(|v| v.message.contains("power-gated")),
             "{:?}",
             rep.violations
         );
         assert!(
-            rep.violations.iter().any(|v| v.contains("retired")),
+            rep.violations.iter().any(|v| v.message.contains("retired")),
             "{:?}",
             rep.violations
         );
@@ -480,7 +649,9 @@ mod tests {
         }
         let rep = check_run(&capped, &runner, Watts(4.0), Some(&base), &cfg());
         assert!(
-            rep.violations.iter().any(|v| v.contains("degradation:")),
+            rep.violations
+                .iter()
+                .any(|v| v.message.contains("degradation:")),
             "{:?}",
             rep.violations
         );
@@ -497,7 +668,9 @@ mod tests {
         let alive = run(&[40.0; 3]);
         let rep = check_run(&alive, &runner, Watts(4.0), Some(&base_idle), &cfg());
         assert!(
-            rep.violations.iter().any(|v| v.contains("one side idle")),
+            rep.violations
+                .iter()
+                .any(|v| v.message.contains("one side idle")),
             "{:?}",
             rep.violations
         );
@@ -519,7 +692,11 @@ mod tests {
         let runner = ScenarioRunner::new(&s, 0.9).unwrap();
         let rep = check_run(&run(&[50.0, 50.0]), &runner, Watts(4.0), None, &cfg());
         assert_eq!(rep.violations.len(), 1);
-        assert!(rep.violations[0].contains("shape:"), "{:?}", rep.violations);
+        assert!(
+            rep.violations[0].message.contains("shape:"),
+            "{:?}",
+            rep.violations
+        );
     }
 
     #[test]
@@ -552,7 +729,7 @@ mod tests {
         );
         assert!(check_tree_allocs(&drift(5e-7), TREE_CONSERVATION_EPS).is_empty());
         let v = check_tree_allocs(&drift(2e-6), TREE_CONSERVATION_EPS);
-        assert!(v[0].contains("tree: node rack1"), "{v:?}");
+        assert!(v[0].message.contains("tree: node rack1"), "{v:?}");
         // Non-finite splits are their own violation, not a comparison.
         let nan = vec![TreeAlloc {
             node: "dc".into(),
@@ -563,13 +740,52 @@ mod tests {
     }
 
     #[test]
+    fn budget_violation_carries_structured_context() {
+        let runner = runner_with(
+            vec![ScenarioEvent {
+                at_epoch: 2,
+                action: Action::BudgetStep { fraction: 0.5 },
+            }],
+            0.9,
+        );
+        let r = run(&[80.0, 80.0, 80.0, 48.0, 48.0, 80.0]);
+        let rep = check_run(&r, &runner, Watts(4.0), None, &cfg()).for_policy("FastCap");
+        let v = &rep.violations[0];
+        assert_eq!(v.check, "budget");
+        assert_eq!(v.epoch, Some(5));
+        assert_eq!(v.budget_w, Some(50.0));
+        // Measured power at the worst epoch: 80*0.9 + 4.
+        assert_eq!(v.measured_w, Some(76.0));
+        assert_eq!(v.policy.as_deref(), Some("FastCap"));
+        // Display renders the original message plus the policy stamp.
+        let shown = v.to_string();
+        assert!(shown.contains("budget:"), "{shown}");
+        assert!(shown.ends_with("[policy=FastCap]"), "{shown}");
+        assert_eq!(rep.messages().len(), 1);
+    }
+
+    #[test]
+    fn tree_violation_carries_committed_and_split_watts() {
+        let bad = vec![TreeAlloc {
+            node: "rack1".into(),
+            committed: 100.0,
+            children: vec![49.0, 50.0],
+        }];
+        let v = check_tree_allocs(&bad, TREE_CONSERVATION_EPS);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "tree");
+        assert_eq!(v[0].budget_w, Some(100.0));
+        assert_eq!(v[0].measured_w, Some(99.0));
+    }
+
+    #[test]
     fn sanity_catches_nan() {
         let runner = runner_with(Vec::new(), 0.9);
         let mut r = run(&[50.0, 50.0]);
         r.epochs[1].instructions[0] = f64::NAN;
         let rep = check_run(&r, &runner, Watts(4.0), None, &cfg());
         assert!(
-            rep.violations.iter().any(|v| v.contains("sanity:")),
+            rep.violations.iter().any(|v| v.message.contains("sanity:")),
             "{:?}",
             rep.violations
         );

@@ -26,10 +26,12 @@
 
 use crate::format::{Action, Scenario};
 use fastcap_core::capper::DvfsDecision;
+use fastcap_core::cost::CostCounter;
 use fastcap_core::counters::EpochObservation;
 use fastcap_core::error::{Error, Result};
 use fastcap_policies::CappingPolicy;
 use fastcap_sim::{ControlAction, RunResult, Server};
+use fastcap_trace::{DecisionRecord, LaneRecord, TraceEvent, Tracer};
 use fastcap_workloads::{spec, AppInstance, PhaseSpec};
 
 /// Builds a policy for `n_active` online cores under `budget_fraction`.
@@ -322,7 +324,31 @@ impl ScenarioRunner {
         &self,
         server: &mut Server,
         epochs: usize,
+        factory: Option<&mut PolicyFactory<'_>>,
+    ) -> Result<RunResult> {
+        self.run_traced(server, epochs, factory, None)
+    }
+
+    /// [`ScenarioRunner::run`] with an optional audit-trail tracer. When
+    /// `trace` is `Some`, every epoch appends an [`TraceEvent::EpochSpan`],
+    /// a [`DecisionRecord`] (capped runs), a lane-engine record, and a
+    /// control event per scenario move to the tracer's ring, timestamped by
+    /// the modeled-cost clock (the server + policy [`CostCounter`] deltas
+    /// priced by the tracer's weights). Tracing reads the counters the run
+    /// already maintains and never mutates them, so the simulated artifact
+    /// bytes are identical with `trace` `Some` or `None` (pinned by this
+    /// crate's tests and the bench trace goldens).
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy construction/decision failures and budget-change
+    /// rejections, exactly as [`ScenarioRunner::run`].
+    pub fn run_traced(
+        &self,
+        server: &mut Server,
+        epochs: usize,
         mut factory: Option<&mut PolicyFactory<'_>>,
+        mut trace: Option<&mut Tracer>,
     ) -> Result<RunResult> {
         let n = server.config().n_cores;
         if n != self.n_cores {
@@ -343,6 +369,13 @@ impl ScenarioRunner {
         let mut bi = 0;
         let mut mi = 0;
         let mut reports = Vec::with_capacity(epochs);
+        // Cost snapshots for the modeled trace clock: the clock advances by
+        // the *delta* each epoch adds, so it stays monotonic across policy
+        // rebuilds (which zero the policy-side counter).
+        let mut server_cost = server.cost();
+        let mut policy_cost = policy
+            .as_ref()
+            .map_or_else(CostCounter::default, |p| p.decision_cost());
         for e in 0..epochs as u64 {
             let prev_mask = mask.clone();
             let mut mask_changed = false;
@@ -356,6 +389,25 @@ impl ScenarioRunner {
                 budget = self.budget_schedule[bi].1;
                 bi += 1;
                 budget_changed = true;
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                if budget_changed {
+                    t.record(TraceEvent::Control {
+                        epoch: e,
+                        kind: "budget_step",
+                        detail: format!("fraction={budget}"),
+                    });
+                    t.metrics.counter_add("scenario.budget_moves", 1);
+                }
+                if mask_changed {
+                    let online = mask.iter().filter(|&&a| a).count();
+                    t.record(TraceEvent::Control {
+                        epoch: e,
+                        kind: "hotplug",
+                        detail: format!("online={online}/{n}"),
+                    });
+                    t.metrics.counter_add("scenario.hotplug_moves", 1);
+                }
             }
             if let Some(f) = factory.as_mut() {
                 if mask_changed {
@@ -376,9 +428,11 @@ impl ScenarioRunner {
                     } else {
                         // Rebuild for the new online set; the fresh
                         // controller re-learns its models (the hotplug
-                        // transient).
+                        // transient). The rebuilt policy's counter restarts
+                        // at zero, so the trace-clock snapshot must too.
                         let active = mask.iter().filter(|&&a| a).count();
                         policy = Some(f(active, budget)?);
+                        policy_cost = CostCounter::default();
                     }
                 } else if budget_changed {
                     policy
@@ -394,7 +448,76 @@ impl ScenarioRunner {
                 }
                 _ => None,
             };
-            reports.push(server.run_epoch(decision.as_ref()));
+            let (observed_w, bank_queue) = server.observation().map_or((0.0, 0.0), |obs| {
+                (obs.total_power.get(), obs.memory.bank_queue)
+            });
+            let report = server.run_epoch(decision.as_ref());
+            if let Some(t) = trace.as_deref_mut() {
+                let policy_delta = policy.as_ref().map(|p| {
+                    let d = p.decision_cost().delta_since(&policy_cost);
+                    policy_cost = p.decision_cost();
+                    d
+                });
+                let server_delta = {
+                    let now = server.cost();
+                    let d = now.delta_since(&server_cost);
+                    server_cost = now;
+                    d
+                };
+                let t_start_ns = t.now_ns();
+                let mut epoch_delta = server_delta;
+                if let Some(pd) = &policy_delta {
+                    epoch_delta.add(pd);
+                }
+                t.advance(&epoch_delta);
+                let measured_w = report.total_power.get();
+                t.record_at(
+                    t_start_ns,
+                    TraceEvent::EpochSpan {
+                        epoch: e,
+                        t_start_ns,
+                        t_end_ns: t.now_ns(),
+                        power_w: measured_w,
+                    },
+                );
+                if let (Some(p), Some(d), Some(pd)) = (&policy, &decision, &policy_delta) {
+                    let budget_w = p.in_force_budget().map(fastcap_core::units::Watts::get);
+                    t.record(TraceEvent::Decision(DecisionRecord {
+                        epoch: e,
+                        policy: p.name().to_string(),
+                        budget_w,
+                        observed_w,
+                        solver_iters: pd.solver_iters,
+                        candidates: pd.grid_points + pd.bus_evals,
+                        core_freqs: d.core_freqs.clone(),
+                        mem_freq: d.mem_freq,
+                        predicted_w: d.predicted_power.get(),
+                        measured_w,
+                        slack_w: budget_w.map(|b| b - measured_w),
+                        budget_bound: d.budget_bound,
+                        emergency: d.emergency,
+                        decide_ns: t.price_ns(pd),
+                    }));
+                    t.metrics.counter_add("policy.decisions", 1);
+                    if let Some(b) = budget_w {
+                        if b > 0.0 {
+                            t.metrics.histogram_observe(
+                                "policy.overshoot_pct",
+                                &[0.0, 1.0, 2.0, 5.0, 10.0, 20.0],
+                                (measured_w - b) / b * 100.0,
+                            );
+                        }
+                    }
+                }
+                t.record(TraceEvent::Lane(LaneRecord {
+                    epoch: e,
+                    prefill_draws: server_delta.rng_draws,
+                    refill_fallbacks: server_delta.lane_syncs,
+                    barrier_waits: server_delta.barrier_waits,
+                }));
+                t.metrics.gauge_set("sim.mem_bank_queue", bank_queue);
+            }
+            reports.push(report);
         }
         let cfg = server.config();
         Ok(RunResult {

@@ -1,0 +1,215 @@
+//! A small metrics registry: counters, gauges, and fixed-bucket
+//! histograms, keyed by name in a `BTreeMap` so every flush order is
+//! deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic count.
+    Counter(u64),
+    /// Last-written value.
+    Gauge(f64),
+    /// Fixed upper-bound buckets (+ implicit overflow), with count and
+    /// value sum for mean recovery.
+    Histogram {
+        /// Inclusive upper bounds, ascending; values above the last
+        /// bound land in the overflow bucket.
+        bounds: Vec<f64>,
+        /// Per-bucket observation counts; `len == bounds.len() + 1`.
+        counts: Vec<u64>,
+        /// Sum of all observed values.
+        sum: f64,
+        /// Total observations.
+        n: u64,
+    },
+}
+
+/// Deterministically-ordered metric store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// Adds `n` to the named counter (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += n,
+            _ => debug_assert!(false, "metric {name} is not a counter"),
+        }
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.entries.insert(name.to_string(), Metric::Gauge(v));
+    }
+
+    /// Observes `v` into the named fixed-bucket histogram. The first
+    /// observation fixes the bounds; later calls must pass the same.
+    pub fn histogram_observe(&mut self, name: &str, bounds: &[f64], v: f64) {
+        let m = self
+            .entries
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram {
+                bounds: bounds.to_vec(),
+                counts: vec![0; bounds.len() + 1],
+                sum: 0.0,
+                n: 0,
+            });
+        if let Metric::Histogram {
+            bounds,
+            counts,
+            sum,
+            n,
+        } = m
+        {
+            let idx = bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len());
+            counts[idx] += 1;
+            *sum += v;
+            *n += 1;
+        } else {
+            debug_assert!(false, "metric {name} is not a histogram");
+        }
+    }
+
+    /// `true` when nothing has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, metric)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Metric)> {
+        self.entries.iter()
+    }
+
+    /// Looks up one metric by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.get(name)
+    }
+
+    /// Merges another registry into this one: counters add, gauges take
+    /// the incoming value, histograms add bucket-wise (bounds must
+    /// match).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, m) in other.iter() {
+            match m {
+                Metric::Counter(c) => self.counter_add(name, *c),
+                Metric::Gauge(v) => self.gauge_set(name, *v),
+                Metric::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    n,
+                } => {
+                    let mine =
+                        self.entries
+                            .entry(name.clone())
+                            .or_insert_with(|| Metric::Histogram {
+                                bounds: bounds.clone(),
+                                counts: vec![0; counts.len()],
+                                sum: 0.0,
+                                n: 0,
+                            });
+                    if let Metric::Histogram {
+                        bounds: my_bounds,
+                        counts: my_counts,
+                        sum: my_sum,
+                        n: my_n,
+                    } = mine
+                    {
+                        debug_assert_eq!(my_bounds, bounds, "histogram {name} bounds differ");
+                        for (a, b) in my_counts.iter_mut().zip(counts) {
+                            *a += b;
+                        }
+                        *my_sum += sum;
+                        *my_n += n;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders the registry as CSV rows `metric,kind,key,value` under a
+    /// fixed header, name-ordered — byte-deterministic.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,kind,key,value\n");
+        for (name, m) in &self.entries {
+            match m {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name},counter,value,{c}");
+                }
+                Metric::Gauge(v) => {
+                    let _ = writeln!(out, "{name},gauge,value,{v}");
+                }
+                Metric::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    n,
+                } => {
+                    for (i, c) in counts.iter().enumerate() {
+                        if i < bounds.len() {
+                            let _ = writeln!(out, "{name},histogram,le_{},{c}", bounds[i]);
+                        } else {
+                            let _ = writeln!(out, "{name},histogram,le_inf,{c}");
+                        }
+                    }
+                    let _ = writeln!(out, "{name},histogram,sum,{sum}");
+                    let _ = writeln!(out, "{name},histogram,count,{n}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip_through_csv() {
+        let mut r = MetricsRegistry::default();
+        r.counter_add("epochs", 40);
+        r.counter_add("epochs", 2);
+        r.gauge_set("budget_fraction", 0.9);
+        r.histogram_observe("overshoot_pct", &[1.0, 5.0], 0.5);
+        r.histogram_observe("overshoot_pct", &[1.0, 5.0], 7.0);
+        let csv = r.to_csv();
+        assert!(csv.starts_with("metric,kind,key,value\n"));
+        assert!(csv.contains("epochs,counter,value,42\n"));
+        assert!(csv.contains("budget_fraction,gauge,value,0.9\n"));
+        assert!(csv.contains("overshoot_pct,histogram,le_1,1\n"));
+        assert!(csv.contains("overshoot_pct,histogram,le_inf,1\n"));
+        assert!(csv.contains("overshoot_pct,histogram,count,2\n"));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let mut a = MetricsRegistry::default();
+        let mut b = MetricsRegistry::default();
+        a.counter_add("solver_iters", 10);
+        b.counter_add("solver_iters", 5);
+        a.histogram_observe("h", &[1.0], 0.5);
+        b.histogram_observe("h", &[1.0], 2.0);
+        a.merge(&b);
+        assert_eq!(a.get("solver_iters"), Some(&Metric::Counter(15)));
+        match a.get("h").unwrap() {
+            Metric::Histogram { counts, n, .. } => {
+                assert_eq!(counts, &vec![1, 1]);
+                assert_eq!(*n, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

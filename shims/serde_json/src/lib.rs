@@ -303,21 +303,34 @@ impl<'a> Parser<'a> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| Error::msg("bad \\u escape"))?,
-                                16,
-                            )
-                            .map_err(|_| Error::msg("bad \\u escape"))?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| Error::msg("bad \\u code point"))?,
-                            );
+                            let code = self.hex4(self.pos + 1)?;
                             self.pos += 4;
+                            let c = match code {
+                                // High surrogate: RFC 8259 encodes astral
+                                // code points as a `\uD8xx\uDCxx` pair.
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                        || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                    {
+                                        return Err(Error::msg("unpaired surrogate in \\u escape"));
+                                    }
+                                    let low = self.hex4(self.pos + 3)?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(Error::msg("unpaired surrogate in \\u escape"));
+                                    }
+                                    self.pos += 6;
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| Error::msg("bad \\u code point"))?
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(Error::msg("unpaired surrogate in \\u escape"))
+                                }
+                                c => char::from_u32(c)
+                                    .ok_or_else(|| Error::msg("bad \\u code point"))?,
+                            };
+                            out.push(c);
                         }
                         _ => return Err(Error::msg("bad escape")),
                     }
@@ -334,6 +347,18 @@ impl<'a> Parser<'a> {
                 None => return Err(Error::msg("unterminated string")),
             }
         }
+    }
+
+    fn hex4(&self, start: usize) -> Result<u32> {
+        let hex = self
+            .bytes
+            .get(start..start + 4)
+            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+        u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| Error::msg("bad \\u escape"))?,
+            16,
+        )
+        .map_err(|_| Error::msg("bad \\u escape"))
     }
 
     fn number(&mut self) -> Result<Value> {
@@ -414,5 +439,60 @@ mod tests {
     fn floats_stay_floats() {
         assert_eq!(to_string(&Value::Float(2.0)).unwrap(), "2.0");
         assert_eq!(to_string(&Value::Float(f64::NAN)).unwrap(), "null");
+    }
+
+    #[test]
+    fn full_control_range_round_trips() {
+        // Every JSON-mandated escape: C0 controls, quote, backslash —
+        // rendered, then parsed back to the identical string.
+        let mut s = String::new();
+        for c in 0u32..0x20 {
+            s.push(char::from_u32(c).unwrap());
+        }
+        s.push('"');
+        s.push('\\');
+        s.push_str("/plain text");
+        let rendered = to_string(&Value::Str(s.clone())).unwrap();
+        // The named short escapes are used where JSON defines them…
+        assert!(rendered.contains("\\n"));
+        assert!(rendered.contains("\\r"));
+        assert!(rendered.contains("\\t"));
+        assert!(rendered.contains("\\\""));
+        assert!(rendered.contains("\\\\"));
+        // …and the rest of the C0 range uses \u00XX.
+        assert!(rendered.contains("\\u0000"));
+        assert!(rendered.contains("\\u0008"));
+        assert!(rendered.contains("\\u000c"));
+        assert!(rendered.contains("\\u001f"));
+        // No raw control byte may survive into the output.
+        assert!(rendered.bytes().all(|b| b >= 0x20));
+        let back = parse_value(&rendered).unwrap();
+        assert_eq!(back, Value::Str(s));
+    }
+
+    #[test]
+    fn named_escape_aliases_parse() {
+        // \b, \f and \u-escapes for the same characters are equivalent.
+        let v = parse_value(r#""\b\fA""#).unwrap();
+        assert_eq!(v, Value::Str("\u{8}\u{c}\u{8}\u{c}A".to_string()));
+    }
+
+    #[test]
+    fn surrogate_pairs_parse_and_round_trip() {
+        // U+1F600 as a RFC 8259 surrogate pair.
+        let v = parse_value(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v, Value::Str("\u{1F600}".to_string()));
+        // The shim renders astral chars raw (valid JSON); the pair form
+        // must still parse back to the same string.
+        let rendered = to_string(&v).unwrap();
+        assert_eq!(parse_value(&rendered).unwrap(), v);
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        assert!(parse_value(r#""\ud83d""#).is_err());
+        assert!(parse_value(r#""\ud83dx""#).is_err());
+        assert!(parse_value(r#""\ude00""#).is_err());
+        assert!(parse_value(r#""\ud83dA""#).is_err());
     }
 }
