@@ -478,9 +478,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         return match fastcap_bench::explain::run_explain(&targets[1], &opts) {
-            Ok(text) => {
-                print!("{text}");
-                ExitCode::SUCCESS
+            Ok(report) => {
+                print!("{}", report.text);
+                if report.all_green {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("[explain: oracle red — see the violation sections above]");
+                    ExitCode::FAILURE
+                }
             }
             Err(e) => {
                 eprintln!("error: {e}");

@@ -51,14 +51,14 @@ pub const GATE_TOLERANCE: f64 = 0.05;
 /// (`repro tab1 overhead scaling --quick --seed 42`, any `--jobs`).
 /// Shared between the golden byte-equality test and `repro costgate`.
 pub const TIMING_GOLDENS: &[(&str, u64)] = &[
-    ("overhead.csv", 0x383a_35df_b035_8def),
-    ("overhead.json", 0xf73a_8c9a_8b83_855b),
-    ("scaling.csv", 0x8fa7_743a_1d56_1ae4),
-    ("scaling.json", 0x6602_23be_df0b_31a9),
-    ("tab1_fastcap.csv", 0xad1b_de3d_4101_a0d5),
-    ("tab1_fastcap.json", 0x26cd_12e1_4a01_a007),
-    ("tab1_maxbips.csv", 0x2d51_d042_8168_b1e8),
-    ("tab1_maxbips.json", 0x8187_0219_b531_02ba),
+    ("overhead.csv", 0xf406_1516_6698_70ee),
+    ("overhead.json", 0xb138_71ef_ba98_fda0),
+    ("scaling.csv", 0x3c5a_5d26_5e8b_e7e8),
+    ("scaling.json", 0x2b7d_8d9a_7e2e_4de9),
+    ("tab1_fastcap.csv", 0xa1a7_fe9b_cdc0_ec71),
+    ("tab1_fastcap.json", 0x05ca_d2da_c1fc_bce9),
+    ("tab1_maxbips.csv", 0xcca7_0008_739d_019d),
+    ("tab1_maxbips.json", 0xc0ba_2abe_6b6a_8cdf),
     ("tab1_theory.csv", 0x411e_88d2_9d99_aef9),
     ("tab1_theory.json", 0xb0cc_6af8_8345_085a),
 ];

@@ -71,6 +71,8 @@ fn decide(ctl: &mut FastCapController, v: Variant, obs: &EpochObservation) -> Op
                 core_freqs,
                 mem_freq,
                 predicted_power: sol.inner.predicted_power,
+                quantized_power: sol.inner.predicted_power,
+                budget_trim: fastcap_core::units::Watts(0.0),
                 degradation: sol.inner.degradation,
                 budget_bound: sol.inner.budget_bound,
                 emergency: false,

@@ -1,0 +1,179 @@
+//! `bias_ablation`: the loose-cap bias fix, decomposed. Four controller
+//! variants — both bias fixes off, quantize-down only, the slack
+//! integrator only, and both on (the shipping default) — run the same
+//! budget-dip-and-recovery scenario on an ILP and a MID mix, recovering
+//! to a 90% and a 95% cap. Per cell the table reports the tail overshoot
+//! against the restored budget and the oracle verdict at both the
+//! tightened default tolerance and the legacy 10% floor, so the
+//! before/after of the fix is pinned as artifact bytes: the `off` arm is
+//! exactly the pre-fix controller (red at the default tolerance, green
+//! only at the legacy floor), and each single-fix arm shows its marginal
+//! contribution.
+//!
+//! Determinism contract: every variant of one (mix, step) cell shares
+//! one RNG stream, cells run on the standard sweep engine, and all
+//! reductions are index-ordered — byte-identical at any `--jobs`.
+
+use crate::harness::Opts;
+use crate::sweep::Sweep;
+use crate::table::{f2, pct, ResultTable};
+use fastcap_core::error::Result;
+use fastcap_policies::{CappingPolicy, FastCapPolicy};
+use fastcap_scenario::{oracle, Action, Scenario, ScenarioEvent, ScenarioRunner};
+use fastcap_sim::{RunResult, Server};
+use fastcap_workloads::mixes;
+
+/// Budget fraction in force at epoch 0.
+const INITIAL_BUDGET: f64 = 0.9;
+/// Budget fraction during the dip phase.
+const DIP_FRACTION: f64 = 0.6;
+/// Epoch of the dip.
+const DIP_EPOCH: u64 = 8;
+/// Epoch of the recovery step back up.
+const RECOVERY_EPOCH: u64 = 20;
+
+/// The controller variants, in ablation order.
+const VARIANTS: &[(&str, bool, bool)] = &[
+    ("off", false, false),
+    ("quantize-down", true, false),
+    ("integrator", false, true),
+    ("both", true, true),
+];
+
+/// The mixes crossed with the recovery steps.
+const MIXES: &[&str] = &["ILP2", "MID1"];
+
+/// The recovery-step target fractions.
+const STEPS: &[f64] = &[0.90, 0.95];
+
+fn recovery_scenario(step: f64) -> Scenario {
+    Scenario {
+        name: format!("bias-recovery-{:.0}", step * 100.0),
+        description: format!(
+            "budget dip to {:.0}% at epoch {DIP_EPOCH}, recovery to {:.0}% at \
+             epoch {RECOVERY_EPOCH}",
+            DIP_FRACTION * 100.0,
+            step * 100.0
+        ),
+        n_cores: 16,
+        events: vec![
+            ScenarioEvent {
+                at_epoch: DIP_EPOCH,
+                action: Action::BudgetStep {
+                    fraction: DIP_FRACTION,
+                },
+            },
+            ScenarioEvent {
+                at_epoch: RECOVERY_EPOCH,
+                action: Action::BudgetStep { fraction: step },
+            },
+        ],
+    }
+}
+
+/// Runs the ablation. Sweep: one point per (mix, step, variant); all
+/// variants of one (mix, step) cell share a stream so they cap the same
+/// sampled trace.
+///
+/// # Errors
+///
+/// Propagates simulator, policy and scenario failures.
+pub fn run(opts: &Opts) -> Result<Vec<ResultTable>> {
+    let cfg = opts.sim_config(16)?;
+    let epochs = opts.epochs();
+    let scenarios: Vec<Scenario> = STEPS.iter().map(|&s| recovery_scenario(s)).collect();
+    let runners: Vec<ScenarioRunner> = scenarios
+        .iter()
+        .map(|s| ScenarioRunner::new(s, INITIAL_BUDGET))
+        .collect::<Result<_>>()?;
+    let mix_specs: Vec<_> = MIXES
+        .iter()
+        .map(|name| mixes::by_name(name).expect("ablation mixes exist"))
+        .collect();
+
+    let mut sweep = Sweep::new();
+    for (m, mix) in mix_specs.iter().enumerate() {
+        for (s, runner) in runners.iter().enumerate() {
+            let stream = (m * runners.len() + s) as u64;
+            for &(_, qdown, integ) in VARIANTS {
+                let cfg_ref = &cfg;
+                sweep.push_with_stream(stream, move |ctx| {
+                    let mut server = Server::for_workload(cfg_ref.clone(), mix, ctx.seed)?;
+                    runner.install(&mut server)?;
+                    let mut factory = move |n_active: usize, budget: f64| {
+                        let mut ctl = cfg_ref.controller_config_n(budget, n_active)?;
+                        ctl.quantize_down = qdown;
+                        if !integ {
+                            ctl.slack_gain = 0.0;
+                        }
+                        FastCapPolicy::new(ctl).map(|p| Box::new(p) as Box<dyn CappingPolicy>)
+                    };
+                    runner.run(&mut server, epochs, Some(&mut factory))
+                });
+            }
+        }
+    }
+    let runs = sweep.run(opts)?;
+
+    let peak = cfg.peak_power.get();
+    let mut t = ResultTable::new(
+        "bias_ablation",
+        format!(
+            "Loose-cap bias ablation: dip to {:.0}% then recovery, 16 cores, \
+             {} epochs (off = pre-fix controller)",
+            DIP_FRACTION * 100.0,
+            epochs
+        ),
+        &[
+            "variant",
+            "mix",
+            "recovery step",
+            "tail overshoot",
+            "tail power / budget",
+            "oracle @ default",
+            "oracle @ legacy",
+        ],
+    );
+    let verdict = |run: &RunResult, runner: &ScenarioRunner, c: &oracle::OracleConfig| {
+        let rep = oracle::check_run(run, runner, cfg.other_power, None, c);
+        if rep.is_green() {
+            "green".to_string()
+        } else {
+            format!("red ({})", rep.violations.len())
+        }
+    };
+    let mut idx = 0usize;
+    for mix in &mix_specs {
+        for (s, runner) in runners.iter().enumerate() {
+            for &(name, _, _) in VARIANTS {
+                let run = &runs[idx];
+                idx += 1;
+                let budget = STEPS[s] * peak;
+                // Tail metrics: the recovered-cap phase past the oracle's
+                // settle window, where steady-state bias lives.
+                let tail_start = (RECOVERY_EPOCH as usize
+                    + oracle::OracleConfig::default().settle_window)
+                    .min(run.epochs.len());
+                let tail: Vec<f64> = run.epochs[tail_start..]
+                    .iter()
+                    .map(|e| e.total_power.get())
+                    .collect();
+                let worst = tail
+                    .iter()
+                    .map(|&p| (p - budget) / budget)
+                    .fold(0.0f64, f64::max);
+                let avg = tail.iter().sum::<f64>() / tail.len().max(1) as f64 / budget;
+                t.push_row(vec![
+                    name.to_string(),
+                    mix.name.clone(),
+                    format!("{:.0}%", STEPS[s] * 100.0),
+                    pct(worst),
+                    f2(avg),
+                    verdict(run, runner, &oracle::OracleConfig::default()),
+                    verdict(run, runner, &oracle::OracleConfig::legacy()),
+                ]);
+            }
+        }
+    }
+    Ok(vec![t])
+}

@@ -6,6 +6,7 @@
 //! dispatches on artifact id and prints/writes whatever comes back.
 
 pub mod ablation;
+pub mod bias_ablation;
 pub mod epochlen;
 pub mod fig10;
 pub mod fig11;
@@ -60,6 +61,7 @@ pub const ALL: &[&str] = &[
     "overhead",
     "epochlen",
     "ablation",
+    "bias_ablation",
     "scaling",
     "scn_capstep",
     "scn_flashcrowd",
@@ -99,6 +101,7 @@ pub fn run(id: &str, opts: &Opts) -> Result<Vec<ResultTable>> {
         "overhead" => overhead::run(opts),
         "epochlen" => epochlen::run(opts),
         "ablation" => ablation::run(opts),
+        "bias_ablation" => bias_ablation::run(opts),
         "scaling" => scaling::run(opts),
         "scn_capstep" => scn_capstep::run(opts),
         "scn_flashcrowd" => scn_flashcrowd::run(opts),

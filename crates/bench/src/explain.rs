@@ -118,17 +118,20 @@ fn write_trail(
     let _ = writeln!(
         out,
         "| epoch | budget W | observed W | iters | cands | core freqs | mem | predicted W | \
-         measured W | slack W | decide µs | flags |"
+         quantized W | trim W | measured W | slack W | decide µs | flags |"
     );
-    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(
+        out,
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|"
+    );
     let mut last: Option<u64> = None;
     for &e in focus {
         if last.is_some_and(|l| e > l + 1) {
-            let _ = writeln!(out, "| … | | | | | | | | | | | |");
+            let _ = writeln!(out, "| … | | | | | | | | | | | | | |");
         }
         last = Some(e);
         for (_, kind, detail) in controls.iter().filter(|&&(ce, _, _)| ce == e) {
-            let _ = writeln!(out, "| {e} | *{kind}: {detail}* | | | | | | | | | | |");
+            let _ = writeln!(out, "| {e} | *{kind}: {detail}* | | | | | | | | | | | | |");
         }
         for d in decisions.iter().filter(|d| d.epoch == e) {
             let mut flags = String::new();
@@ -140,7 +143,8 @@ fn write_trail(
             }
             let _ = writeln!(
                 out,
-                "| {e} | {} | {:.2} | {} | {} | {} | {} | {:.2} | {:.2} | {} | {:.1} | {flags} |",
+                "| {e} | {} | {:.2} | {} | {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {} | \
+                 {:.1} | {flags} |",
                 fmt_opt_w(d.budget_w),
                 d.observed_w,
                 d.solver_iters,
@@ -148,6 +152,8 @@ fn write_trail(
                 fmt_freqs(&d.core_freqs),
                 d.mem_freq,
                 d.predicted_w,
+                d.quantized_w,
+                d.trim_w,
                 d.measured_w,
                 fmt_opt_w(d.slack_w),
                 d.decide_ns as f64 / 1_000.0,
@@ -156,13 +162,26 @@ fn write_trail(
     }
 }
 
-/// Runs the explain pass and returns the rendered report.
+/// A finished explain pass: the rendered report plus the aggregate
+/// verdict. `all_green` is false the moment **any** policy in the
+/// comparison set tripped the oracle — `repro explain` turns that into a
+/// non-zero exit code so CI can gate on it instead of grepping the text.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// The rendered markdown report.
+    pub text: String,
+    /// Every policy's run came back oracle-green.
+    pub all_green: bool,
+}
+
+/// Runs the explain pass and returns the rendered report plus the
+/// aggregate oracle verdict.
 ///
 /// # Errors
 ///
 /// Returns [`Error::InvalidConfig`] for an unknown artifact id and
 /// propagates simulator/policy/scenario failures.
-pub fn run_explain(artifact: &str, opts: &Opts) -> Result<String> {
+pub fn run_explain(artifact: &str, opts: &Opts) -> Result<ExplainReport> {
     let spec = SCN_ARTIFACTS
         .iter()
         .find(|s| s.id == artifact)
@@ -202,6 +221,7 @@ pub fn run_explain(artifact: &str, opts: &Opts) -> Result<String> {
     let base = runner.run(&mut base_srv, epochs, None)?;
     let first_move = runner.budget_moves().first().map(|&(e, _)| e);
 
+    let mut all_green = true;
     for kind in PolicyKind::SCENARIO_SET {
         let mut tracer = Tracer::new(EXPLAIN_RING, ns);
         let mut server = Server::for_workload(cfg.clone(), &mix, seed)?;
@@ -222,6 +242,7 @@ pub fn run_explain(artifact: &str, opts: &Opts) -> Result<String> {
         if report.is_green() {
             let _ = writeln!(out, "## {} — oracle green", kind.name());
         } else {
+            all_green = false;
             let _ = writeln!(
                 out,
                 "## {} — {} oracle violation(s)",
@@ -270,7 +291,10 @@ pub fn run_explain(artifact: &str, opts: &Opts) -> Result<String> {
         let _ = writeln!(out);
         write_trail(&mut out, &focus, &decisions, &controls);
     }
-    Ok(out)
+    Ok(ExplainReport {
+        text: out,
+        all_green,
+    })
 }
 
 #[cfg(test)]
@@ -307,7 +331,8 @@ mod tests {
             quick: true,
             ..Opts::default()
         };
-        let text = run_explain("scn_capstep", &opts).unwrap();
+        let report = run_explain("scn_capstep", &opts).unwrap();
+        let text = &report.text;
         // Every policy of the comparison set gets a section...
         for kind in PolicyKind::SCENARIO_SET {
             assert!(
@@ -316,9 +341,13 @@ mod tests {
                 kind.name()
             );
         }
-        // ...with a decision trail showing the audit columns.
+        // ...with a decision trail showing the audit columns, including
+        // the quantized prediction and integrator trim.
         assert!(text.contains("| epoch | budget W |"));
+        assert!(text.contains("| quantized W | trim W |"));
         assert!(text.contains("budget_step"));
+        // The aggregate verdict matches the per-section headers.
+        assert_eq!(report.all_green, !text.contains("oracle violation(s)"));
         // Unknown artifacts fail loudly.
         assert!(run_explain("fig5", &opts).is_err());
     }

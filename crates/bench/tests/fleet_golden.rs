@@ -34,24 +34,25 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The golden hashes of the fleet artifacts (quick mode, seed 42). The
-/// `fleet_ladder*` pins were re-taken when the lane-parallel draw engine
-/// re-goldened every DES-derived artifact (determinism contract v2); the
-/// analytic-tier artifacts (`fleet_scale`, `fleet_settle*`) kept their
-/// original bytes — they run no simulation.
+/// The golden hashes of the fleet artifacts (quick mode, seed 42),
+/// re-pinned with the loose-cap bias fix (DESIGN.md §13): the leaf
+/// controllers' quantize-down/trim/bootstrap behavior and the
+/// budget-step demand re-seed changed every fleet power trajectory.
+/// Only `fleet_scale` kept its bytes — it reports backend op counts,
+/// which the demand re-seed does not touch.
 const FLEET_GOLDEN: &[(&str, u64)] = &[
-    ("fleet_ladder.csv", 0xa5c9_6e58_11a3_7769),
-    ("fleet_ladder.json", 0x4e1a_4139_f65b_9fee),
-    ("fleet_ladder_leaves.csv", 0xc2a1_30ef_b184_b213),
-    ("fleet_ladder_leaves.json", 0x0a94_c2b2_b93e_faab),
+    ("fleet_ladder.csv", 0x6426_e47d_7337_8d29),
+    ("fleet_ladder.json", 0x1b08_5de5_fd60_c7ae),
+    ("fleet_ladder_leaves.csv", 0xdb30_6b4e_9f79_6697),
+    ("fleet_ladder_leaves.json", 0x7b88_b18d_19db_8641),
     ("fleet_scale.csv", 0x1558_c866_7a8d_4635),
     ("fleet_scale.json", 0x6dde_8a71_3b86_9468),
-    ("fleet_settle.csv", 0x593a_6e58_097e_6008),
-    ("fleet_settle.json", 0x70a5_d4e2_6152_793a),
-    ("fleet_settle_population.csv", 0x12e8_0fa1_543d_2889),
-    ("fleet_settle_population.json", 0xdf32_cdd2_b2b0_393d),
-    ("fleet_settle_trace.csv", 0x091a_9e27_a724_ca9a),
-    ("fleet_settle_trace.json", 0xec00_d753_9c1e_bd38),
+    ("fleet_settle.csv", 0xced4_1647_1a0f_5ca7),
+    ("fleet_settle.json", 0x1c10_4ca7_89fa_bf83),
+    ("fleet_settle_population.csv", 0x23af_de75_b632_8859),
+    ("fleet_settle_population.json", 0x887f_a297_a67c_7727),
+    ("fleet_settle_trace.csv", 0x950c_b313_8b73_e4a0),
+    ("fleet_settle_trace.json", 0xcceb_4a4b_393e_3512),
 ];
 
 fn run_repro(args: &[&str]) {

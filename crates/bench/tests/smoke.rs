@@ -34,7 +34,8 @@ fn all_ids_are_known_to_the_dispatcher() {
     assert!(experiments::ALL.contains(&"fleet_ladder"));
     assert!(experiments::ALL.contains(&"fleet_settle"));
     assert!(experiments::ALL.contains(&"fleet_scale"));
-    assert_eq!(experiments::ALL.len(), 23);
+    assert!(experiments::ALL.contains(&"bias_ablation"));
+    assert_eq!(experiments::ALL.len(), 24);
 }
 
 #[test]

@@ -37,8 +37,8 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// trace-format change means event order, the modeled clock, or a
 /// decision record drifted.
 const TRACE_GOLDEN: &[(&str, u64)] = &[
-    ("scn_capstep.trace.json", 0x7afe_3a03_a710_399e),
-    ("scn_hotplug.trace.json", 0x35a7_2e8f_d557_a2e6),
+    ("scn_capstep.trace.json", 0xe2c2_09d2_bafd_0514),
+    ("scn_hotplug.trace.json", 0x3ded_2b00_ad0c_0a35),
 ];
 
 fn run_repro(args: &[&str]) {

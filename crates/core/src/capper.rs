@@ -4,7 +4,13 @@
 //! it consumes an [`EpochObservation`], refits the power models from the
 //! observed (frequency, power) pairs, assembles the optimization instance,
 //! runs Algorithm 1, and quantizes the continuous solution onto the DVFS
-//! ladders ("the closest frequency after normalization").
+//! ladders — to the nearest level when the optimum is interior ("the
+//! closest frequency after normalization"), but to the nearest level *at
+//! or below* when the optimum is budget-bound, since a budget-bound
+//! optimum sits on the cap and rounding up overshoots by construction.
+//! A slack-feedback integrator additionally trims the cap handed to the
+//! optimizer by the accumulated measured-minus-budget slack, cancelling
+//! systematic fitter prediction bias (DESIGN.md §13).
 
 use crate::cost::CostCounter;
 use crate::counters::EpochObservation;
@@ -45,6 +51,22 @@ pub struct FastCapConfig {
     pub initial_core_law: PowerLaw,
     /// Initial memory power law used until the fitter has data.
     pub initial_mem_law: PowerLaw,
+    /// When `true` (the default), a *budget-bound* continuous optimum is
+    /// quantized to the nearest ladder step at or **below** each continuous
+    /// frequency, so quantization error can only create slack, never
+    /// overshoot. Interior (performance-bound) optima keep the paper's
+    /// nearest-level rule, where rounding up costs nothing.
+    pub quantize_down: bool,
+    /// Integral gain on the measured-minus-budget slack: each epoch the
+    /// controller adds `slack_gain · (measured − budget)` to a budget trim
+    /// that shrinks the cap handed to the optimizer, cancelling systematic
+    /// fitter prediction bias the way Freq-Par's feedback loop implicitly
+    /// does. `0` disables the integrator.
+    pub slack_gain: f64,
+    /// Anti-windup clamp: the integrator trim stays in
+    /// `[0, slack_clamp · budget]` — it only ever *tightens* the cap, and
+    /// never by more than this fraction.
+    pub slack_clamp: f64,
 }
 
 impl FastCapConfig {
@@ -145,6 +167,18 @@ impl FastCapConfig {
                 why: "must be >= 0".into(),
             });
         }
+        if !(self.slack_gain >= 0.0 && self.slack_gain <= 1.0) {
+            return Err(Error::InvalidConfig {
+                what: "slack_gain",
+                why: format!("must be in [0, 1], got {}", self.slack_gain),
+            });
+        }
+        if !(self.slack_clamp >= 0.0 && self.slack_clamp <= 0.5) {
+            return Err(Error::InvalidConfig {
+                what: "slack_clamp",
+                why: format!("must be in [0, 0.5], got {}", self.slack_clamp),
+            });
+        }
         Ok(())
     }
 }
@@ -181,6 +215,9 @@ impl FastCapConfigBuilder {
                     p_max: Watts(24.0),
                     alpha: 1.0,
                 },
+                quantize_down: true,
+                slack_gain: 0.2,
+                slack_clamp: 0.05,
             },
         }
     }
@@ -244,6 +281,24 @@ impl FastCapConfigBuilder {
         self
     }
 
+    /// Enables or disables quantize-down rounding of budget-bound optima
+    /// (on by default; off reproduces the pre-PR-10 nearest-level bias,
+    /// kept for the `bias_ablation` artifact).
+    #[must_use]
+    pub fn quantize_down(mut self, on: bool) -> Self {
+        self.cfg.quantize_down = on;
+        self
+    }
+
+    /// Sets the slack-feedback integrator gain and anti-windup clamp
+    /// fraction (gain 0 disables the integrator).
+    #[must_use]
+    pub fn slack_feedback(mut self, gain: f64, clamp: f64) -> Self {
+        self.cfg.slack_gain = gain;
+        self.cfg.slack_clamp = clamp;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -264,6 +319,15 @@ pub struct DvfsDecision {
     pub mem_freq: usize,
     /// Predicted total power at the (continuous) optimum.
     pub predicted_power: Watts,
+    /// Predicted total power at the **quantized** ladder point — the
+    /// frequencies the actuators will actually set. This is the number to
+    /// audit against the cap: with quantize-down on it is `<=` the
+    /// effective budget whenever the solve is budget-bound, while the
+    /// continuous prediction merely saturates the cap.
+    pub quantized_power: Watts,
+    /// The slack-feedback integrator's trim subtracted from the cap for
+    /// this solve (zero when the integrator is disabled or fully unwound).
+    pub budget_trim: Watts,
     /// The achieved degradation factor `D` (1.0 = no degradation).
     pub degradation: f64,
     /// Whether the budget constraint was binding.
@@ -294,6 +358,13 @@ pub struct FastCapController {
     candidates: Vec<Secs>,
     epochs_seen: u64,
     cost: CostCounter,
+    /// Slack-feedback integrator state: watts currently trimmed off the
+    /// cap (`>= 0`; see [`FastCapConfig::slack_gain`]).
+    slack_trim: f64,
+    /// `false` for exactly one observation after a budget step or
+    /// hotplug: that epoch ran under a *different* cap, so charging its
+    /// slack to the integrator would be bias, not signal.
+    slack_armed: bool,
 }
 
 impl FastCapController {
@@ -316,6 +387,8 @@ impl FastCapController {
             candidates,
             epochs_seen: 0,
             cost: CostCounter::default(),
+            slack_trim: 0.0,
+            slack_armed: true,
         })
     }
 
@@ -344,6 +417,10 @@ impl FastCapController {
     /// `(0, 1]`; the controller is left unchanged.
     pub fn set_budget_fraction(&mut self, fraction: f64) -> Result<()> {
         self.cfg = self.cfg.with_budget_fraction(fraction)?;
+        // The integrator's accumulated slack was measured against the old
+        // cap; carrying it across a step would mis-trim the new one.
+        self.slack_trim = 0.0;
+        self.slack_armed = false;
         Ok(())
     }
 
@@ -388,6 +465,10 @@ impl FastCapController {
             candidates: self.candidates.clone(),
             epochs_seen: self.epochs_seen,
             cost: self.cost,
+            // Hotplug resets the integrator: the carried slack was
+            // measured against a different active set.
+            slack_trim: 0.0,
+            slack_armed: false,
         })
     }
 
@@ -441,7 +522,7 @@ impl FastCapController {
                 power: self.mem_fitter.model(),
             },
             static_power: self.cfg.total_static_power(),
-            budget: self.cfg.budget(),
+            budget: self.effective_budget(),
         };
         model.validate()?;
         Ok(model)
@@ -454,7 +535,29 @@ impl FastCapController {
     pub fn observe(&mut self, obs: &EpochObservation) {
         let updates = self.update_fitters(obs);
         self.cost.fitter_updates += updates;
+        if self.cfg.slack_gain > 0.0 {
+            if self.slack_armed {
+                let over = obs.total_power.get() - self.cfg.budget().get();
+                self.slack_trim = (self.slack_trim + self.cfg.slack_gain * over)
+                    .clamp(0.0, self.cfg.slack_clamp * self.cfg.budget().get());
+            } else {
+                self.slack_armed = true;
+            }
+        }
         self.epochs_seen += 1;
+    }
+
+    /// The slack-feedback integrator's current budget trim (watts).
+    #[inline]
+    pub fn budget_trim(&self) -> Watts {
+        Watts(self.slack_trim)
+    }
+
+    /// The cap the optimizer actually solves against: the configured
+    /// budget minus the integrator trim.
+    #[inline]
+    pub fn effective_budget(&self) -> Watts {
+        Watts(self.cfg.budget().get() - self.slack_trim)
     }
 
     /// Cumulative deterministic operation counts for everything this
@@ -536,17 +639,35 @@ impl FastCapController {
                 self.cost.bus_evals += sol.points_evaluated as u64;
                 self.cost.solver_iters += sol.core_terms;
                 self.cost.quantize_ops += self.cfg.n_cores as u64 + 1;
-                let core_freqs = sol
+                // Quantize-down: a budget-bound optimum sits *on* the cap
+                // (Theorem 1), so rounding any frequency up overshoots by
+                // construction — take the ladder step at or below instead.
+                // Interior optima keep the paper's nearest-level rule.
+                let down = self.cfg.quantize_down && sol.inner.budget_bound;
+                let core_freqs: Vec<usize> = sol
                     .inner
                     .core_scales
                     .iter()
-                    .map(|&s| self.cfg.core_ladder.nearest_scale(s))
+                    .map(|&s| {
+                        if down {
+                            self.cfg.core_ladder.floor_scale(s)
+                        } else {
+                            self.cfg.core_ladder.nearest_scale(s)
+                        }
+                    })
                     .collect();
-                let mem_freq = self.cfg.mem_ladder.nearest_scale(sol.bus_scale);
+                let mem_freq = if down {
+                    self.cfg.mem_ladder.floor_scale(sol.bus_scale)
+                } else {
+                    self.cfg.mem_ladder.nearest_scale(sol.bus_scale)
+                };
+                let quantized_power = self.quantized_power(&model, &core_freqs, mem_freq);
                 Ok(DvfsDecision {
                     core_freqs,
                     mem_freq,
                     predicted_power: sol.inner.predicted_power,
+                    quantized_power,
+                    budget_trim: self.budget_trim(),
                     degradation: sol.inner.degradation,
                     budget_bound: sol.inner.budget_bound,
                     emergency: false,
@@ -568,12 +689,99 @@ impl FastCapController {
                     core_freqs: vec![0; self.cfg.n_cores],
                     mem_freq: 0,
                     predicted_power: predicted,
+                    quantized_power: predicted,
+                    budget_trim: self.budget_trim(),
                     degradation: 0.0,
                     budget_bound: true,
                     emergency: true,
                 })
             }
             Err(e) => Err(e),
+        }
+    }
+
+    /// Predicted total power at a quantized ladder point: static power
+    /// plus the fitted dynamic laws evaluated at the scales the actuators
+    /// will actually set.
+    fn quantized_power(&self, model: &CapModel, core_freqs: &[usize], mem_freq: usize) -> Watts {
+        model.static_power
+            + model
+                .memory
+                .power
+                .dynamic_power(self.cfg.mem_ladder.scale(mem_freq))
+            + core_freqs
+                .iter()
+                .zip(&model.cores)
+                .map(|(&i, c)| c.power.dynamic_power(self.cfg.core_ladder.scale(i)))
+                .sum::<Watts>()
+    }
+
+    /// A cold-start decision from the current (initially configured) power
+    /// laws, before any observation exists. The closed loop uses this for
+    /// epoch 0, so the very first epoch already runs under the cap instead
+    /// of at maximum frequencies. Without performance counters there is no
+    /// response-time model to optimize against, so the bootstrap is purely
+    /// power-driven: the highest uniform core level — and for it the
+    /// highest memory level — whose predicted power fits the budget.
+    /// `mem_pin` forces the memory level (the CPU-only baseline pins it at
+    /// maximum).
+    pub fn bootstrap(&mut self, mem_pin: Option<usize>) -> DvfsDecision {
+        let budget = self.effective_budget();
+        let stat = self.cfg.total_static_power();
+        let mem_law = self.mem_fitter.model();
+        let top_core = self.cfg.core_ladder.len() - 1;
+        let top_mem = self.cfg.mem_ladder.len() - 1;
+        for ci in (0..=top_core).rev() {
+            self.cost.quantize_ops += 1;
+            let cscale = self.cfg.core_ladder.scale(ci);
+            let core_dyn: Watts = self
+                .core_fitters
+                .iter()
+                .map(|f| f.model().dynamic_power(cscale))
+                .sum();
+            let mem_budget = budget - stat - core_dyn;
+            if mem_budget.get() <= 0.0 {
+                continue;
+            }
+            let mi = mem_pin.unwrap_or_else(|| {
+                self.cfg
+                    .mem_ladder
+                    .floor_scale(mem_law.scale_for_power(mem_budget))
+            });
+            let predicted = stat + core_dyn + mem_law.dynamic_power(self.cfg.mem_ladder.scale(mi));
+            if predicted.get() <= budget.get() + 1e-9 {
+                return DvfsDecision {
+                    core_freqs: vec![ci; self.cfg.n_cores],
+                    mem_freq: mi,
+                    predicted_power: predicted,
+                    quantized_power: predicted,
+                    budget_trim: self.budget_trim(),
+                    // No response model yet: the uniform core scale is the
+                    // degradation lower bound, reported as a proxy.
+                    degradation: cscale,
+                    budget_bound: !(ci == top_core && mi == top_mem),
+                    emergency: false,
+                };
+            }
+        }
+        // Even minimum frequencies don't fit: the emergency floor.
+        let mi = mem_pin.unwrap_or(0);
+        let predicted = stat
+            + self
+                .core_fitters
+                .iter()
+                .map(|f| f.model().dynamic_power(self.cfg.core_ladder.scale(0)))
+                .sum::<Watts>()
+            + mem_law.dynamic_power(self.cfg.mem_ladder.scale(mi));
+        DvfsDecision {
+            core_freqs: vec![0; self.cfg.n_cores],
+            mem_freq: mi,
+            predicted_power: predicted,
+            quantized_power: predicted,
+            budget_trim: self.budget_trim(),
+            degradation: 0.0,
+            budget_bound: true,
+            emergency: true,
         }
     }
 }
@@ -893,6 +1101,109 @@ mod tests {
         assert!(matches!(model.memory.response, ResponseModel::Multi(_)));
         let mut c = controller(0.6);
         assert!(c.decide(&obs).is_ok());
+    }
+
+    #[test]
+    fn budget_bound_quantization_rounds_down() {
+        let mut ctl = controller(0.6);
+        let obs = obs_16(true);
+        let d = ctl.decide(&obs).unwrap();
+        assert!(d.budget_bound && !d.emergency);
+        // Re-derive the continuous optimum from the same (already updated)
+        // fitter state: every quantized level must sit at or below it.
+        let model = ctl.build_model(&obs).unwrap();
+        let sol = optimizer::algorithm1(&model, ctl.candidates()).unwrap();
+        let cores = &ctl.config().core_ladder;
+        for (i, &lvl) in d.core_freqs.iter().enumerate() {
+            assert!(
+                cores.scale(lvl) <= sol.inner.core_scales[i] * (1.0 + 1e-9),
+                "core {i} rounded up: level scale {} > continuous {}",
+                cores.scale(lvl),
+                sol.inner.core_scales[i]
+            );
+        }
+        assert!(ctl.config().mem_ladder.scale(d.mem_freq) <= sol.bus_scale * (1.0 + 1e-9));
+        // ... and therefore the quantized prediction respects the cap.
+        assert!(
+            d.quantized_power.get() <= model.budget.get() + 1e-9,
+            "quantized {} over effective budget {}",
+            d.quantized_power,
+            model.budget
+        );
+    }
+
+    #[test]
+    fn slack_integrator_trims_and_resets() {
+        let mut ctl = controller(0.6); // 72 W cap
+        let obs = obs_16(true); // measured 110 W: 38 W over
+        ctl.decide(&obs).unwrap();
+        let t1 = ctl.budget_trim().get();
+        assert!(t1 > 0.0, "overshoot must charge the integrator");
+        let clamp = 0.05 * 72.0;
+        assert!(t1 <= clamp + 1e-12, "anti-windup clamp");
+        ctl.decide(&obs).unwrap();
+        assert!((ctl.budget_trim().get() - clamp).abs() < 1e-9, "saturated");
+        // Under-cap epochs unwind the trim instead of winding up negative.
+        let mut under = obs_16(true);
+        under.total_power = Watts(50.0);
+        ctl.decide(&under).unwrap();
+        let unwound = ctl.budget_trim().get();
+        assert!(unwound < clamp && unwound >= 0.0);
+        // A budget step resets the trim and skips exactly one observation
+        // (which ran under the old cap) before re-arming.
+        ctl.set_budget_fraction(0.5).unwrap();
+        assert_eq!(ctl.budget_trim().get(), 0.0);
+        ctl.decide(&obs).unwrap();
+        assert_eq!(ctl.budget_trim().get(), 0.0, "grace epoch not charged");
+        ctl.decide(&obs).unwrap();
+        assert!(ctl.budget_trim().get() > 0.0, "re-armed");
+        // Warm-carry resets too.
+        let carried: Vec<Option<usize>> = (0..16).map(Some).collect();
+        assert_eq!(ctl.warm_carry(&carried).unwrap().budget_trim().get(), 0.0);
+        // Disabled integrator never trims.
+        let cfg = FastCapConfig::builder(16)
+            .budget_fraction(0.6)
+            .peak_power(Watts(120.0))
+            .slack_feedback(0.0, 0.05)
+            .build()
+            .unwrap();
+        let mut off = FastCapController::new(cfg).unwrap();
+        off.decide(&obs).unwrap();
+        assert_eq!(off.budget_trim().get(), 0.0);
+    }
+
+    #[test]
+    fn bootstrap_fits_budget_from_initial_laws() {
+        let mut ctl = controller(0.6);
+        let d = ctl.bootstrap(None);
+        assert!(!d.emergency);
+        assert!(d.budget_bound);
+        assert!(d.predicted_power.get() <= 72.0 + 1e-9);
+        assert_eq!(d.quantized_power, d.predicted_power);
+        assert!(
+            d.core_freqs.iter().all(|&i| i == d.core_freqs[0]),
+            "uniform"
+        );
+        // A loose budget bootstraps straight to maximum everywhere.
+        let mut loose = controller(1.0);
+        let dl = loose.bootstrap(None);
+        assert!(dl.core_freqs.iter().all(|&i| i == 9));
+        assert_eq!(dl.mem_freq, 9);
+        assert!(!dl.budget_bound);
+        // An infeasible budget bootstraps to the emergency floor.
+        let cfg = FastCapConfig::builder(16)
+            .budget_fraction(0.25)
+            .peak_power(Watts(120.0))
+            .build()
+            .unwrap();
+        let mut tight = FastCapController::new(cfg).unwrap();
+        assert!(tight.bootstrap(None).emergency);
+        // A pinned memory level is honored (CPU-only).
+        let mut pin = controller(0.8);
+        let dp = pin.bootstrap(Some(9));
+        assert_eq!(dp.mem_freq, 9);
+        assert!(!dp.emergency);
+        assert!(dp.predicted_power.get() <= 96.0 + 1e-9);
     }
 
     #[test]

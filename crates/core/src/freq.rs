@@ -152,6 +152,16 @@ impl FreqLadder {
         self.nearest(Hz(self.max().get() * scale.clamp(0.0, 1.0)))
     }
 
+    /// Index of the highest level at or below `scale * f_max` — the
+    /// quantize-down rule: rounding a budget-bound continuous optimum with
+    /// this can only create slack, never overshoot. A one-part-per-billion
+    /// relative guard keeps a continuous scale that lands exactly on a
+    /// level (up to floating-point round-off) on that level instead of
+    /// dropping a whole ladder step.
+    pub fn floor_scale(&self, scale: f64) -> usize {
+        self.floor(Hz(self.max().get() * scale.clamp(0.0, 1.0) * (1.0 + 1e-9)))
+    }
+
     /// Index of the highest level whose frequency is `<= target`; level 0 if
     /// even the minimum exceeds `target`.
     pub fn floor(&self, target: Hz) -> usize {

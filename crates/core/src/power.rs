@@ -120,10 +120,24 @@ pub struct PowerSample {
 /// Online estimator for a [`PowerLaw`], following Sec. III-C: keep the last
 /// few observations at *distinct* frequencies and periodically re-solve the
 /// model for `(P, α)`.
+///
+/// "Recent" is enforced in **time**, not just identity: a retained sample
+/// that has not been refreshed within [`PowerModelFitter::MAX_SAMPLE_AGE`]
+/// subsequent observations is evicted. Without aging, a workload shift
+/// leaves samples from the old behaviour parked at unvisited frequencies;
+/// the least-squares line then tilts through them and the law mispredicts
+/// *at the frequency being observed every epoch* — a persistent bias no
+/// amount of fresh data at one scale can fix, because the stale points
+/// never get replaced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PowerModelFitter {
     /// Most recent sample per distinct scale, newest last.
     samples: Vec<PowerSample>,
+    /// Observation-clock stamp of each retained sample (parallel to
+    /// `samples`).
+    last_seen: Vec<u64>,
+    /// Monotonic count of accepted observations.
+    clock: u64,
     capacity: usize,
     bounds: ExponentBounds,
     current: PowerLaw,
@@ -134,11 +148,19 @@ impl PowerModelFitter {
     /// three).
     pub const DEFAULT_CAPACITY: usize = 3;
 
+    /// Observations a retained sample may go unrefreshed before it is
+    /// evicted as stale. One observation arrives per control epoch, so
+    /// this bounds how long a pre-shift sample can bias the fit — well
+    /// inside the oracle's settle window.
+    pub const MAX_SAMPLE_AGE: u64 = 8;
+
     /// Creates a fitter seeded with an initial model (used until enough
     /// observations accumulate).
     pub fn new(initial: PowerLaw, bounds: ExponentBounds) -> Self {
         Self {
             samples: Vec::with_capacity(Self::DEFAULT_CAPACITY),
+            last_seen: Vec::with_capacity(Self::DEFAULT_CAPACITY),
+            clock: 0,
             capacity: Self::DEFAULT_CAPACITY,
             bounds,
             current: initial,
@@ -181,16 +203,32 @@ impl PowerModelFitter {
         // Replace an existing sample at (nearly) the same frequency, else
         // append and evict the oldest beyond capacity.
         const SAME_FREQ_EPS: f64 = 1e-6;
-        if let Some(existing) = self
+        self.clock += 1;
+        if let Some(i) = self
             .samples
-            .iter_mut()
-            .find(|s| (s.scale - sample.scale).abs() < SAME_FREQ_EPS)
+            .iter()
+            .position(|s| (s.scale - sample.scale).abs() < SAME_FREQ_EPS)
         {
-            *existing = sample;
+            self.samples[i] = sample;
+            self.last_seen[i] = self.clock;
         } else {
             self.samples.push(sample);
+            self.last_seen.push(self.clock);
             if self.samples.len() > self.capacity {
                 self.samples.remove(0);
+                self.last_seen.remove(0);
+            }
+        }
+        // Age out samples the loop has stopped refreshing: after a
+        // workload shift they describe the *old* behaviour and would bias
+        // the fit against every fresh observation.
+        let mut i = 0;
+        while i < self.samples.len() {
+            if self.clock - self.last_seen[i] > Self::MAX_SAMPLE_AGE {
+                self.samples.remove(i);
+                self.last_seen.remove(i);
+            } else {
+                i += 1;
             }
         }
         self.refit();
@@ -378,6 +416,39 @@ mod tests {
         let m = f.model();
         assert!((m.alpha - 3.0).abs() < 1e-6);
         assert!((m.p_max.get() - 8.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fitter_evicts_stale_samples_after_workload_shift() {
+        // Old workload observed at three scales; then the workload shifts
+        // (power up 30%) but the loop settles on a single frequency. The
+        // stale off-frequency samples must age out so the refit converges
+        // to the fresh data instead of splitting the difference forever.
+        let old = law(4.0, 2.0);
+        let mut f = PowerModelFitter::new(law(4.0, 2.0), ExponentBounds::CORE);
+        for scale in [1.0, 0.8, 0.6] {
+            f.observe(PowerSample {
+                scale,
+                dynamic_power: old.dynamic_power(scale),
+            });
+        }
+        let new = law(5.2, 2.0);
+        let fresh = PowerSample {
+            scale: 0.9,
+            dynamic_power: new.dynamic_power(0.9),
+        };
+        for _ in 0..=PowerModelFitter::MAX_SAMPLE_AGE {
+            f.observe(fresh);
+        }
+        // Only the refreshed sample survives; the model now reproduces the
+        // fresh observation exactly at the observed frequency.
+        assert_eq!(f.sample_count(), 1);
+        let predicted = f.model().dynamic_power(0.9);
+        assert!(
+            (predicted.get() - fresh.dynamic_power.get()).abs() < 1e-9,
+            "stale samples still bias the fit: predicted {predicted} vs observed {}",
+            fresh.dynamic_power
+        );
     }
 
     #[test]

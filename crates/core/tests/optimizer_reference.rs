@@ -10,7 +10,7 @@
 
 use fastcap_core::freq::FreqLadder;
 use fastcap_core::model::{CapModel, CoreModel, MemoryModel, ResponseModel};
-use fastcap_core::optimizer::{algorithm1, bus_candidates, exhaustive};
+use fastcap_core::optimizer::{algorithm1, bus_candidates, evaluate_point, exhaustive};
 use fastcap_core::power::PowerLaw;
 use fastcap_core::queueing::ResponseTimeModel;
 use fastcap_core::units::{Secs, Watts};
@@ -111,5 +111,106 @@ fn algorithm1_matches_exhaustive_after_quantization() {
     assert!(
         solved >= 3,
         "need at least 3 feasible randomized models, got {solved}"
+    );
+}
+
+/// Quantize-down against brute force on the full discrete ladder grid:
+/// for budget-bound instances, flooring the continuous optimum onto the
+/// ladders must (a) never predict above the budget — the whole point of
+/// rounding down — and (b) retain performance within one ladder step's
+/// worth of the best discrete point that also respects the cap. The
+/// exhaustive reference scans every (core levels × memory level)
+/// combination, so this pins the production rounding rule against the
+/// ground truth it approximates.
+#[test]
+fn quantize_down_matches_exhaustive_search_under_cap() {
+    let core_ladder = FreqLadder::ispass_core();
+    let mem_ladder = FreqLadder::ispass_memory_bus();
+    let n_core_levels = core_ladder.len();
+    let n_mem_levels = mem_ladder.len();
+    let mut rng = SmallRng::seed_from_u64(20160418);
+    let mut budget_bound_cases = 0;
+    for case in 0..16 {
+        let model = random_model(&mut rng);
+        let cands = bus_candidates(model.memory.min_bus_transfer_time, mem_ladder.levels());
+        let Ok(sol) = algorithm1(&model, &cands) else {
+            continue; // infeasible: nothing to quantize
+        };
+        if !sol.inner.budget_bound {
+            continue; // interior optimum: nearest rounding applies, not floor
+        }
+        budget_bound_cases += 1;
+
+        // Production rounding: floor every scale onto its ladder.
+        let q_scales: Vec<f64> = sol
+            .inner
+            .core_scales
+            .iter()
+            .map(|&s| core_ladder.scale(core_ladder.floor_scale(s)))
+            .collect();
+        let q_mem = mem_ladder.scale(mem_ladder.floor_scale(sol.bus_scale));
+        let q_sb = model.memory.min_bus_transfer_time / q_mem;
+        let (q_d, q_power) = evaluate_point(&model, &q_scales, q_sb).expect("valid point");
+        assert!(
+            q_power.get() <= model.budget.get() + 1e-9,
+            "case {case}: quantize-down predicted {q_power} above budget {}",
+            model.budget
+        );
+
+        // Ground truth: the best-performing ladder point under the cap.
+        // Heterogeneous cores need the full grid; uniform-per-core search
+        // would miss the optimum.
+        let mut best_d = f64::NEG_INFINITY;
+        let mut levels = [0usize; 4];
+        loop {
+            let scales: Vec<f64> = levels.iter().map(|&l| core_ladder.scale(l)).collect();
+            for m in 0..n_mem_levels {
+                let sb = model.memory.min_bus_transfer_time / mem_ladder.scale(m);
+                let (d, p) = evaluate_point(&model, &scales, sb).expect("valid point");
+                if p.get() <= model.budget.get() + 1e-9 && d > best_d {
+                    best_d = d;
+                }
+            }
+            // Odometer over the 4-core level grid.
+            let mut i = 0;
+            while i < 4 {
+                levels[i] += 1;
+                if levels[i] < n_core_levels {
+                    break;
+                }
+                levels[i] = 0;
+                i += 1;
+            }
+            if i == 4 {
+                break;
+            }
+        }
+        assert!(
+            best_d.is_finite(),
+            "case {case}: exhaustive search found no feasible ladder point \
+             but quantize-down did"
+        );
+        // The exhaustive point is at least as good (it is the optimum)…
+        assert!(
+            best_d >= q_d - 1e-12,
+            "case {case}: exhaustive D {best_d} worse than quantized {q_d}"
+        );
+        // …and flooring a continuous optimum that sits ON the cap stays
+        // within one ladder step of it: each core loses at most one step
+        // of frequency, so retained performance degrades by at most the
+        // largest adjacent-step ratio on the core ladder (~12% here, with
+        // the mem ladder's step absorbed by the same bound).
+        let worst_step: f64 = (1..n_core_levels)
+            .map(|l| core_ladder.scale(l - 1) / core_ladder.scale(l))
+            .fold(1.0, f64::min);
+        assert!(
+            q_d >= best_d * worst_step * worst_step,
+            "case {case}: quantized D {q_d} more than two ladder steps below \
+             exhaustive-under-cap D {best_d}"
+        );
+    }
+    assert!(
+        budget_bound_cases >= 3,
+        "need at least 3 budget-bound randomized models, got {budget_bound_cases}"
     );
 }

@@ -564,17 +564,23 @@ impl<M: ServerModel> Fleet<M> {
         let mut cost = self.total_cost();
 
         for _ in 0..epochs {
-            // 1. Scenario events due at (or before) this epoch.
+            // 1. Scenario events due at (or before) this epoch. Budget and
+            // cap steps invalidate every leaf's demand estimate (it
+            // describes power drawn under the *old* allocation), so they
+            // flag this epoch for demand re-seeding in pass 3.
+            let mut reseed_demand = false;
             while self.next_event < self.events.len()
                 && self.events[self.next_event].0 <= self.epoch
             {
                 let detail = match self.events[self.next_event].1 {
                     CompiledAction::Budget(f) => {
                         self.budget_fraction = f;
+                        reseed_demand = true;
                         format!("fraction={f}")
                     }
                     CompiledAction::Cap(i, f) => {
                         self.nodes[i].cap_override = f;
+                        reseed_demand = true;
                         format!("node={} cap={f}", self.nodes[i].name)
                     }
                     CompiledAction::Offline(i) => {
@@ -620,9 +626,20 @@ impl<M: ServerModel> Fleet<M> {
                         if self.nodes[i].eff_online {
                             let peak = self.leaves[l].model.peak_power().get();
                             let lo = MIN_FRACTION * peak;
-                            let base = self.leaves[l]
-                                .last_power
-                                .map_or(peak, |p| DEMAND_HEADROOM * p);
+                            // On a budget/cap-step epoch the last observed
+                            // power describes draw under the *old*
+                            // allocation, so headroom-over-stale-power
+                            // would lag the grant by one transient epoch
+                            // (the fleet_settle cold-start spike). Seed
+                            // from the newly granted fraction instead so
+                            // every leaf claims its share immediately.
+                            let base = if reseed_demand {
+                                self.budget_fraction * peak
+                            } else {
+                                self.leaves[l]
+                                    .last_power
+                                    .map_or(peak, |p| DEMAND_HEADROOM * p)
+                            };
                             (lo, peak, (base * self.nodes[i].eff_surge).clamp(lo, peak))
                         } else {
                             (0.0, 0.0, 0.0)
@@ -936,12 +953,15 @@ mod tests {
     }
 
     #[test]
-    fn surge_pulls_budget_toward_the_hot_rack() {
+    fn budget_step_grants_headroom_to_cold_racks_immediately() {
         // Scarce water-filling is fair — it equalizes, and a demand above
-        // the fair share never binds. A surge therefore shows up in the
-        // transient: when the budget steps up, the surged rack claims the
-        // fresh headroom immediately while the cold rack's demand
-        // estimate (headroom × last power) is still ramping.
+        // the fair share never binds. Before demand re-seeding, a surged
+        // rack claimed a budget step's fresh headroom one epoch early
+        // because the cold rack's estimate (headroom × last power) lagged
+        // the grant. Re-seeding from the newly granted fraction kills
+        // that transient: on the step epoch every leaf bids its granted
+        // share, so the cold rack steps up *immediately* and the surge
+        // never starves it below fairness.
         let mut scn = FleetScenario::empty();
         scn.events.push(FleetEvent {
             at_epoch: 5,
@@ -963,13 +983,24 @@ mod tests {
         let hot = &run.traces[0]; // srv0_0, surged
         let cold = &run.traces[1]; // srv1_0
         assert_eq!(hot.fractions[4], cold.fractions[4], "symmetric before");
+        // The surge may tip the split toward the hot rack but never
+        // below the cold rack's fair entitlement of the new budget.
         assert!(
-            hot.fractions[5] > cold.fractions[5],
-            "surged rack should claim the budget-step headroom first: {} vs {}",
+            hot.fractions[5] >= cold.fractions[5],
+            "surge must not penalize the surged rack: {} vs {}",
             hot.fractions[5],
             cold.fractions[5]
         );
-        // …and fairness reasserts itself once the cold demand catches up.
+        // Immediate uptake: the cold rack's share jumps on the step
+        // epoch itself instead of idling one transient epoch on its
+        // stale demand estimate.
+        assert!(
+            cold.fractions[5] > cold.fractions[4] + 0.2,
+            "cold rack must claim the step headroom immediately: {} -> {}",
+            cold.fractions[4],
+            cold.fractions[5]
+        );
+        // …and fairness holds once demand estimates refresh.
         let last = run.epochs.len() - 1;
         assert!((hot.fractions[last] - cold.fractions[last]).abs() < 0.06);
     }

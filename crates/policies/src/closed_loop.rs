@@ -26,8 +26,11 @@ pub struct ClosedLoop<B: EpochBackend> {
 
 impl<B: EpochBackend> ClosedLoop<B> {
     /// Wires `policy` to `backend`. The policy's configured budget is in
-    /// force from its first decision; epoch 0 is always an uncontrolled
-    /// warm-up (no observation exists yet), as in the paper.
+    /// force from epoch 0: with no observation yet, the loop asks the
+    /// policy for a [`CappingPolicy::bootstrap`] decision solved from its
+    /// initial power laws, so model-predictive policies cap the very first
+    /// epoch too. Feedback-only policies (no bootstrap) keep the old
+    /// contract — epoch 0 runs uncontrolled at maximum frequencies.
     pub fn new(backend: B, policy: Box<dyn CappingPolicy>) -> Self {
         Self { backend, policy }
     }
@@ -71,10 +74,10 @@ impl<B: EpochBackend> ClosedLoop<B> {
     /// error degrades to "hold current frequencies" — the historical
     /// harness contract — so stepping never fails.
     pub fn step(&mut self) -> EpochReport {
-        let decision = self
-            .backend
-            .observation()
-            .and_then(|obs| self.policy.decide(&obs).ok());
+        let decision = match self.backend.observation() {
+            Some(obs) => self.policy.decide(&obs).ok(),
+            None => self.policy.bootstrap(),
+        };
         self.backend.run_epoch(decision.as_ref())
     }
 
@@ -102,7 +105,10 @@ impl<B: EpochBackend> ClosedLoop<B> {
             let (observed_w, bank_queue) = obs
                 .as_ref()
                 .map_or((0.0, 0.0), |o| (o.total_power.get(), o.memory.bank_queue));
-            let decision = obs.and_then(|o| self.policy.decide(&o).ok());
+            let decision = match obs {
+                Some(o) => self.policy.decide(&o).ok(),
+                None => self.policy.bootstrap(),
+            };
             let report = self.backend.run_epoch(decision.as_ref());
             if let Some(t) = trace.as_deref_mut() {
                 let policy_delta = {
@@ -146,6 +152,8 @@ impl<B: EpochBackend> ClosedLoop<B> {
                         core_freqs: d.core_freqs.clone(),
                         mem_freq: d.mem_freq,
                         predicted_w: d.predicted_power.get(),
+                        quantized_w: d.quantized_power.get(),
+                        trim_w: d.budget_trim.get(),
                         measured_w,
                         slack_w: budget_w.map(|b| b - measured_w),
                         budget_bound: d.budget_bound,
@@ -198,17 +206,35 @@ mod tests {
         Box::new(FastCapPolicy::new(cfg).unwrap())
     }
 
-    /// The extracted loop must reproduce the inline harness loop exactly.
+    /// The extracted loop must reproduce an inline observe → decide →
+    /// actuate loop exactly, including the epoch-0 bootstrap decision.
     #[test]
     fn matches_inline_policy_loop() {
         let mix = mixes::by_name("MEM3").unwrap();
         let mut inline_policy = FastCapPolicy::new(cfg().controller_config(0.6).unwrap()).unwrap();
-        let expected = Server::for_workload(cfg(), &mix, 11)
-            .unwrap()
-            .run(6, |obs| inline_policy.decide(obs).ok());
+        let mut inline_srv = Server::for_workload(cfg(), &mix, 11).unwrap();
+        let mut reports = Vec::new();
+        for _ in 0..6 {
+            let d = match fastcap_sim::EpochBackend::observation(&inline_srv) {
+                Some(obs) => inline_policy.decide(&obs).ok(),
+                None => inline_policy.bootstrap(),
+            };
+            reports.push(fastcap_sim::EpochBackend::run_epoch(
+                &mut inline_srv,
+                d.as_ref(),
+            ));
+        }
         let server = Server::for_workload(cfg(), &mix, 11).unwrap();
         let got = ClosedLoop::new(server, policy(0.6)).run(6);
-        assert_eq!(got, expected);
+        assert_eq!(got.epochs, reports);
+        // And epoch 0 actually ran capped: the bootstrap decision holds
+        // the first epoch's power near the cap instead of at peak.
+        let peak = cfg().peak_power.get();
+        assert!(
+            got.epochs[0].total_power.get() < 0.9 * peak,
+            "epoch 0 ran uncontrolled: {} of peak {peak}",
+            got.epochs[0].total_power
+        );
     }
 
     /// Same policy code, analytic tier — the ladder's cheap rung.

@@ -49,6 +49,10 @@ impl CappingPolicy for CpuOnlyPolicy {
         Ok(d)
     }
 
+    fn bootstrap(&mut self) -> Option<DvfsDecision> {
+        Some(self.controller.bootstrap(Some(self.mem_max_idx)))
+    }
+
     fn on_budget_change(&mut self, fraction: f64) -> Result<()> {
         self.controller.set_budget_fraction(fraction)
     }

@@ -53,7 +53,13 @@ impl CappingPolicy for EqlFreqPolicy {
         let mut best: Option<(f64, Watts, usize, usize)> = None;
         for &sb in &candidates {
             let bus_scale = model.memory.min_bus_transfer_time / sb;
-            let mem_idx = cfg.mem_ladder.nearest_scale(bus_scale);
+            // Budget-bound by construction: quantize the memory level down
+            // so actuation cannot overshoot the candidate it was costed at.
+            let mem_idx = if cfg.quantize_down {
+                cfg.mem_ladder.floor_scale(bus_scale)
+            } else {
+                cfg.mem_ladder.nearest_scale(bus_scale)
+            };
             self.search_cost.quantize_ops += 1;
             for level in 0..cfg.core_ladder.len() {
                 let scale = cfg.core_ladder.scale(level);
@@ -70,10 +76,14 @@ impl CappingPolicy for EqlFreqPolicy {
         }
 
         Ok(match best {
+            // `power` was evaluated at ladder scales on both axes, so the
+            // continuous and quantized predictions coincide here.
             Some((d, power, level, mem_freq)) => DvfsDecision {
                 core_freqs: vec![level; n],
                 mem_freq,
                 predicted_power: power,
+                quantized_power: power,
+                budget_trim: self.controller.budget_trim(),
                 degradation: d,
                 budget_bound: true,
                 emergency: false,
@@ -82,11 +92,17 @@ impl CappingPolicy for EqlFreqPolicy {
                 core_freqs: vec![0; n],
                 mem_freq: 0,
                 predicted_power: model.static_power,
+                quantized_power: model.static_power,
+                budget_trim: self.controller.budget_trim(),
                 degradation: 0.0,
                 budget_bound: true,
                 emergency: true,
             },
         })
+    }
+
+    fn bootstrap(&mut self) -> Option<DvfsDecision> {
+        Some(self.controller.bootstrap(None))
     }
 
     fn on_budget_change(&mut self, fraction: f64) -> Result<()> {

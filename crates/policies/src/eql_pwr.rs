@@ -73,7 +73,13 @@ impl CappingPolicy for EqlPwrPolicy {
                 scales.push(ladder.scale(idx));
             }
             let (d, power) = evaluate_point(&model, &scales, sb)?;
-            let mem_idx = cfg.mem_ladder.nearest_scale(bus_scale);
+            // Budget-bound by construction: quantize the memory level down
+            // so actuation cannot overshoot the candidate it was costed at.
+            let mem_idx = if cfg.quantize_down {
+                cfg.mem_ladder.floor_scale(bus_scale)
+            } else {
+                cfg.mem_ladder.nearest_scale(bus_scale)
+            };
             // Per candidate: n per-core share quantizations + the memory
             // one, and n grid terms inside evaluate_point.
             self.search_cost.quantize_ops += n as u64 + 1;
@@ -84,10 +90,14 @@ impl CappingPolicy for EqlPwrPolicy {
         }
 
         Ok(match best {
+            // `power` was evaluated at ladder scales on both axes, so the
+            // continuous and quantized predictions coincide here.
             Some((d, power, core_freqs, mem_freq)) => DvfsDecision {
                 core_freqs,
                 mem_freq,
                 predicted_power: power,
+                quantized_power: power,
+                budget_trim: self.controller.budget_trim(),
                 degradation: d,
                 budget_bound: true,
                 emergency: false,
@@ -97,11 +107,17 @@ impl CappingPolicy for EqlPwrPolicy {
                 core_freqs: vec![0; n],
                 mem_freq: 0,
                 predicted_power: model.static_power,
+                quantized_power: model.static_power,
+                budget_trim: self.controller.budget_trim(),
                 degradation: 0.0,
                 budget_bound: true,
                 emergency: true,
             },
         })
+    }
+
+    fn bootstrap(&mut self) -> Option<DvfsDecision> {
+        Some(self.controller.bootstrap(None))
     }
 
     fn on_budget_change(&mut self, fraction: f64) -> Result<()> {

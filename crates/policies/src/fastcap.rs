@@ -41,6 +41,10 @@ impl CappingPolicy for FastCapPolicy {
         self.controller.decide(obs)
     }
 
+    fn bootstrap(&mut self) -> Option<DvfsDecision> {
+        Some(self.controller.bootstrap(None))
+    }
+
     fn on_budget_change(&mut self, fraction: f64) -> Result<()> {
         self.controller.set_budget_fraction(fraction)
     }
@@ -77,13 +81,21 @@ mod tests {
     fn respects_budget_in_prediction() {
         let mut p = FastCapPolicy::new(cfg_16(0.6)).unwrap();
         let d = p.decide(&obs_16()).unwrap();
-        // Continuous optimum saturates the 72 W budget (Theorem 1); the
-        // quantized prediction may differ slightly, but the continuous
-        // prediction attached to the decision must be at the cap.
+        // Continuous optimum saturates the effective budget — the 72 W cap
+        // minus whatever the slack integrator already trimmed (Theorem 1).
+        let effective = 72.0 - d.budget_trim.get();
         assert!(
-            (d.predicted_power.get() - 72.0).abs() < 0.5,
-            "predicted {}",
+            (d.predicted_power.get() - effective).abs() < 0.5,
+            "predicted {} vs effective cap {effective}",
             d.predicted_power
+        );
+        // The quantized prediction — what the actuators will actually set —
+        // must respect the cap outright when the solve is budget-bound.
+        assert!(d.budget_bound);
+        assert!(
+            d.quantized_power.get() <= effective + 1e-9,
+            "quantized {} over effective cap {effective}",
+            d.quantized_power
         );
     }
 }

@@ -127,6 +127,8 @@ impl CappingPolicy for FreqParPolicy {
             core_freqs,
             mem_freq: self.cfg.mem_ladder.len() - 1,
             predicted_power: Watts(self.cfg.budget().get()),
+            quantized_power: Watts(self.cfg.budget().get()),
+            budget_trim: Watts::ZERO,
             degradation: 0.0,
             budget_bound: true,
             emergency: false,

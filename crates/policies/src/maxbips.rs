@@ -195,6 +195,8 @@ impl CappingPolicy for MaxBipsPolicy {
                     core_freqs,
                     mem_freq,
                     predicted_power: power,
+                    quantized_power: power,
+                    budget_trim: Watts::ZERO,
                     degradation: d,
                     budget_bound: true,
                     emergency: false,
@@ -206,6 +208,8 @@ impl CappingPolicy for MaxBipsPolicy {
                     core_freqs: vec![0; n],
                     mem_freq: 0,
                     predicted_power: model.static_power,
+                    quantized_power: model.static_power,
+                    budget_trim: Watts::ZERO,
                     degradation: 0.0,
                     budget_bound: true,
                     emergency: true,
@@ -414,6 +418,8 @@ impl CappingPolicy for MaxBipsBeamPolicy {
                     core_freqs: combo,
                     mem_freq,
                     predicted_power: power,
+                    quantized_power: power,
+                    budget_trim: Watts::ZERO,
                     degradation: d,
                     budget_bound: true,
                     emergency: false,
@@ -425,6 +431,8 @@ impl CappingPolicy for MaxBipsBeamPolicy {
                     core_freqs: vec![0; n],
                     mem_freq: 0,
                     predicted_power: model.static_power,
+                    quantized_power: model.static_power,
+                    budget_trim: Watts::ZERO,
                     degradation: 0.0,
                     budget_bound: true,
                     emergency: true,

@@ -22,6 +22,16 @@ pub trait CappingPolicy {
     /// (emergency minimum-frequency decisions), not reported as an error.
     fn decide(&mut self, obs: &EpochObservation) -> Result<DvfsDecision>;
 
+    /// A cold-start decision for epoch 0, before any observation exists.
+    /// Model-predictive policies solve it from their configured initial
+    /// power laws, so the very first epoch already runs under the cap.
+    /// The default — for feedback-only and non-capping policies — is
+    /// `None`, and the backend runs the first epoch at maximum
+    /// frequencies.
+    fn bootstrap(&mut self) -> Option<DvfsDecision> {
+        None
+    }
+
     /// Applies a mid-run power-budget change (scenario budget steps and
     /// ramps — datacenter power emergencies). Implementations keep all
     /// learned state (fitted power models, feedback state) and only move
@@ -103,6 +113,8 @@ impl CappingPolicy for UncappedPolicy {
             core_freqs: vec![self.core_levels - 1; obs.cores.len()],
             mem_freq: self.mem_levels - 1,
             predicted_power: Watts::ZERO,
+            quantized_power: Watts::ZERO,
+            budget_trim: Watts::ZERO,
             degradation: 1.0,
             budget_bound: false,
             emergency: false,

@@ -129,17 +129,29 @@ pub struct OracleConfig {
     pub warmup: usize,
     /// Fractional overshoot above the in-force budget tolerated outside
     /// settle windows. The floor is set by the controller itself, not the
-    /// scenario machinery: nearest-frequency quantization and one-epoch-
-    /// stale counters leave FastCap a few percent of steady-state slack
-    /// (worse at high time dilation, where per-epoch counters are
-    /// sparse). The default absorbs that floor; `scn_capstep` separately
-    /// *measures* tight-tolerance settle behaviour as an artifact.
+    /// scenario machinery: with quantize-down the actuated point sits at
+    /// or below the cap whenever the solve is budget-bound, and the
+    /// slack-feedback integrator bleeds off residual fitter bias, so the
+    /// steady-state floor is one-epoch-stale counter noise — a couple of
+    /// percent. The default absorbs that floor; `scn_capstep` separately
+    /// *measures* tight-tolerance settle behaviour as an artifact. Runs
+    /// that deliberately disable the bias fixes (the `bias_ablation`
+    /// baseline arms) need [`LEGACY_TOLERANCE`] instead.
     pub tolerance: f64,
     /// Epochs after every scheduled budget/hotplug move exempt from the
     /// budget check — the transient the scenario artifacts *measure*
     /// must not be double-reported as a violation. Sized to cover model
     /// re-fitting after a workload shift, not just the re-solve.
     pub settle_window: usize,
+    /// Consecutive settled epochs above tolerance required before the
+    /// budget check trips. Every controller here acts on one-epoch-stale
+    /// counters, so a single-epoch stochastic intensity spike produces an
+    /// overshoot *no* epoch-granularity policy can pre-empt — it corrects
+    /// at the very next decision. Overshoot that survives `persistence`
+    /// consecutive epochs is controller bias, which is exactly what the
+    /// tightened tolerance exists to catch. Legacy behaviour (every
+    /// settled epoch checked in isolation) is `persistence = 1`.
+    pub persistence: usize,
     /// Whether to run the budget-compliance check at all. Adversarial
     /// compositions at extreme time dilation (a persistent high-amplitude
     /// overlay, back-to-back all-core surges) keep the power target
@@ -154,15 +166,34 @@ pub struct OracleConfig {
     pub d_bounds: (f64, f64),
 }
 
+/// The pre-quantize-down budget tolerance (10%): what nearest-level
+/// rounding plus fitter bias used to cost. Kept for checks that run a
+/// policy with the bias fixes deliberately disabled — the negative-control
+/// tests and the `bias_ablation` baseline arms — so they can assert "red
+/// at the tight default, green at the legacy floor".
+pub const LEGACY_TOLERANCE: f64 = 0.10;
+
 impl Default for OracleConfig {
     fn default() -> Self {
         Self {
             warmup: 5,
-            tolerance: 0.10,
+            tolerance: 0.025,
             settle_window: 16,
+            persistence: 2,
             check_budget: true,
             conservation_eps: 1e-6,
             d_bounds: (0.2, 100.0),
+        }
+    }
+}
+
+impl OracleConfig {
+    /// The default config at the pre-quantize-down [`LEGACY_TOLERANCE`].
+    #[must_use]
+    pub fn legacy() -> Self {
+        Self {
+            tolerance: LEGACY_TOLERANCE,
+            ..Self::default()
         }
     }
 }
@@ -383,29 +414,48 @@ fn check_budget(
         }
     }
     let peak = run.peak_power.get();
+    // A violation is *persistent* overshoot: `cfg.persistence` strictly
+    // consecutive settled epochs above tolerance. Isolated blips are
+    // stale-counter noise the controller corrects on its next decision;
+    // runs of them are bias. An exempt epoch breaks a run.
+    let persistence = cfg.persistence.max(1);
     let mut worst: Option<(usize, f64, f64)> = None;
     let mut count = 0usize;
+    let mut streak: Vec<(usize, f64, f64)> = Vec::new();
+    let flush = |streak: &mut Vec<(usize, f64, f64)>,
+                 worst: &mut Option<(usize, f64, f64)>,
+                 count: &mut usize| {
+        if streak.len() >= persistence {
+            *count += streak.len();
+            for &(e, cap, over) in streak.iter() {
+                if worst.is_none_or(|(_, _, w)| over > w) {
+                    *worst = Some((e, cap, over));
+                }
+            }
+        }
+        streak.clear();
+    };
     for (e, ep) in run.epochs.iter().enumerate().skip(cfg.warmup) {
         if exempt[e] {
+            flush(&mut streak, &mut worst, &mut count);
             continue;
         }
         let cap = budgets[e] * peak;
         let p = ep.total_power.get();
         if p > cap * (1.0 + cfg.tolerance) {
-            count += 1;
-            let over = (p - cap) / cap;
-            if worst.is_none_or(|(_, _, w)| over > w) {
-                worst = Some((e, cap, over));
-            }
+            streak.push((e, cap, (p - cap) / cap));
+        } else {
+            flush(&mut streak, &mut worst, &mut count);
         }
     }
+    flush(&mut streak, &mut worst, &mut count);
     if let Some((e, cap, over)) = worst {
         v.push(
             Violation::new(
                 "budget",
                 format!(
-                    "budget: {count} settled epoch(s) above the cap; worst at epoch {e}: \
-                     {:.1}% over the {cap:.1} W budget",
+                    "budget: {count} settled epoch(s) in persistent overshoot; worst at \
+                     epoch {e}: {:.1}% over the {cap:.1} W budget",
                     over * 100.0
                 ),
             )
@@ -570,9 +620,9 @@ mod tests {
             }],
             0.9,
         );
-        // Epochs 2..4 are the settle window; epoch 5 at 80 W breaches the
-        // 50 W cap well past it.
-        let r = run(&[80.0, 80.0, 80.0, 48.0, 48.0, 80.0]);
+        // Epochs 2..4 are the settle window; epochs 5-6 at 80 W breach the
+        // 50 W cap well past it, for two consecutive epochs (persistent).
+        let r = run(&[80.0, 80.0, 80.0, 48.0, 48.0, 80.0, 80.0]);
         let rep = check_run(&r, &runner, Watts(4.0), None, &cfg());
         assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
         assert!(
@@ -582,8 +632,18 @@ mod tests {
         );
         assert!(rep.summary().contains("viol"));
         // The same breach inside the settle window is exempt.
-        let settled = run(&[80.0, 80.0, 80.0, 48.0, 48.0, 48.0]);
+        let settled = run(&[80.0, 80.0, 80.0, 48.0, 48.0, 48.0, 48.0]);
         assert!(check_run(&settled, &runner, Watts(4.0), None, &cfg()).is_green());
+        // A single-epoch blip (stale-counter noise the controller corrects
+        // on its next decision) is below the persistence threshold...
+        let blip = run(&[80.0, 80.0, 80.0, 48.0, 48.0, 80.0, 48.0]);
+        assert!(check_run(&blip, &runner, Watts(4.0), None, &cfg()).is_green());
+        // ...but trips the check at persistence 1 (legacy semantics).
+        let strict = OracleConfig {
+            persistence: 1,
+            ..cfg()
+        };
+        assert!(!check_run(&blip, &runner, Watts(4.0), None, &strict).is_green());
     }
 
     #[test]
@@ -748,7 +808,7 @@ mod tests {
             }],
             0.9,
         );
-        let r = run(&[80.0, 80.0, 80.0, 48.0, 48.0, 80.0]);
+        let r = run(&[80.0, 80.0, 80.0, 48.0, 48.0, 80.0, 80.0]);
         let rep = check_run(&r, &runner, Watts(4.0), None, &cfg()).for_policy("FastCap");
         let v = &rep.violations[0];
         assert_eq!(v.check, "budget");

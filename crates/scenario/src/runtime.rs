@@ -193,17 +193,21 @@ impl ScenarioRunner {
             budget_schedule,
             mask_schedule,
             server_actions,
-            warm_hotplug: false,
+            warm_hotplug: true,
         })
     }
 
-    /// Switches hotplug handling to **warm carry**: on an active-set
-    /// change the runner first offers the change to the policy via
-    /// [`CappingPolicy::on_active_set_change`] (surviving cores keep their
-    /// fitted power models; newcomers start cold) and only rebuilds
-    /// through the factory when the policy does not support it. The
-    /// default (rebuild) is the conservative transient the `scn_hotplug`
-    /// artifact measures; warm carry isolates allocation from re-fitting.
+    /// Switches hotplug handling between **warm carry** (the default) and
+    /// **rebuild**. Under warm carry an active-set change is first offered
+    /// to the policy via [`CappingPolicy::on_active_set_change`]
+    /// (surviving cores keep their fitted power models; newcomers start
+    /// cold), falling back to a factory rebuild when the policy does not
+    /// support it. Warm carry became the default once the loose-cap bias
+    /// fixes landed: on the `scn_hotplug` return transient it overshoots
+    /// *less* than a rebuild (0.2% vs 0.8% worst, both oracle-green at
+    /// the tightened tolerance), because survivors' fitted models are
+    /// strictly better information than the initial laws. Pass `false`
+    /// to measure the conservative rebuild transient instead.
     #[must_use]
     pub fn with_warm_hotplug(mut self, on: bool) -> Self {
         self.warm_hotplug = on;
@@ -446,6 +450,10 @@ impl ScenarioRunner {
                     let d = p.decide(&project(&obs, &mask))?;
                     Some(scatter(d, &mask))
                 }
+                // Epoch 0: no observation yet — model-predictive policies
+                // bootstrap from their initial laws so the first epoch
+                // already runs under the cap.
+                (Some(p), None) => p.bootstrap().map(|d| scatter(d, &mask)),
                 _ => None,
             };
             let (observed_w, bank_queue) = server.observation().map_or((0.0, 0.0), |obs| {
@@ -492,6 +500,8 @@ impl ScenarioRunner {
                         core_freqs: d.core_freqs.clone(),
                         mem_freq: d.mem_freq,
                         predicted_w: d.predicted_power.get(),
+                        quantized_w: d.quantized_power.get(),
+                        trim_w: d.budget_trim.get(),
                         measured_w,
                         slack_w: budget_w.map(|b| b - measured_w),
                         budget_bound: d.budget_bound,
@@ -635,12 +645,27 @@ mod tests {
 
     #[test]
     fn empty_scenario_matches_plain_capped_run() {
+        use fastcap_sim::EpochBackend;
         let cfg = quick_cfg(16);
         let mix = mixes::by_name("MID2").unwrap();
-        // Plain run, the way the bench harness drives it.
+        // Plain run, the way the bench harness drives it (observe → decide,
+        // with the epoch-0 bootstrap the harness's ClosedLoop also takes).
         let mut plain_policy = FastCapPolicy::new(cfg.controller_config(0.6).unwrap()).unwrap();
         let mut plain = Server::for_workload(cfg.clone(), &mix, 11).unwrap();
-        let r_plain = plain.run(12, |obs| plain_policy.decide(obs).ok());
+        let mut reports = Vec::new();
+        for _ in 0..12 {
+            let d = match EpochBackend::observation(&plain) {
+                Some(obs) => plain_policy.decide(&obs).ok(),
+                None => plain_policy.bootstrap(),
+            };
+            reports.push(EpochBackend::run_epoch(&mut plain, d.as_ref()));
+        }
+        let r_plain = fastcap_sim::metrics::RunResult {
+            n_cores: 16,
+            sim_epoch_length: cfg.sim_epoch_length(),
+            peak_power: cfg.peak_power,
+            epochs: reports,
+        };
         // Scenario run with zero events.
         let runner = ScenarioRunner::new(&Scenario::empty(16), 0.6).unwrap();
         let mut srv = Server::for_workload(cfg.clone(), &mix, 11).unwrap();
@@ -721,7 +746,11 @@ mod tests {
                 },
             },
         ]);
-        let runner = ScenarioRunner::new(&s, 0.6).unwrap();
+        // Rebuild mode, explicitly: this test pins the factory-rebuild
+        // path (warm carry is the default since the bias-fix PR).
+        let runner = ScenarioRunner::new(&s, 0.6)
+            .unwrap()
+            .with_warm_hotplug(false);
         let mut rebuilds = Vec::new();
         let mut factory = |n_active: usize, budget: f64| {
             rebuilds.push(n_active);
@@ -909,6 +938,8 @@ mod tests {
             core_freqs: vec![7, 3],
             mem_freq: 5,
             predicted_power: fastcap_core::units::Watts(40.0),
+            quantized_power: fastcap_core::units::Watts(40.0),
+            budget_trim: fastcap_core::units::Watts(0.0),
             degradation: 1.1,
             budget_bound: true,
             emergency: false,

@@ -58,11 +58,25 @@ proptest! {
     ) {
         let mix = MIXES[mix_idx];
         let cfg = quick_cfg();
-        // Plain run, as the bench harness drives it.
+        // Plain run, as the bench harness drives it: observe → decide with
+        // the epoch-0 bootstrap the harness's ClosedLoop also takes.
         let mut policy = FastCapPolicy::new(cfg.controller_config(budget).unwrap()).unwrap();
         let mut plain =
             Server::for_workload(cfg.clone(), &mixes::by_name(mix).unwrap(), seed).unwrap();
-        let r_plain = plain.run(epochs, |obs| policy.decide(obs).ok());
+        let mut reports = Vec::new();
+        for _ in 0..epochs {
+            let d = match fastcap_sim::EpochBackend::observation(&plain) {
+                Some(obs) => policy.decide(&obs).ok(),
+                None => policy.bootstrap(),
+            };
+            reports.push(fastcap_sim::EpochBackend::run_epoch(&mut plain, d.as_ref()));
+        }
+        let r_plain = fastcap_sim::RunResult {
+            n_cores: 16,
+            sim_epoch_length: cfg.sim_epoch_length(),
+            peak_power: cfg.peak_power,
+            epochs: reports,
+        };
 
         let r_scn = scenario_run(&Scenario::empty(16), mix, seed, budget, epochs);
         prop_assert_eq!(bytes(&r_plain), bytes(&r_scn));

@@ -419,6 +419,8 @@ mod tests {
             core_freqs: vec![0; 16],
             mem_freq: 9,
             predicted_power: Watts::ZERO,
+            quantized_power: Watts::ZERO,
+            budget_trim: Watts::ZERO,
             degradation: 0.5,
             budget_bound: true,
             emergency: false,

@@ -859,6 +859,8 @@ mod tests {
             core_freqs: vec![0; 16],
             mem_freq: 9,
             predicted_power: Watts(0.0),
+            quantized_power: Watts(0.0),
+            budget_trim: Watts(0.0),
             degradation: 0.5,
             budget_bound: true,
             emergency: false,
@@ -883,6 +885,8 @@ mod tests {
             core_freqs: vec![9; 16],
             mem_freq: 0,
             predicted_power: Watts(0.0),
+            quantized_power: Watts(0.0),
+            budget_trim: Watts(0.0),
             degradation: 0.8,
             budget_bound: true,
             emergency: false,
@@ -1189,6 +1193,8 @@ mod tests {
             core_freqs: vec![0; 16],
             mem_freq: 0,
             predicted_power: Watts(50.0),
+            quantized_power: Watts(50.0),
+            budget_trim: Watts(0.0),
             degradation: 0.0,
             budget_bound: true,
             emergency: true,

@@ -32,8 +32,17 @@ pub struct DecisionRecord {
     pub core_freqs: Vec<usize>,
     /// Chosen memory frequency level.
     pub mem_freq: usize,
-    /// Power the policy's model predicted for the chosen configuration.
+    /// Power the policy's model predicted at the *continuous* optimum
+    /// (saturates the cap when budget-bound, by Theorem 1).
     pub predicted_w: f64,
+    /// Power the model predicts at the **quantized** ladder point — the
+    /// frequencies actually actuated. The number to audit against the
+    /// cap: with quantize-down it stays at or below the effective budget
+    /// whenever the solve is budget-bound.
+    pub quantized_w: f64,
+    /// Slack-feedback integrator trim subtracted from the cap for this
+    /// solve (0 = disabled or fully unwound).
+    pub trim_w: f64,
     /// Power actually measured over the governed epoch.
     pub measured_w: f64,
     /// `budget_w - measured_w` (negative = overshoot), when capping.

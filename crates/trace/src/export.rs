@@ -72,6 +72,8 @@ fn decision_args(d: &DecisionRecord) -> Value {
     ));
     entries.push(("mem_freq", Value::UInt(d.mem_freq as u64)));
     entries.push(("predicted_w", Value::Float(d.predicted_w)));
+    entries.push(("quantized_w", Value::Float(d.quantized_w)));
+    entries.push(("trim_w", Value::Float(d.trim_w)));
     entries.push(("measured_w", Value::Float(d.measured_w)));
     if let Some(s) = d.slack_w {
         entries.push(("slack_w", Value::Float(s)));
@@ -309,6 +311,8 @@ mod tests {
             core_freqs: vec![5, 5, 4],
             mem_freq: 2,
             predicted_w: 79.0,
+            quantized_w: 78.2,
+            trim_w: 0.5,
             measured_w: 81.0,
             slack_w: Some(-1.0),
             budget_bound: true,
